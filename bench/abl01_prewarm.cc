@@ -1,0 +1,46 @@
+// Ablation A1: prewarming policies vs the production baseline.
+//
+// The paper (§4.3, §5) argues that timer-triggered functions -- which cold-start on
+// every fire when their period exceeds the keep-alive -- and periodically popular
+// functions can be prewarmed. This harness quantifies how many user-visible cold
+// starts each policy removes and what it costs in extra pods.
+#include "bench/abl_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader("Ablation A1", "prewarming",
+                     "pre-warming pods for timer functions could alleviate their cold "
+                     "starts (timers cause ~30% of R2 cold starts)");
+  const core::ScenarioConfig config = bench::AblationScenario();
+  std::vector<bench::AblationRow> rows;
+
+  {
+    core::Experiment experiment(config);
+    rows.push_back(bench::Summarize("baseline (no prewarm)", experiment.Run()));
+  }
+  {
+    policy::TimerAwarePrewarmPolicy prewarm;
+    core::Experiment experiment(config);
+    rows.push_back(bench::Summarize("timer-aware prewarm", experiment.Run(&prewarm)));
+  }
+  {
+    policy::ProfilePrewarmPolicy prewarm;
+    core::Experiment experiment(config);
+    rows.push_back(bench::Summarize("profile prewarm", experiment.Run(&prewarm)));
+  }
+  {
+    policy::CompositePolicy combo;
+    combo.Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
+        .Add(std::make_unique<policy::ProfilePrewarmPolicy>());
+    core::Experiment experiment(config);
+    rows.push_back(bench::Summarize("timer + profile", experiment.Run(&combo)));
+  }
+
+  bench::PrintRows(rows);
+  const double reduction =
+      1.0 - static_cast<double>(rows[1].cold_starts) / static_cast<double>(rows[0].cold_starts);
+  std::printf("\ntimer-aware prewarm removes %.1f%% of user-visible cold starts\n",
+              100.0 * reduction);
+  return 0;
+}

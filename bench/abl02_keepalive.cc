@@ -1,0 +1,43 @@
+// Ablation A2: dynamic keep-alive vs the fixed 60s production default.
+//
+// §5: "for functions running on timers less frequent than 1 minute, a keep alive time
+// of 1 minute is unnecessary and wasteful. Cloud providers may consider a dynamic
+// keep-alive time". The trade is cold starts vs pod-hours.
+#include "bench/abl_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader("Ablation A2", "dynamic keep-alive",
+                     "extend keep-alive for functions returning just outside 60s; "
+                     "release pods early for functions with much longer gaps");
+  const core::ScenarioConfig config = bench::AblationScenario();
+  std::vector<bench::AblationRow> rows;
+
+  {
+    core::Experiment experiment(config);
+    rows.push_back(bench::Summarize("fixed 60s keep-alive", experiment.Run()));
+  }
+  {
+    policy::DynamicKeepAlivePolicy dynamic;
+    core::Experiment experiment(config);
+    rows.push_back(bench::Summarize("dynamic keep-alive", experiment.Run(&dynamic)));
+  }
+  {
+    policy::DynamicKeepAlivePolicy::Options aggressive;
+    aggressive.max_keep_alive = 3 * kMinute;
+    aggressive.headroom = 1.1;
+    policy::DynamicKeepAlivePolicy dynamic(aggressive);
+    core::Experiment experiment(config);
+    rows.push_back(bench::Summarize("dynamic (tight cap 3min)", experiment.Run(&dynamic)));
+  }
+
+  bench::PrintRows(rows);
+  const double cs_delta = 1.0 - static_cast<double>(rows[1].cold_starts) /
+                                    static_cast<double>(rows[0].cold_starts);
+  const double pod_delta =
+      rows[1].pod_hours / rows[0].pod_hours - 1.0;
+  std::printf("\ndynamic keep-alive: cold starts %+.1f%%, pod-hours %+.1f%%\n",
+              -100.0 * cs_delta, 100.0 * pod_delta);
+  return 0;
+}

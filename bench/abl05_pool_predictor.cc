@@ -1,0 +1,55 @@
+// Ablation A5: predictive resource-pool sizing.
+//
+// §5 "Resource pool prediction": pools too small force from-scratch creations (slow);
+// pools too large waste reserved capacity. Compare the static baseline against the
+// three forecasters on pool misses and allocation latency.
+#include "bench/abl_util.h"
+
+using namespace coldstart;
+
+namespace {
+
+double MeanAllocSeconds(const trace::TraceStore& store) {
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& c : store.cold_starts()) {
+    sum += ToSeconds(c.pod_alloc_us);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation A5", "resource pool prediction",
+                     "predictable per-config pod demand allows maintaining just enough "
+                     "reserved pods without overallocation");
+  const core::ScenarioConfig config = bench::AblationScenario();
+
+  std::vector<bench::AblationRow> rows;
+  std::vector<double> alloc_means;
+  {
+    core::Experiment experiment(config);
+    auto result = experiment.Run();
+    alloc_means.push_back(MeanAllocSeconds(result.store));
+    rows.push_back(bench::Summarize("static pools (baseline)", std::move(result)));
+  }
+  for (const char* kind : {"moving-average", "seasonal-naive", "holt-winters"}) {
+    policy::PoolPredictionPolicy::Options opts;
+    opts.predictor = kind;
+    policy::PoolPredictionPolicy predictor(opts);
+    core::Experiment experiment(config);
+    auto result = experiment.Run(&predictor);
+    alloc_means.push_back(MeanAllocSeconds(result.store));
+    rows.push_back(bench::Summarize(kind, std::move(result)));
+  }
+
+  bench::PrintRows(rows);
+  std::printf("\nmean pod allocation time (s):");
+  for (size_t i = 0; i < alloc_means.size(); ++i) {
+    std::printf(" %s=%.3f", rows[i].name.c_str(), alloc_means[i]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A6: workflow call-chain prewarming.
+//
+// §5: "Workflow function calls can be predicted using previous function calls...
+// workflows account for 20% of cold starts" and are synchronous with strict SLOs.
+// Metric: workflow-triggered cold starts and their latency.
+#include "bench/abl_util.h"
+
+using namespace coldstart;
+
+namespace {
+
+// Cold starts of workflow-triggered functions + their median latency.
+std::pair<int64_t, double> WorkflowColdStarts(const trace::TraceStore& store) {
+  stats::Ecdf latency;
+  for (const auto& c : store.cold_starts()) {
+    const auto& f = store.function(c.function_id);
+    const auto g = trace::GroupOf(f.primary_trigger);
+    if (g == trace::TriggerGroup::kWorkflowS ||
+        f.primary_trigger == trace::Trigger::kWorkflowAsync) {
+      latency.Add(ToSeconds(c.cold_start_us));
+    }
+  }
+  latency.Seal();
+  return {static_cast<int64_t>(latency.size()), latency.Quantile(0.5)};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation A6", "workflow chain prewarming",
+                     "downstream functions can be prewarmed when upstream calls start, "
+                     "hiding the child's cold start behind the parent's execution");
+  const core::ScenarioConfig config = bench::AblationScenario();
+
+  std::vector<bench::AblationRow> rows;
+  std::vector<std::pair<int64_t, double>> wf;
+  {
+    core::Experiment experiment(config);
+    auto result = experiment.Run();
+    wf.push_back(WorkflowColdStarts(result.store));
+    rows.push_back(bench::Summarize("baseline", std::move(result)));
+  }
+  {
+    policy::WorkflowPrewarmPolicy prewarm;
+    core::Experiment experiment(config);
+    auto result = experiment.Run(&prewarm);
+    wf.push_back(WorkflowColdStarts(result.store));
+    rows.push_back(bench::Summarize("workflow prewarm", std::move(result)));
+  }
+
+  bench::PrintRows(rows);
+  std::printf("\nworkflow-triggered cold starts: baseline %lld (median %.2fs) vs "
+              "prewarmed %lld (median %.2fs)\n",
+              static_cast<long long>(wf[0].first), wf[0].second,
+              static_cast<long long>(wf[1].first), wf[1].second);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared reporting for the policy ablation benches.
+#ifndef COLDSTART_BENCH_ABL_UTIL_H_
+#define COLDSTART_BENCH_ABL_UTIL_H_
+
+#include <numeric>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace coldstart::bench {
+
+struct AblationRow {
+  std::string name;
+  int64_t cold_starts = 0;
+  double p50_cold_start_s = 0;
+  double p99_cold_start_s = 0;
+  int64_t prewarm_spawns = 0;
+  int64_t delayed = 0;
+  int64_t scratch = 0;
+  double pod_hours = 0;
+};
+
+inline AblationRow Summarize(const std::string& name,
+                             const core::ExperimentResult& result) {
+  AblationRow row;
+  row.name = name;
+  row.cold_starts = std::accumulate(result.visible_cold_starts.begin(),
+                                    result.visible_cold_starts.end(), int64_t{0});
+  row.prewarm_spawns = std::accumulate(result.prewarm_spawns.begin(),
+                                       result.prewarm_spawns.end(), int64_t{0});
+  row.delayed = std::accumulate(result.delayed_allocations.begin(),
+                                result.delayed_allocations.end(), int64_t{0});
+  row.scratch = std::accumulate(result.scratch_allocations.begin(),
+                                result.scratch_allocations.end(), int64_t{0});
+  const auto cdfs = analysis::ColdStartTimeCdfs(result.store);
+  row.p50_cold_start_s = cdfs.back().Quantile(0.5);
+  row.p99_cold_start_s = cdfs.back().Quantile(0.99);
+  row.pod_hours = PodSeconds(result.store, -1) / 3600.0;
+  return row;
+}
+
+inline void PrintRows(const std::vector<AblationRow>& rows) {
+  TextTable t({"policy", "user-visible cold starts", "p50 (s)", "p99 (s)",
+               "prewarm spawns", "delayed reqs", "pool misses", "pod-hours"});
+  for (const auto& r : rows) {
+    t.Row()
+        .Cell(r.name)
+        .Cell(r.cold_starts)
+        .Cell(r.p50_cold_start_s, 3)
+        .Cell(r.p99_cold_start_s, 3)
+        .Cell(r.prewarm_spawns)
+        .Cell(r.delayed)
+        .Cell(r.scratch)
+        .Cell(r.pod_hours, 1);
+  }
+  std::printf("%s", t.Render().c_str());
+}
+
+}  // namespace coldstart::bench
+
+#endif  // COLDSTART_BENCH_ABL_UTIL_H_

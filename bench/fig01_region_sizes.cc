@@ -1,0 +1,42 @@
+// Figure 1: number of requests, functions, and pods for all five regions.
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 1", "region sizes (requests vs functions vs pods)",
+      "functions 1e2..1e4; requests spanning several orders of magnitude with R1 "
+      "largest; more functions does not imply more requests or pods");
+  const auto result = bench::LoadPaperTrace();
+
+  TextTable t({"region", "functions", "requests", "pods", "users",
+               "log10(requests)", "requests/function"});
+  const auto sizes = analysis::ComputeRegionSizes(result.store);
+  for (const auto& s : sizes) {
+    t.Row()
+        .Cell(trace::RegionName(s.region))
+        .Cell(s.functions)
+        .Cell(s.requests)
+        .Cell(s.pods)
+        .Cell(s.users)
+        .Cell(std::log10(static_cast<double>(std::max<uint64_t>(1, s.requests))), 2)
+        .Cell(static_cast<double>(s.requests) /
+                  static_cast<double>(std::max<uint64_t>(1, s.functions)),
+              1);
+  }
+  std::printf("%s\n", t.Render().c_str());
+
+  // Shape checks the paper makes in prose.
+  const bool r1_most_requests =
+      sizes[0].requests > sizes[1].requests && sizes[0].requests > sizes[2].requests &&
+      sizes[0].requests > sizes[3].requests && sizes[0].requests > sizes[4].requests;
+  const bool r4_more_functions_fewer_requests =
+      sizes[3].functions > sizes[0].functions && sizes[3].requests < sizes[0].requests;
+  std::printf("check: R1 has the most requests: %s\n", r1_most_requests ? "yes" : "NO");
+  std::printf("check: more functions !=> more requests (R4 vs R1): %s\n",
+              r4_more_functions_fewer_requests ? "yes" : "NO");
+  return 0;
+}

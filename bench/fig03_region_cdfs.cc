@@ -1,0 +1,43 @@
+// Figure 3: CDFs of requests/day per function, mean execution time per minute, and
+// mean CPU usage per minute, for each region.
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 3", "per-region workload CDFs",
+      "most functions have few requests/day; R1 has ~20% of functions above 1/min vs "
+      "~1% in R4 (we report the 1-per-10-min threshold at our 1:10 rate scale); median "
+      "exec time 4ms (R5) .. 100ms (R1); median CPU 0.1-0.3 cores");
+  const auto result = bench::LoadPaperTrace();
+  const auto& store = result.store;
+
+  TextTable a(analysis::QuantileHeaders("requests/day per function"));
+  TextTable thresholds({"region", "frac >= 144/day (1 per 10min)", "frac >= 1440/day"});
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    const auto ecdf = analysis::RequestsPerDayPerFunction(store, r);
+    analysis::AddQuantileRow(a, trace::RegionName(static_cast<trace::RegionId>(r)), ecdf);
+    thresholds.Row()
+        .Cell(trace::RegionName(static_cast<trace::RegionId>(r)))
+        .Cell(1.0 - ecdf.CdfAt(144.0), 4)
+        .Cell(1.0 - ecdf.CdfAt(1440.0), 4);
+  }
+  std::printf("(a) requests per day per function\n%s\n%s\n", a.Render().c_str(),
+              thresholds.Render().c_str());
+
+  TextTable b(analysis::QuantileHeaders("mean exec time/min (s)"));
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    analysis::AddQuantileRow(b, trace::RegionName(static_cast<trace::RegionId>(r)),
+                             analysis::MeanExecutionTimePerMinute(store, r));
+  }
+  std::printf("(b) mean execution time per minute\n%s\n", b.Render().c_str());
+
+  TextTable c(analysis::QuantileHeaders("mean CPU usage/min (cores)"));
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    analysis::AddQuantileRow(c, trace::RegionName(static_cast<trace::RegionId>(r)),
+                             analysis::MeanCpuUsagePerMinute(store, r));
+  }
+  std::printf("(c) mean CPU usage per minute\n%s", c.Render().c_str());
+  return 0;
+}

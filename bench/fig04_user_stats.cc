@@ -1,0 +1,39 @@
+// Figure 4: functions per user and requests per user, per region.
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 4", "per-user CDFs",
+      "60-90% of users own a single function (almost all < 20); request volume is more "
+      "concentrated in fewer users in smaller regions (R1: ~30% of users above 1000 "
+      "requests; R4: <5%)");
+  const auto result = bench::LoadPaperTrace();
+  const auto& store = result.store;
+
+  TextTable a(analysis::QuantileHeaders("functions per user"));
+  TextTable single({"region", "frac users with 1 function", "frac users < 20 functions"});
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    const auto ecdf = analysis::FunctionsPerUser(store, r);
+    analysis::AddQuantileRow(a, trace::RegionName(static_cast<trace::RegionId>(r)), ecdf);
+    single.Row()
+        .Cell(trace::RegionName(static_cast<trace::RegionId>(r)))
+        .Cell(ecdf.CdfAt(1.0), 4)
+        .Cell(ecdf.CdfAt(19.0), 4);
+  }
+  std::printf("(a) functions per user\n%s\n%s\n", a.Render().c_str(),
+              single.Render().c_str());
+
+  TextTable b(analysis::QuantileHeaders("requests per user"));
+  TextTable conc({"region", "frac users > 1000 requests"});
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    const auto ecdf = analysis::RequestsPerUser(store, r);
+    analysis::AddQuantileRow(b, trace::RegionName(static_cast<trace::RegionId>(r)), ecdf);
+    conc.Row()
+        .Cell(trace::RegionName(static_cast<trace::RegionId>(r)))
+        .Cell(1.0 - ecdf.CdfAt(1000.0), 4);
+  }
+  std::printf("(b) requests per user\n%s\n%s", b.Render().c_str(), conc.Render().c_str());
+  return 0;
+}

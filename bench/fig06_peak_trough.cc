@@ -1,0 +1,85 @@
+// Figure 6: peak-to-trough ratio vs request volume (a) and vs cold-start count (b).
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 6", "peak-to-trough analysis",
+      "P2T spans <2 to >1000; low for low-request functions, high for moderately "
+      "popular ones, lower again for the largest (largest workloads < 60); a cluster "
+      "at P2T ~= 1 below 1440 requests/day; high cold-start counts come from high-P2T "
+      "functions or the 1-per->minute cluster");
+  const auto result = bench::LoadPaperTrace();
+
+  const auto entries = analysis::ComputeFunctionPeakTrough(result.store);
+
+  // (a) P2T by request-volume decade.
+  TextTable a({"requests/day decade", "functions", "median P2T", "p90 P2T", "max P2T"});
+  for (int decade = -1; decade <= 4; ++decade) {
+    const double lo = std::pow(10.0, decade);
+    const double hi = std::pow(10.0, decade + 1);
+    stats::Ecdf p2t;
+    for (const auto& e : entries) {
+      if (e.requests_per_day >= lo && e.requests_per_day < hi) {
+        p2t.Add(e.peak_to_trough);
+      }
+    }
+    p2t.Seal();
+    if (p2t.empty()) {
+      continue;
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "[1e%d, 1e%d)", decade, decade + 1);
+    a.Row()
+        .Cell(std::string(label))
+        .Cell(static_cast<uint64_t>(p2t.size()))
+        .Cell(p2t.Quantile(0.5), 2)
+        .Cell(p2t.Quantile(0.9), 2)
+        .Cell(p2t.Quantile(1.0), 2);
+  }
+  std::printf("(a) P2T vs requests/day\n%s\n", a.Render().c_str());
+
+  // The timer cluster: P2T ~= 1 and <= 1440 requests/day.
+  size_t cluster = 0, total = 0;
+  for (const auto& e : entries) {
+    ++total;
+    if (e.peak_to_trough < 1.5 && e.requests_per_day <= 1440) {
+      ++cluster;
+    }
+  }
+  std::printf("cluster at P2T~1 with <=1440 req/day: %zu of %zu functions (%.1f%%)\n\n",
+              cluster, total, 100.0 * static_cast<double>(cluster) / static_cast<double>(total));
+
+  // (b) cold starts vs P2T.
+  TextTable b({"P2T band", "functions", "median cold starts", "p90 cold starts"});
+  const double bands[] = {1.0, 2.0, 10.0, 100.0, 1e9};
+  const char* labels[] = {"[1,2)", "[2,10)", "[10,100)", ">=100"};
+  for (int i = 0; i < 4; ++i) {
+    stats::Ecdf cs;
+    for (const auto& e : entries) {
+      if (e.peak_to_trough >= bands[i] && e.peak_to_trough < bands[i + 1]) {
+        cs.Add(static_cast<double>(e.cold_starts));
+      }
+    }
+    cs.Seal();
+    if (cs.empty()) {
+      continue;
+    }
+    b.Row()
+        .Cell(std::string(labels[i]))
+        .Cell(static_cast<uint64_t>(cs.size()))
+        .Cell(cs.Quantile(0.5), 1)
+        .Cell(cs.Quantile(0.9), 1);
+  }
+  std::printf("(b) cold starts vs P2T\n%s\n", b.Render().c_str());
+
+  double max_p2t = 0;
+  for (const auto& e : entries) {
+    max_p2t = std::max(max_p2t, e.peak_to_trough);
+  }
+  std::printf("max observed P2T: %.0f (paper: >1000)\n", max_p2t);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 7: allocated pods and CPU around the holiday (days 10-27, normalized to the
+// pre-holiday maximum).
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 7", "holiday effect on pods and CPU",
+      "R1/R2/R4/R5 peak on day 13 (last workday), dip during the holiday (days 14-23) "
+      "and rebound on day 24; R3 instead rises during the holiday");
+  const auto result = bench::LoadPaperTrace();
+
+  const int first = 10, last = 27, holiday_first = 14;
+  const auto series = analysis::ComputeHolidayEffect(result.store, first, last, holiday_first);
+
+  TextTable pods({"day", "R1 pods", "R2 pods", "R3 pods", "R4 pods", "R5 pods"});
+  TextTable cpu({"day", "R1 cpu", "R2 cpu", "R3 cpu", "R4 cpu", "R5 cpu"});
+  for (int day = first; day <= last; ++day) {
+    const size_t i = static_cast<size_t>(day - first);
+    pods.Row().Cell(static_cast<int64_t>(day));
+    cpu.Row().Cell(static_cast<int64_t>(day));
+    for (const auto& s : series) {
+      pods.Cell(i < s.pods_normalized.size() ? s.pods_normalized[i] : 0.0, 3);
+      cpu.Cell(i < s.cpu_normalized.size() ? s.cpu_normalized[i] : 0.0, 3);
+    }
+  }
+  std::printf("(a) normalized allocated pods per day\n%s\n", pods.Render().c_str());
+  std::printf("(b) normalized allocated CPU per day\n%s\n", cpu.Render().c_str());
+
+  // Shape checks: dip regions drop during the holiday; R3 rises.
+  auto mean_over = [&](const std::vector<double>& v, int from_day, int to_day) {
+    double sum = 0;
+    int n = 0;
+    for (int d = from_day; d <= to_day; ++d) {
+      const size_t i = static_cast<size_t>(d - first);
+      if (i < v.size()) {
+        sum += v[i];
+        ++n;
+      }
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+  for (const auto& s : series) {
+    const double before = mean_over(s.pods_normalized, 10, 13);
+    const double during = mean_over(s.pods_normalized, 15, 22);
+    std::printf("%s: pods before=%.3f during=%.3f -> %s\n",
+                trace::RegionName(s.region).c_str(), before, during,
+                during < before ? "dip" : "rise");
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 8a-c: running pods per hour in Region 2, grouped by trigger type, runtime,
+// and resource configuration.
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+namespace {
+
+// Prints per-day means of an hourly [key][hour] matrix plus periodicity diagnostics.
+void PrintGroup(const trace::TraceStore& store, analysis::GroupAxis axis,
+                const char* title) {
+  const auto series = analysis::RunningPodsByGroup(store, /*region=*/1, axis);
+  const int keys = analysis::NumKeys(axis);
+  const size_t hours = series.empty() ? 0 : series[0].size();
+  const size_t days = hours / 24;
+
+  std::vector<std::string> headers = {"day"};
+  for (int k = 0; k < keys; ++k) {
+    headers.push_back(analysis::KeyName(axis, k));
+  }
+  TextTable t(headers);
+  for (size_t d = 0; d < days; d += 2) {  // Every other day keeps the table readable.
+    t.Row().Cell(static_cast<int64_t>(d));
+    for (int k = 0; k < keys; ++k) {
+      double sum = 0;
+      for (size_t h = d * 24; h < (d + 1) * 24; ++h) {
+        sum += series[static_cast<size_t>(k)][h];
+      }
+      t.Cell(sum / 24.0, 1);
+    }
+  }
+  std::printf("%s (mean running pods per day, R2)\n%s\n", title, t.Render().c_str());
+
+  // Diurnality: autocorrelation at lag 24h of each group's hourly series.
+  TextTable ac({"group", "autocorr @24h", "weekday/weekend pods"});
+  for (int k = 0; k < keys; ++k) {
+    const auto& s = series[static_cast<size_t>(k)];
+    double wk = 0, we = 0;
+    int wk_n = 0, we_n = 0;
+    for (size_t h = 0; h < hours; ++h) {
+      const int64_t day = static_cast<int64_t>(h / 24);
+      const int dow = static_cast<int>((day + 1) % 7);  // Day 0 is a Tuesday.
+      // Days 14-23 are the holiday; exclude them from the weekly contrast.
+      if (day >= 14 && day <= 23) {
+        continue;
+      }
+      if (dow == 5 || dow == 6) {
+        we += s[h];
+        ++we_n;
+      } else {
+        wk += s[h];
+        ++wk_n;
+      }
+    }
+    const double ratio = (we_n > 0 && we / we_n > 0) ? (wk / wk_n) / (we / we_n) : 0.0;
+    ac.Row()
+        .Cell(analysis::KeyName(axis, k))
+        .Cell(stats::Autocorrelation(s, 24), 3)
+        .Cell(ratio, 3);
+  }
+  std::printf("%s\n", ac.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 8a-c", "running pods per hour by group (R2)",
+      "timers have a flat pod count (~5% of pods) despite ~60% of functions; "
+      "workflow-S/APIG-S/OBS pods oscillate daily; ~30% more pods on weekdays; Java "
+      "pods gain diurnality at day 18; config groups contribute unevenly");
+  const auto result = bench::LoadPaperTrace();
+
+  PrintGroup(result.store, analysis::GroupAxis::kTrigger, "(a) by trigger type");
+  PrintGroup(result.store, analysis::GroupAxis::kRuntime, "(b) by runtime");
+  PrintGroup(result.store, analysis::GroupAxis::kConfig, "(c) by resource allocation");
+
+  // Java regime change: diurnal amplitude before vs after day 18.
+  const auto by_runtime =
+      analysis::RunningPodsByGroup(result.store, 1, analysis::GroupAxis::kRuntime);
+  const auto& java = by_runtime[static_cast<size_t>(trace::Runtime::kJava)];
+  auto amplitude = [&](size_t from_day, size_t to_day) {
+    double mn = 1e300, mx = 0;
+    for (size_t h = from_day * 24; h < to_day * 24 && h < java.size(); ++h) {
+      mn = std::min(mn, java[h]);
+      mx = std::max(mx, java[h]);
+    }
+    return mx > 0 && mn < 1e300 ? (mx - mn) / std::max(1.0, mx) : 0.0;
+  };
+  std::printf("Java relative daily swing before day 18: %.3f, after: %.3f (paper: "
+              "periodicity begins at day 18)\n",
+              amplitude(2, 13), amplitude(24, 30));
+  return 0;
+}

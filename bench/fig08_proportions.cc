@@ -1,0 +1,55 @@
+// Figure 8d-f: proportions of running pods, cold starts, and functions in Region 2,
+// grouped by trigger type, runtime, and resource configuration.
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+namespace {
+
+void PrintShares(const trace::TraceStore& store, analysis::GroupAxis axis,
+                 const char* title) {
+  const auto shares = analysis::ComputeGroupShares(store, /*region=*/1, axis);
+  TextTable t({"group", "pods", "cold starts", "functions"});
+  for (int k = 0; k < analysis::NumKeys(axis); ++k) {
+    t.Row()
+        .Cell(analysis::KeyName(axis, k))
+        .Cell(shares.pods[static_cast<size_t>(k)], 3)
+        .Cell(shares.cold_starts[static_cast<size_t>(k)], 3)
+        .Cell(shares.functions[static_cast<size_t>(k)], 3);
+  }
+  std::printf("%s\n%s\n", title, t.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 8d-f", "group proportions (R2)",
+      "timers: ~60% of functions, ~30% of cold starts, ~5% of pods; OBS ~30% of pods; "
+      "Python3 ~50% of cold starts; small CPU-memory configs >60% of cold starts");
+  const auto result = bench::LoadPaperTrace();
+
+  PrintShares(result.store, analysis::GroupAxis::kTrigger, "(d) by trigger type");
+  PrintShares(result.store, analysis::GroupAxis::kRuntime, "(e) by runtime");
+  PrintShares(result.store, analysis::GroupAxis::kConfig, "(f) by resource allocation");
+
+  const auto trig = analysis::ComputeGroupShares(result.store, 1, analysis::GroupAxis::kTrigger);
+  const auto rt = analysis::ComputeGroupShares(result.store, 1, analysis::GroupAxis::kRuntime);
+  const auto cfg = analysis::ComputeGroupShares(result.store, 1, analysis::GroupAxis::kConfig);
+  const double small_cs =
+      cfg.cold_starts[static_cast<size_t>(trace::ConfigGroup::k300m128)] +
+      cfg.cold_starts[static_cast<size_t>(trace::ConfigGroup::k400m256)];
+  std::printf("checks (R2):\n");
+  std::printf("  timer functions share:    %.2f (paper ~0.6)\n",
+              trig.functions[static_cast<size_t>(trace::TriggerGroup::kTimerA)]);
+  std::printf("  timer pod share:          %.2f (paper ~0.05)\n",
+              trig.pods[static_cast<size_t>(trace::TriggerGroup::kTimerA)]);
+  std::printf("  timer cold-start share:   %.2f (paper ~0.3)\n",
+              trig.cold_starts[static_cast<size_t>(trace::TriggerGroup::kTimerA)]);
+  std::printf("  OBS pod share:            %.2f (paper ~0.3)\n",
+              trig.pods[static_cast<size_t>(trace::TriggerGroup::kObsA)]);
+  std::printf("  Python3 cold-start share: %.2f (paper ~0.5)\n",
+              rt.cold_starts[static_cast<size_t>(trace::Runtime::kPython3)]);
+  std::printf("  small-config cold starts: %.2f (paper >0.6)\n", small_cs);
+  return 0;
+}

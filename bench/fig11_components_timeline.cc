@@ -1,0 +1,74 @@
+// Figure 11: hourly mean cold-start time split into components, plus cold-start
+// counts, for each region.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 11", "cold-start components over time, per region",
+      "R1 means reach ~7s dominated by dependency deploy + scheduling; R2 <= ~3s "
+      "dominated by pod allocation, in phase with the cold-start count; R3 < 0.3s; "
+      "all regions spike on the first post-holiday workday (day 24)");
+  const auto result = bench::LoadPaperTrace();
+
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    const auto s = analysis::HourlyComponents(result.store, r);
+    TextTable t({"day", "mean total (s)", "alloc", "code", "dep", "sched", "cold starts/h"});
+    const size_t days = s.total.size() / 24;
+    for (size_t d = 0; d < days; d += 2) {
+      double tot = 0, alloc = 0, code = 0, dep = 0, sched = 0, count = 0;
+      int n = 0;
+      for (size_t h = d * 24; h < (d + 1) * 24; ++h) {
+        if (s.count[h] <= 0) {
+          continue;
+        }
+        tot += s.total[h];
+        alloc += s.pod_alloc[h];
+        code += s.deploy_code[h];
+        dep += s.deploy_dep[h];
+        sched += s.scheduling[h];
+        count += s.count[h];
+        ++n;
+      }
+      if (n == 0) {
+        continue;
+      }
+      t.Row()
+          .Cell(static_cast<int64_t>(d))
+          .Cell(tot / n, 3)
+          .Cell(alloc / n, 3)
+          .Cell(code / n, 3)
+          .Cell(dep / n, 3)
+          .Cell(sched / n, 3)
+          .Cell(count / 24.0, 1);
+    }
+    std::printf("%s mean cold-start components per hour (2-day stride)\n%s\n",
+                trace::RegionName(static_cast<trace::RegionId>(r)).c_str(),
+                t.Render().c_str());
+
+    // Dominant component overall and peak hourly mean.
+    double sums[4] = {0, 0, 0, 0};
+    double peak_total = 0;
+    int hours_with_cs = 0;
+    for (size_t h = 0; h < s.total.size(); ++h) {
+      if (s.count[h] <= 0) {
+        continue;
+      }
+      sums[0] += s.pod_alloc[h];
+      sums[1] += s.deploy_code[h];
+      sums[2] += s.deploy_dep[h];
+      sums[3] += s.scheduling[h];
+      peak_total = std::max(peak_total, s.total[h]);
+      ++hours_with_cs;
+    }
+    const char* names[4] = {"pod alloc", "deploy code", "deploy dep", "scheduling"};
+    const int dominant =
+        static_cast<int>(std::max_element(sums, sums + 4) - sums);
+    std::printf("  dominant mean component: %s; peak hourly mean total: %.2fs\n\n",
+                names[dominant], peak_total);
+  }
+  return 0;
+}

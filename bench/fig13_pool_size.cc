@@ -1,0 +1,54 @@
+// Figure 13: cold-start time and components by pool size class (small vs large pods).
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 13", "small vs large resource pools",
+      "larger pools have longer median cold starts (ratio ~1:1 in R5 up to ~5:1 in "
+      "R3); pod allocation is multimodal from the staged search, expanding more for "
+      "large pools; code/dep deploys longer in large pods; scheduling small<large in "
+      "R1/R3/R4 but reversed in R2/R5");
+  const auto result = bench::LoadPaperTrace();
+  const auto& store = result.store;
+
+  for (int c = 0; c < analysis::kNumColdStartComponents; ++c) {
+    const auto component = static_cast<analysis::ColdStartComponent>(c);
+    TextTable t({"region", "class", "count", "p25", "p50", "p75", "p95", "mean"});
+    for (int r = 0; r < trace::kNumRegions; ++r) {
+      for (int sc = 0; sc < 2; ++sc) {
+        const auto ecdf = analysis::PoolSizeDistribution(
+            store, r, static_cast<trace::PoolSizeClass>(sc), component);
+        t.Row()
+            .Cell(trace::RegionName(static_cast<trace::RegionId>(r)))
+            .Cell(std::string(trace::PoolSizeClassName(static_cast<trace::PoolSizeClass>(sc))))
+            .Cell(static_cast<uint64_t>(ecdf.size()))
+            .Cell(ecdf.Quantile(0.25), 4)
+            .Cell(ecdf.Quantile(0.50), 4)
+            .Cell(ecdf.Quantile(0.75), 4)
+            .Cell(ecdf.Quantile(0.95), 4)
+            .Cell(ecdf.Mean(), 4);
+      }
+    }
+    std::printf("(%c) %s (s)\n%s\n", 'a' + c, analysis::ComponentName(component),
+                t.Render().c_str());
+  }
+
+  TextTable ratio({"region", "large/small median cold-start ratio"});
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    const double small = analysis::PoolSizeDistribution(
+                             store, r, trace::PoolSizeClass::kSmall,
+                             analysis::ColdStartComponent::kTotal)
+                             .Quantile(0.5);
+    const double large = analysis::PoolSizeDistribution(
+                             store, r, trace::PoolSizeClass::kLarge,
+                             analysis::ColdStartComponent::kTotal)
+                             .Quantile(0.5);
+    ratio.Row()
+        .Cell(trace::RegionName(static_cast<trace::RegionId>(r)))
+        .Cell(small > 0 ? large / small : 0.0, 2);
+  }
+  std::printf("%s(paper: between ~1:1 and ~5:1)\n", ratio.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 14: total requests per function vs number of cold starts, colored by
+// trigger type (Region 2).
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 14", "requests vs cold starts per function (R2)",
+      "infrequently invoked functions sit on the 1-request=1-cold-start diagonal, "
+      "mostly timers; functions above ~1 request/min fall below the diagonal thanks "
+      "to the 60s keep-alive");
+  const auto result = bench::LoadPaperTrace();
+
+  const auto entries = analysis::ComputeRequestsVsColdStarts(result.store, /*region=*/1);
+  const double days = static_cast<double>(result.store.horizon()) / kDay;
+
+  // Decade-binned summary of the scatter.
+  TextTable t({"total requests decade", "functions", "median cs/request", "frac on diagonal",
+               "timer frac of diagonal"});
+  for (int decade = 0; decade <= 6; ++decade) {
+    const double lo = std::pow(10.0, decade);
+    const double hi = std::pow(10.0, decade + 1);
+    stats::Ecdf ratio;
+    size_t n = 0, diagonal = 0, diagonal_timers = 0;
+    for (const auto& e : entries) {
+      const double req = static_cast<double>(e.total_requests);
+      if (req < lo || req >= hi) {
+        continue;
+      }
+      ++n;
+      ratio.Add(static_cast<double>(e.cold_starts) / req);
+      if (e.cold_starts >= e.total_requests * 95 / 100) {
+        ++diagonal;
+        if (e.trigger == trace::TriggerGroup::kTimerA) {
+          ++diagonal_timers;
+        }
+      }
+    }
+    ratio.Seal();
+    if (n == 0) {
+      continue;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "[1e%d, 1e%d)", decade, decade + 1);
+    t.Row()
+        .Cell(std::string(label))
+        .Cell(static_cast<uint64_t>(n))
+        .Cell(ratio.Quantile(0.5), 3)
+        .Cell(static_cast<double>(diagonal) / static_cast<double>(n), 3)
+        .Cell(diagonal > 0 ? static_cast<double>(diagonal_timers) /
+                                 static_cast<double>(diagonal)
+                           : 0.0,
+              3);
+  }
+  std::printf("%s\n", t.Render().c_str());
+
+  // The keep-alive knee: compare cs/request above and below 1 request/minute.
+  stats::Ecdf below_knee, above_knee;
+  for (const auto& e : entries) {
+    const double per_day = static_cast<double>(e.total_requests) / days;
+    const double ratio = static_cast<double>(e.cold_starts) /
+                         static_cast<double>(e.total_requests);
+    if (per_day >= 1440) {
+      above_knee.Add(ratio);
+    } else if (per_day <= 144) {
+      below_knee.Add(ratio);
+    }
+  }
+  below_knee.Seal();
+  above_knee.Seal();
+  std::printf("median cold-starts-per-request: rare functions (<=1/10min): %.3f, hot "
+              "functions (>=1/min): %.3f (paper: hot functions fall well below 1)\n",
+              below_knee.Quantile(0.5), above_knee.Quantile(0.5));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 15: cold-start time and component CDFs by runtime language (Region 2).
+#include "bench/bench_util.h"
+
+using namespace coldstart;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 15", "cold starts by runtime (R2)",
+      "http cold starts dominated by pod allocation, Node.js by scheduling, Go by "
+      "code+dependency deploys; scheduling is the largest component on average; most "
+      "runtimes have sub-second medians with long tails, but Custom and http have "
+      "medians > 10s");
+  const auto result = bench::LoadPaperTrace();
+  const auto& store = result.store;
+
+  const char* letters = "abcde";
+  for (int c = 0; c < analysis::kNumColdStartComponents; ++c) {
+    const auto component = static_cast<analysis::ColdStartComponent>(c);
+    TextTable t(analysis::QuantileHeaders(std::string(analysis::ComponentName(component)) +
+                                          " (s)"));
+    for (int rt = 0; rt < trace::kNumRuntimes; ++rt) {
+      const auto ecdf = analysis::ComponentCdfByRuntime(store, /*region=*/1, rt, component);
+      if (ecdf.empty()) {
+        continue;
+      }
+      analysis::AddQuantileRow(t, trace::RuntimeName(static_cast<trace::Runtime>(rt)), ecdf);
+    }
+    analysis::AddQuantileRow(t, "all",
+                             analysis::ComponentCdfByRuntime(store, 1, -1, component));
+    std::printf("(%c) %s\n%s\n", letters[c], analysis::ComponentName(component),
+                t.Render().c_str());
+  }
+
+  // Per-runtime dominant component (medians).
+  TextTable dom({"runtime", "median alloc", "median code", "median dep", "median sched",
+                 "dominant"});
+  for (int rt = 0; rt < trace::kNumRuntimes; ++rt) {
+    const double alloc =
+        analysis::ComponentCdfByRuntime(store, 1, rt, analysis::ColdStartComponent::kPodAlloc)
+            .Quantile(0.5);
+    const double code =
+        analysis::ComponentCdfByRuntime(store, 1, rt, analysis::ColdStartComponent::kDeployCode)
+            .Quantile(0.5);
+    const double dep =
+        analysis::ComponentCdfByRuntime(store, 1, rt, analysis::ColdStartComponent::kDeployDep)
+            .Quantile(0.5);
+    const double sched =
+        analysis::ComponentCdfByRuntime(store, 1, rt, analysis::ColdStartComponent::kScheduling)
+            .Quantile(0.5);
+    if (alloc + code + dep + sched <= 0) {
+      continue;
+    }
+    const double values[4] = {alloc, code, dep, sched};
+    const char* names[4] = {"alloc", "code", "dep", "sched"};
+    int best = 0;
+    for (int i = 1; i < 4; ++i) {
+      if (values[i] > values[best]) {
+        best = i;
+      }
+    }
+    dom.Row()
+        .Cell(trace::RuntimeName(static_cast<trace::Runtime>(rt)))
+        .Cell(alloc, 4)
+        .Cell(code, 4)
+        .Cell(dep, 4)
+        .Cell(sched, 4)
+        .Cell(std::string(names[best]));
+  }
+  std::printf("%s", dom.Render().c_str());
+  return 0;
+}

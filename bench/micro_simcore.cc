@@ -1,0 +1,74 @@
+// Micro-benchmarks of the simulator hot paths (google-benchmark): event queue
+// throughput, staged pool acquisition, and the cold-start pipeline.
+#include <benchmark/benchmark.h>
+
+#include "platform/coldstart_pipeline.h"
+#include "platform/resource_pool.h"
+#include "sim/simulator.h"
+#include "workload/population.h"
+
+using namespace coldstart;
+
+static void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int64_t counter = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAt(i * 10, [&counter] { ++counter; });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+static void BM_PoolAcquireRelease(benchmark::State& state) {
+  platform::ResourcePool pool(32, 4.0);
+  Rng rng(7);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += kSecond;
+    const auto acq = pool.Acquire(now, rng);
+    benchmark::DoNotOptimize(acq.stage);
+    pool.Release(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAcquireRelease);
+
+static void BM_ColdStartPipeline(benchmark::State& state) {
+  const auto& profiles = workload::DefaultRegionProfiles();
+  const workload::Calendar calendar;
+  platform::ColdStartPipeline pipeline(profiles[0], calendar);
+  platform::ResourcePool pool(32, 4.0);
+  platform::RegionLoadState load;
+  load.active_cold_starts = 5;
+  load.active_code_deploys = 5;
+  load.active_dep_deploys = 2;
+  workload::FunctionSpec spec;
+  spec.code_size_kb = 2048;
+  spec.dep_size_kb = 8192;
+  Rng rng(11);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += kSecond;
+    const auto comp = pipeline.Compute(spec, pool, load, now, rng);
+    benchmark::DoNotOptimize(comp.total());
+    pool.Release(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColdStartPipeline);
+
+static void BM_PopulationGeneration(benchmark::State& state) {
+  const auto& profiles = workload::DefaultRegionProfiles();
+  for (auto _ : state) {
+    const auto pop = workload::GeneratePopulation(profiles, 42);
+    benchmark::DoNotOptimize(pop.functions.size());
+  }
+}
+BENCHMARK(BM_PopulationGeneration);
+
+BENCHMARK_MAIN();

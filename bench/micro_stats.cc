@@ -1,0 +1,80 @@
+// Micro-benchmarks of the statistics kernels (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "stats/correlation.h"
+#include "stats/distributions.h"
+#include "stats/ecdf.h"
+#include "stats/fitting.h"
+#include "stats/timeseries.h"
+
+using namespace coldstart;
+
+namespace {
+
+std::vector<double> LogNormalSamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const stats::LogNormalParams p{0.0, 1.0};
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = p.Sample(rng);
+  }
+  return v;
+}
+
+}  // namespace
+
+static void BM_EcdfBuildQuery(benchmark::State& state) {
+  const auto samples = LogNormalSamples(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    stats::Ecdf ecdf(samples);
+    benchmark::DoNotOptimize(ecdf.Quantile(0.99));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EcdfBuildQuery)->Arg(1024)->Arg(262144);
+
+static void BM_SpearmanCorrelation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto x = LogNormalSamples(n, 5);
+  const auto y = LogNormalSamples(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SpearmanCorrelation(x, y).rho);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpearmanCorrelation)->Arg(1024)->Arg(44640);
+
+static void BM_WeibullMleFit(benchmark::State& state) {
+  Rng rng(9);
+  const stats::WeibullParams p{0.7, 1.5};
+  std::vector<double> samples(static_cast<size_t>(state.range(0)));
+  for (auto& x : samples) {
+    x = p.Sample(rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::FitWeibullMle(samples).shape);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WeibullMleFit)->Arg(4096)->Arg(65536);
+
+static void BM_MovingAverage(benchmark::State& state) {
+  const auto series = LogNormalSamples(44640, 13);  // A month of minutes.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::MovingAverage(series, 61).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 44640);
+}
+BENCHMARK(BM_MovingAverage);
+
+static void BM_LogNormalSampling(benchmark::State& state) {
+  Rng rng(17);
+  const stats::LogNormalParams p{1.0, 0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogNormalSampling);
+
+BENCHMARK_MAIN();

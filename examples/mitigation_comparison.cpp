@@ -1,0 +1,93 @@
+// Mitigation comparison: evaluates the paper's §5 optimization directions against the
+// production baseline on one scenario, combining several policies via CompositePolicy.
+//
+// Usage: mitigation_comparison [days] [scale]
+#include <cstdio>
+#include <memory>
+#include <numeric>
+
+#include "core/coldstart_lab.h"
+
+using namespace coldstart;
+
+namespace {
+
+struct Row {
+  std::string name;
+  int64_t cold_starts = 0;
+  double p50 = 0, p99 = 0;
+  int64_t prewarms = 0;
+  double pod_hours = 0;
+};
+
+Row Evaluate(const std::string& name, const core::ScenarioConfig& config,
+             platform::PlatformPolicy* policy) {
+  core::Experiment experiment(config);
+  const auto result = experiment.Run(policy);
+  Row row;
+  row.name = name;
+  row.cold_starts = std::accumulate(result.visible_cold_starts.begin(),
+                                    result.visible_cold_starts.end(), int64_t{0});
+  row.prewarms = std::accumulate(result.prewarm_spawns.begin(),
+                                 result.prewarm_spawns.end(), int64_t{0});
+  const auto cdfs = analysis::ColdStartTimeCdfs(result.store);
+  row.p50 = cdfs.back().Quantile(0.5);
+  row.p99 = cdfs.back().Quantile(0.99);
+  for (const auto& p : result.store.pods()) {
+    row.pod_hours += ToSeconds(p.death_time - p.cold_start_begin) / 3600.0;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ScenarioConfig config;
+  config.days = argc > 1 ? std::atoi(argv[1]) : 7;
+  config.scale = argc > 2 ? std::atof(argv[2]) : 0.4;
+  config.record_requests = false;
+  std::printf("Comparing mitigation policies on %d days at %.2fx scale...\n\n",
+              config.days, config.scale);
+
+  std::vector<Row> rows;
+  rows.push_back(Evaluate("baseline (production defaults)", config, nullptr));
+  {
+    policy::TimerAwarePrewarmPolicy p;
+    rows.push_back(Evaluate("timer-aware prewarm", config, &p));
+  }
+  {
+    policy::DynamicKeepAlivePolicy p;
+    rows.push_back(Evaluate("dynamic keep-alive", config, &p));
+  }
+  {
+    policy::PoolPredictionPolicy p;
+    rows.push_back(Evaluate("pool prediction (seasonal)", config, &p));
+  }
+  {
+    policy::CompositePolicy combo;
+    combo.Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
+        .Add(std::make_unique<policy::DynamicKeepAlivePolicy>())
+        .Add(std::make_unique<policy::WorkflowPrewarmPolicy>())
+        .Add(std::make_unique<policy::PeakShavingPolicy>());
+    rows.push_back(Evaluate("composite (all of the above)", config, &combo));
+  }
+
+  TextTable t({"policy", "cold starts", "p50 (s)", "p99 (s)", "prewarms", "pod-hours",
+               "cold starts vs baseline"});
+  const double baseline = static_cast<double>(rows[0].cold_starts);
+  for (const auto& r : rows) {
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.1f%%",
+                  100.0 * (static_cast<double>(r.cold_starts) / baseline - 1.0));
+    t.Row()
+        .Cell(r.name)
+        .Cell(r.cold_starts)
+        .Cell(r.p50, 3)
+        .Cell(r.p99, 2)
+        .Cell(r.prewarms)
+        .Cell(r.pod_hours, 1)
+        .Cell(std::string(delta));
+  }
+  std::printf("%s", t.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Multi-region cold-start study: the paper's §4 analysis pipeline end to end.
+//
+// Runs the full 5-region scenario (cached), then walks through the cross-region
+// comparison: cold-start distributions, dominant components, component correlations,
+// and the small/large pool contrast.
+//
+// Usage: multi_region_study [cache_dir]
+#include <cstdio>
+
+#include "core/coldstart_lab.h"
+
+using namespace coldstart;
+
+int main(int argc, char** argv) {
+  const std::string cache_dir =
+      argc > 1 ? argv[1] : core::Experiment::DefaultCacheDir();
+  core::Experiment experiment(core::PaperScenario());
+  const core::ExperimentResult result = experiment.RunCached(cache_dir);
+  const auto& store = result.store;
+  std::printf("Loaded %zu cold starts across %d regions%s.\n\n",
+              store.cold_starts().size(), trace::kNumRegions,
+              result.from_cache ? " (cached)" : "");
+
+  // 1. Cold-start time distributions by region (Fig. 10a).
+  TextTable dist(analysis::QuantileHeaders("cold start (s)"));
+  const auto cdfs = analysis::ColdStartTimeCdfs(store);
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    analysis::AddQuantileRow(dist, trace::RegionName(static_cast<trace::RegionId>(r)),
+                             cdfs[static_cast<size_t>(r)]);
+  }
+  std::printf("Cold-start time by region:\n%s\n", dist.Render().c_str());
+
+  // 2. Dominant components (Fig. 11's cross-region contrast).
+  TextTable comp({"region", "mean alloc (s)", "mean code", "mean dep", "mean sched",
+                  "dominant component"});
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    double alloc = 0, code = 0, dep = 0, sched = 0;
+    size_t n = 0;
+    for (const auto& c : store.cold_starts()) {
+      if (c.region != r) {
+        continue;
+      }
+      alloc += ToSeconds(c.pod_alloc_us);
+      code += ToSeconds(c.deploy_code_us);
+      dep += ToSeconds(c.deploy_dep_us);
+      sched += ToSeconds(c.scheduling_us);
+      ++n;
+    }
+    if (n == 0) {
+      continue;
+    }
+    const double vals[4] = {alloc / n, code / n, dep / n, sched / n};
+    const char* names[4] = {"pod allocation", "code deploy", "dependency deploy",
+                            "scheduling"};
+    int best = 0;
+    for (int i = 1; i < 4; ++i) {
+      if (vals[i] > vals[best]) {
+        best = i;
+      }
+    }
+    comp.Row()
+        .Cell(trace::RegionName(static_cast<trace::RegionId>(r)))
+        .Cell(vals[0], 3)
+        .Cell(vals[1], 3)
+        .Cell(vals[2], 3)
+        .Cell(vals[3], 3)
+        .Cell(std::string(names[best]));
+  }
+  std::printf("Component means by region:\n%s\n", comp.Render().c_str());
+
+  // 3. Which component tracks demand? (Fig. 12's strongest couplings.)
+  std::printf("Strongest total<->component coupling per region (Spearman):\n");
+  const auto& names = analysis::CorrelationVarNames();
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    const auto m = analysis::ComponentCorrelationMatrix(store, r);
+    int best = 1;
+    for (int j = 2; j <= 4; ++j) {
+      if (m[0][static_cast<size_t>(j)].rho > m[0][static_cast<size_t>(best)].rho) {
+        best = j;
+      }
+    }
+    std::printf("  %s: %s (rho=%.2f)\n",
+                trace::RegionName(static_cast<trace::RegionId>(r)).c_str(),
+                names[static_cast<size_t>(best)].c_str(),
+                m[0][static_cast<size_t>(best)].rho);
+  }
+
+  // 4. Small vs large pools (Fig. 13).
+  std::printf("\nLarge/small median cold-start ratio per region:\n");
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    const double small = analysis::PoolSizeDistribution(
+                             store, r, trace::PoolSizeClass::kSmall,
+                             analysis::ColdStartComponent::kTotal)
+                             .Quantile(0.5);
+    const double large = analysis::PoolSizeDistribution(
+                             store, r, trace::PoolSizeClass::kLarge,
+                             analysis::ColdStartComponent::kTotal)
+                             .Quantile(0.5);
+    std::printf("  %s: %.2f\n", trace::RegionName(static_cast<trace::RegionId>(r)).c_str(),
+                small > 0 ? large / small : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: simulate a small multi-region scenario and print the basic cold-start
+// picture. This is the 5-minute tour of the public API: configure a scenario, run the
+// experiment, and query the analysis layer.
+//
+// Usage: quickstart [days] [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/coldstart_lab.h"
+
+using namespace coldstart;
+
+int main(int argc, char** argv) {
+  core::ScenarioConfig config = core::SmallScenario();
+  if (argc > 1) {
+    config.days = std::atoi(argv[1]);
+  }
+  if (argc > 2) {
+    config.scale = std::atof(argv[2]);
+  }
+
+  std::printf("Simulating %d days at %.2fx scale (seed %llu)...\n", config.days,
+              config.scale, static_cast<unsigned long long>(config.seed));
+  core::Experiment experiment(config);
+  const core::ExperimentResult result = experiment.Run();
+
+  std::printf("Done: %llu events in %.2fs wall time.\n\n",
+              static_cast<unsigned long long>(result.events_processed),
+              result.sim_wall_seconds);
+
+  // Region overview (Figure 1's axes).
+  TextTable overview({"region", "functions", "users", "requests", "pods", "cold starts"});
+  for (const auto& s : analysis::ComputeRegionSizes(result.store)) {
+    overview.Row()
+        .Cell(trace::RegionName(s.region))
+        .Cell(s.functions)
+        .Cell(s.users)
+        .Cell(s.requests)
+        .Cell(s.pods)
+        .Cell(s.cold_starts);
+  }
+  std::printf("%s\n", overview.Render().c_str());
+
+  // Cold-start time distributions per region (Figure 10a).
+  TextTable cs(analysis::QuantileHeaders("cold start time (s)"));
+  const auto cdfs = analysis::ColdStartTimeCdfs(result.store);
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    analysis::AddQuantileRow(cs, trace::RegionName(static_cast<trace::RegionId>(r)),
+                             cdfs[static_cast<size_t>(r)]);
+  }
+  analysis::AddQuantileRow(cs, "all", cdfs.back());
+  std::printf("%s\n", cs.Render().c_str());
+
+  // Where do cold starts come from? (Figure 8e, region 2.)
+  const auto shares =
+      analysis::ComputeGroupShares(result.store, /*region=*/1, analysis::GroupAxis::kRuntime);
+  TextTable rt({"runtime (R2)", "share of pods", "share of cold starts", "share of functions"});
+  for (int k = 0; k < trace::kNumRuntimes; ++k) {
+    rt.Row()
+        .Cell(analysis::KeyName(analysis::GroupAxis::kRuntime, k))
+        .Cell(shares.pods[static_cast<size_t>(k)], 3)
+        .Cell(shares.cold_starts[static_cast<size_t>(k)], 3)
+        .Cell(shares.functions[static_cast<size_t>(k)], 3);
+  }
+  std::printf("%s", rt.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "analysis/components.h"
+
+namespace coldstart::analysis {
+
+trace::ComponentSeries HourlyComponents(const trace::TraceStore& store, int region) {
+  return trace::ColdStartComponentSeries(store, region, kHour);
+}
+
+const std::array<std::string, kNumCorrelationVars>& CorrelationVarNames() {
+  static const std::array<std::string, kNumCorrelationVars> kNames = {
+      "cold start time", "deploy code time", "deploy dep. time",
+      "scheduling time", "pod alloc. time",  "num. cold starts",
+  };
+  return kNames;
+}
+
+std::vector<std::vector<stats::CorrelationResult>> ComponentCorrelationMatrix(
+    const trace::TraceStore& store, int region) {
+  const trace::ComponentSeries s = trace::ColdStartComponentSeries(store, region, kMinute);
+  std::vector<std::vector<double>> vars(kNumCorrelationVars);
+  for (size_t i = 0; i < s.count.size(); ++i) {
+    if (s.count[i] <= 0) {
+      continue;  // No cold starts this minute: component means are undefined.
+    }
+    vars[0].push_back(s.total[i]);
+    vars[1].push_back(s.deploy_code[i]);
+    vars[2].push_back(s.deploy_dep[i]);
+    vars[3].push_back(s.scheduling[i]);
+    vars[4].push_back(s.pod_alloc[i]);
+    vars[5].push_back(s.count[i]);
+  }
+  return stats::SpearmanMatrix(vars);
+}
+
+}  // namespace coldstart::analysis

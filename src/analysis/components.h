@@ -1,0 +1,31 @@
+// Cold-start component analysis over time (Figure 11) and component correlation
+// matrices (Figure 12).
+#ifndef COLDSTART_ANALYSIS_COMPONENTS_H_
+#define COLDSTART_ANALYSIS_COMPONENTS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "stats/correlation.h"
+#include "trace/aggregate.h"
+
+namespace coldstart::analysis {
+
+// Fig. 11: hourly component means + cold-start counts for one region.
+trace::ComponentSeries HourlyComponents(const trace::TraceStore& store, int region);
+
+// Labels for the 6x6 correlation matrix rows/columns, in order: cold start time,
+// deploy code, deploy dep, scheduling, pod alloc, number of cold starts.
+inline constexpr int kNumCorrelationVars = 6;
+const std::array<std::string, kNumCorrelationVars>& CorrelationVarNames();
+
+// Fig. 12: Spearman correlations between per-minute component means and the
+// per-minute cold-start count. Minutes with zero cold starts are excluded (their
+// component means are undefined).
+std::vector<std::vector<stats::CorrelationResult>> ComponentCorrelationMatrix(
+    const trace::TraceStore& store, int region);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_COMPONENTS_H_

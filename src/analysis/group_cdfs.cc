@@ -1,0 +1,87 @@
+#include "analysis/group_cdfs.h"
+
+#include "trace/aggregate.h"
+
+namespace coldstart::analysis {
+
+namespace {
+
+uint32_t ComponentValueUs(const trace::ColdStartRecord& c, ColdStartComponent component) {
+  switch (component) {
+    case ColdStartComponent::kTotal:
+      return c.cold_start_us;
+    case ColdStartComponent::kPodAlloc:
+      return c.pod_alloc_us;
+    case ColdStartComponent::kDeployCode:
+      return c.deploy_code_us;
+    case ColdStartComponent::kDeployDep:
+      return c.deploy_dep_us;
+    case ColdStartComponent::kScheduling:
+      return c.scheduling_us;
+  }
+  return 0;
+}
+
+template <typename KeyMatcher>
+stats::Ecdf ComponentCdf(const trace::TraceStore& store, int region,
+                         ColdStartComponent component, const KeyMatcher& matches) {
+  stats::Ecdf ecdf;
+  for (const auto& c : store.cold_starts()) {
+    if (region >= 0 && static_cast<int>(c.region) != region) {
+      continue;
+    }
+    if (!matches(store.function(c.function_id))) {
+      continue;
+    }
+    const uint32_t v = ComponentValueUs(c, component);
+    if (component == ColdStartComponent::kDeployDep && v == 0) {
+      continue;
+    }
+    ecdf.Add(ToSeconds(v));
+  }
+  ecdf.Seal();
+  return ecdf;
+}
+
+}  // namespace
+
+stats::Ecdf ComponentCdfByRuntime(const trace::TraceStore& store, int region,
+                                  int runtime, ColdStartComponent component) {
+  return ComponentCdf(store, region, component, [runtime](const trace::FunctionRecord& f) {
+    return runtime < 0 || static_cast<int>(f.runtime) == runtime;
+  });
+}
+
+stats::Ecdf ComponentCdfByTrigger(const trace::TraceStore& store, int region,
+                                  int trigger_group, ColdStartComponent component) {
+  return ComponentCdf(store, region, component,
+                      [trigger_group](const trace::FunctionRecord& f) {
+                        return trigger_group < 0 ||
+                               static_cast<int>(trace::GroupOf(f.primary_trigger)) ==
+                                   trigger_group;
+                      });
+}
+
+std::vector<RequestsVsColdStarts> ComputeRequestsVsColdStarts(
+    const trace::TraceStore& store, int region) {
+  const auto requests = trace::RequestsPerFunction(store);
+  const auto cold_starts = trace::ColdStartsPerFunction(store);
+  std::vector<RequestsVsColdStarts> out;
+  for (const auto& f : store.functions()) {
+    if (region >= 0 && static_cast<int>(f.region) != region) {
+      continue;
+    }
+    if (requests[f.function_id] == 0) {
+      continue;
+    }
+    RequestsVsColdStarts e;
+    e.function = f.function_id;
+    e.trigger = trace::GroupOf(f.primary_trigger);
+    e.total_requests = requests[f.function_id];
+    e.cold_starts = cold_starts[f.function_id];
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace coldstart::analysis

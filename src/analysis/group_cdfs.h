@@ -1,0 +1,35 @@
+// Cold-start time and component CDFs grouped by runtime (Figure 15) and by trigger
+// type (Figure 16), plus the Figure 14 requests-vs-cold-starts scatter.
+#ifndef COLDSTART_ANALYSIS_GROUP_CDFS_H_
+#define COLDSTART_ANALYSIS_GROUP_CDFS_H_
+
+#include <vector>
+
+#include "analysis/pool_size.h"
+#include "stats/ecdf.h"
+#include "trace/trace_store.h"
+
+namespace coldstart::analysis {
+
+// Cold-start component CDF for one runtime in one region (runtime = -1 for 'all').
+// For kDeployDep, zeros are excluded (consistent with Figs. 15d/16d axes).
+stats::Ecdf ComponentCdfByRuntime(const trace::TraceStore& store, int region,
+                                  int runtime, ColdStartComponent component);
+
+// Same, grouped by trigger group (trigger_group = -1 for 'all').
+stats::Ecdf ComponentCdfByTrigger(const trace::TraceStore& store, int region,
+                                  int trigger_group, ColdStartComponent component);
+
+// Fig. 14: one point per function with >= 1 request.
+struct RequestsVsColdStarts {
+  trace::FunctionId function = 0;
+  trace::TriggerGroup trigger = trace::TriggerGroup::kUnknown;
+  uint64_t total_requests = 0;
+  uint64_t cold_starts = 0;
+};
+std::vector<RequestsVsColdStarts> ComputeRequestsVsColdStarts(
+    const trace::TraceStore& store, int region);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_GROUP_CDFS_H_

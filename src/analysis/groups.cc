@@ -1,0 +1,140 @@
+#include "analysis/groups.h"
+
+#include "common/check.h"
+#include "trace/aggregate.h"
+
+namespace coldstart::analysis {
+
+int NumKeys(GroupAxis axis) {
+  switch (axis) {
+    case GroupAxis::kTrigger:
+      return trace::kNumTriggerGroups;
+    case GroupAxis::kRuntime:
+      return trace::kNumRuntimes;
+    case GroupAxis::kConfig:
+      return trace::kNumConfigGroups;
+  }
+  return 0;
+}
+
+std::string KeyName(GroupAxis axis, int key) {
+  switch (axis) {
+    case GroupAxis::kTrigger:
+      return trace::TriggerGroupName(static_cast<trace::TriggerGroup>(key));
+    case GroupAxis::kRuntime:
+      return trace::RuntimeName(static_cast<trace::Runtime>(key));
+    case GroupAxis::kConfig:
+      return trace::ConfigGroupName(static_cast<trace::ConfigGroup>(key));
+  }
+  return "invalid";
+}
+
+int KeyOfFunction(GroupAxis axis, const trace::FunctionRecord& f) {
+  switch (axis) {
+    case GroupAxis::kTrigger:
+      return static_cast<int>(trace::GroupOf(f.primary_trigger));
+    case GroupAxis::kRuntime:
+      return static_cast<int>(f.runtime);
+    case GroupAxis::kConfig:
+      return static_cast<int>(trace::ConfigGroupOf(f.config));
+  }
+  return -1;
+}
+
+std::vector<std::vector<double>> RunningPodsByGroup(const trace::TraceStore& store,
+                                                    int region, GroupAxis axis) {
+  const int keys = NumKeys(axis);
+  return trace::RunningPodsSeries(
+      store, region, kHour, keys, [&store, axis](const trace::PodLifetimeRecord& p) {
+        if (axis == GroupAxis::kConfig) {
+          // Pods carry their own configuration (prewarm pools could differ from the
+          // function record in future policies).
+          return static_cast<int>(trace::ConfigGroupOf(p.config));
+        }
+        return KeyOfFunction(axis, store.function(p.function_id));
+      });
+}
+
+GroupShares ComputeGroupShares(const trace::TraceStore& store, int region,
+                               GroupAxis axis) {
+  const int keys = NumKeys(axis);
+  GroupShares shares;
+  shares.pods.assign(static_cast<size_t>(keys), 0.0);
+  shares.cold_starts.assign(static_cast<size_t>(keys), 0.0);
+  shares.functions.assign(static_cast<size_t>(keys), 0.0);
+
+  // Pod share: mean number of active pods ~ integral of pod lifetime per group.
+  for (const auto& p : store.pods()) {
+    if (region >= 0 && static_cast<int>(p.region) != region) {
+      continue;
+    }
+    const int key = axis == GroupAxis::kConfig
+                        ? static_cast<int>(trace::ConfigGroupOf(p.config))
+                        : KeyOfFunction(axis, store.function(p.function_id));
+    COLDSTART_CHECK_GE(key, 0);
+    const double lifetime =
+        static_cast<double>(std::max<SimTime>(0, p.death_time - p.cold_start_begin));
+    shares.pods[static_cast<size_t>(key)] += lifetime;
+  }
+  for (const auto& c : store.cold_starts()) {
+    if (region >= 0 && static_cast<int>(c.region) != region) {
+      continue;
+    }
+    const auto& f = store.function(c.function_id);
+    const int key = axis == GroupAxis::kConfig
+                        ? static_cast<int>(trace::ConfigGroupOf(f.config))
+                        : KeyOfFunction(axis, f);
+    shares.cold_starts[static_cast<size_t>(key)] += 1.0;
+  }
+  for (const auto& f : store.functions()) {
+    if (region >= 0 && static_cast<int>(f.region) != region) {
+      continue;
+    }
+    const int key = KeyOfFunction(axis, f);
+    shares.functions[static_cast<size_t>(key)] += 1.0;
+  }
+
+  auto normalize = [](std::vector<double>& v) {
+    double total = 0;
+    for (const double x : v) {
+      total += x;
+    }
+    if (total > 0) {
+      for (double& x : v) {
+        x /= total;
+      }
+    }
+  };
+  normalize(shares.pods);
+  normalize(shares.cold_starts);
+  normalize(shares.functions);
+  return shares;
+}
+
+std::vector<std::vector<double>> TriggerMixByRuntime(const trace::TraceStore& store,
+                                                     int region) {
+  std::vector<std::vector<double>> mix(
+      trace::kNumRuntimes, std::vector<double>(trace::kNumTriggerGroups, 0.0));
+  for (const auto& f : store.functions()) {
+    if (region >= 0 && static_cast<int>(f.region) != region) {
+      continue;
+    }
+    const int rt = static_cast<int>(f.runtime);
+    const int tg = static_cast<int>(trace::GroupOf(f.primary_trigger));
+    mix[static_cast<size_t>(rt)][static_cast<size_t>(tg)] += 1.0;
+  }
+  for (auto& row : mix) {
+    double total = 0;
+    for (const double v : row) {
+      total += v;
+    }
+    if (total > 0) {
+      for (double& v : row) {
+        v /= total;
+      }
+    }
+  }
+  return mix;
+}
+
+}  // namespace coldstart::analysis

@@ -1,0 +1,42 @@
+// Group breakdowns by trigger type, runtime, and resource configuration
+// (Figures 8 and 9).
+#ifndef COLDSTART_ANALYSIS_GROUPS_H_
+#define COLDSTART_ANALYSIS_GROUPS_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_store.h"
+
+namespace coldstart::analysis {
+
+// The grouping axes of Figure 8's columns.
+enum class GroupAxis { kTrigger, kRuntime, kConfig };
+
+int NumKeys(GroupAxis axis);
+std::string KeyName(GroupAxis axis, int key);
+// Key of a function along an axis.
+int KeyOfFunction(GroupAxis axis, const trace::FunctionRecord& f);
+
+// Fig. 8a-c: hourly running pods per group key, [key][hour].
+std::vector<std::vector<double>> RunningPodsByGroup(const trace::TraceStore& store,
+                                                    int region, GroupAxis axis);
+
+// Fig. 8d-f: for each key, the share of running pods (mean active pods), cold starts
+// (newly started pods), and functions. Each column sums to 1 (when non-empty).
+struct GroupShares {
+  std::vector<double> pods;
+  std::vector<double> cold_starts;
+  std::vector<double> functions;
+};
+GroupShares ComputeGroupShares(const trace::TraceStore& store, int region,
+                               GroupAxis axis);
+
+// Fig. 9: trigger-group mix per runtime, [runtime][trigger_group], each row summing
+// to 1 over functions of that runtime (empty runtimes yield zero rows).
+std::vector<std::vector<double>> TriggerMixByRuntime(const trace::TraceStore& store,
+                                                     int region);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_GROUPS_H_

@@ -1,0 +1,73 @@
+#include "analysis/holiday.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "trace/aggregate.h"
+
+namespace coldstart::analysis {
+
+namespace {
+
+// Daily means from an hourly series over [first_day, last_day].
+std::vector<double> DailyMeans(const std::vector<double>& hourly, int first_day,
+                               int last_day) {
+  std::vector<double> out;
+  for (int day = first_day; day <= last_day; ++day) {
+    double sum = 0;
+    int n = 0;
+    for (int h = day * 24; h < (day + 1) * 24; ++h) {
+      if (h >= 0 && static_cast<size_t>(h) < hourly.size()) {
+        sum += hourly[static_cast<size_t>(h)];
+        ++n;
+      }
+    }
+    out.push_back(n > 0 ? sum / n : 0.0);
+  }
+  return out;
+}
+
+void NormalizeToPreHolidayMax(std::vector<double>& daily, int first_day,
+                              int holiday_first_day) {
+  double mx = 0;
+  for (size_t i = 0; i < daily.size(); ++i) {
+    const int day = first_day + static_cast<int>(i);
+    if (day < holiday_first_day) {
+      mx = std::max(mx, daily[i]);
+    }
+  }
+  if (mx <= 0) {
+    return;
+  }
+  for (auto& v : daily) {
+    v /= mx;
+  }
+}
+
+}  // namespace
+
+std::vector<HolidaySeries> ComputeHolidayEffect(const trace::TraceStore& store,
+                                                int first_day, int last_day,
+                                                int holiday_first_day) {
+  COLDSTART_CHECK_LE(first_day, last_day);
+  std::vector<HolidaySeries> out;
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    HolidaySeries s;
+    s.region = static_cast<trace::RegionId>(r);
+    s.window_first_day = first_day;
+
+    const auto pods_hourly = trace::RunningPodsSeries(
+        store, r, kHour, 1, [](const trace::PodLifetimeRecord&) { return 0; });
+    s.pods_normalized = DailyMeans(pods_hourly[0], first_day, last_day);
+    NormalizeToPreHolidayMax(s.pods_normalized, first_day, holiday_first_day);
+
+    const auto cpu_hourly = trace::AllocatedCpuCoreSeries(store, r, kHour);
+    s.cpu_normalized = DailyMeans(cpu_hourly, first_day, last_day);
+    NormalizeToPreHolidayMax(s.cpu_normalized, first_day, holiday_first_day);
+
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace coldstart::analysis

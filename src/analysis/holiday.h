@@ -1,0 +1,28 @@
+// Holiday-effect analysis (Figure 7): per-day allocated pods and allocated CPU around
+// the holiday window, normalized to the pre-holiday maximum.
+#ifndef COLDSTART_ANALYSIS_HOLIDAY_H_
+#define COLDSTART_ANALYSIS_HOLIDAY_H_
+
+#include <vector>
+
+#include "trace/trace_store.h"
+
+namespace coldstart::analysis {
+
+struct HolidaySeries {
+  trace::RegionId region = 0;
+  // Index i = trace day window_first_day + i.
+  std::vector<double> pods_normalized;
+  std::vector<double> cpu_normalized;
+  int window_first_day = 0;
+};
+
+// Daily mean running pods and allocated CPU cores for days [first_day, last_day],
+// normalized to each series' maximum over the days before `holiday_first_day`.
+std::vector<HolidaySeries> ComputeHolidayEffect(const trace::TraceStore& store,
+                                                int first_day, int last_day,
+                                                int holiday_first_day);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_HOLIDAY_H_

@@ -1,0 +1,53 @@
+#include "analysis/peaks.h"
+
+#include "trace/aggregate.h"
+
+namespace coldstart::analysis {
+
+std::vector<RegionPeakSeries> ComputeRegionPeaks(const trace::TraceStore& store,
+                                                 int smooth_window) {
+  std::vector<RegionPeakSeries> out;
+  constexpr size_t kMinutesPerDay = 1440;
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    RegionPeakSeries s;
+    s.region = static_cast<trace::RegionId>(r);
+    const auto raw = trace::RequestCountSeries(store, r, kMinute);
+    s.normalized = stats::MinMaxNormalize(raw);
+    s.smoothed = stats::MovingAverage(s.normalized, smooth_window);
+    s.daily_peaks = stats::LargestPeakPerPeriod(s.smoothed, kMinutesPerDay);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<FunctionPeakTrough> ComputeFunctionPeakTrough(const trace::TraceStore& store,
+                                                          int smooth_window_hours) {
+  const auto per_function = trace::PerFunctionRequestSeries(store, kHour);
+  const auto cold_starts = trace::ColdStartsPerFunction(store);
+  const double days =
+      std::max<double>(1.0, static_cast<double>(store.horizon()) / static_cast<double>(kDay));
+
+  std::vector<FunctionPeakTrough> out;
+  for (const auto& f : store.functions()) {
+    const auto& series = per_function[f.function_id];
+    double total = 0;
+    for (const double v : series) {
+      total += v;
+    }
+    if (total <= 0) {
+      continue;
+    }
+    FunctionPeakTrough e;
+    e.function = f.function_id;
+    e.region = f.region;
+    e.trigger = trace::GroupOf(f.primary_trigger);
+    e.requests_per_day = total / days;
+    const auto smoothed = stats::MovingAverage(series, smooth_window_hours);
+    e.peak_to_trough = stats::PeakToTroughRatio(smoothed, /*floor=*/1.0);
+    e.cold_starts = cold_starts[f.function_id];
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace coldstart::analysis

@@ -1,0 +1,41 @@
+// Peak-time and peak-to-trough analysis (Figures 5 and 6).
+#ifndef COLDSTART_ANALYSIS_PEAKS_H_
+#define COLDSTART_ANALYSIS_PEAKS_H_
+
+#include <vector>
+
+#include "stats/timeseries.h"
+#include "trace/trace_store.h"
+
+namespace coldstart::analysis {
+
+struct RegionPeakSeries {
+  trace::RegionId region = 0;
+  std::vector<double> normalized;        // Per-minute requests, min-max normalized.
+  std::vector<double> smoothed;          // Same, after moving-average smoothing.
+  std::vector<stats::Peak> daily_peaks;  // Largest smoothed peak each day.
+};
+
+// Fig. 5: normalized per-minute request series + daily peaks, one entry per region.
+// `smooth_window` is in minutes (the paper detects peaks on a smoothed signal).
+std::vector<RegionPeakSeries> ComputeRegionPeaks(const trace::TraceStore& store,
+                                                 int smooth_window = 61);
+
+struct FunctionPeakTrough {
+  trace::FunctionId function = 0;
+  trace::RegionId region = 0;
+  trace::TriggerGroup trigger = trace::TriggerGroup::kUnknown;
+  double requests_per_day = 0;  // Mean over trace days.
+  double peak_to_trough = 1;    // On the smoothed hourly series.
+  uint64_t cold_starts = 0;
+};
+
+// Fig. 6: per-function peak-to-trough ratio vs. request volume and cold starts.
+// Functions with no requests are skipped. The trough floor is 1 request/bucket, as
+// functions with no identifiable peaks report a ratio of 1 (figure caption).
+std::vector<FunctionPeakTrough> ComputeFunctionPeakTrough(const trace::TraceStore& store,
+                                                          int smooth_window_hours = 3);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_PEAKS_H_

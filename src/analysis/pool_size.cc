@@ -1,0 +1,80 @@
+#include "analysis/pool_size.h"
+
+namespace coldstart::analysis {
+
+const char* ComponentName(ColdStartComponent c) {
+  switch (c) {
+    case ColdStartComponent::kTotal:
+      return "cold start time";
+    case ColdStartComponent::kPodAlloc:
+      return "pod alloc. time";
+    case ColdStartComponent::kDeployCode:
+      return "deploy code time";
+    case ColdStartComponent::kDeployDep:
+      return "deploy dep. time";
+    case ColdStartComponent::kScheduling:
+      return "scheduling time";
+  }
+  return "invalid";
+}
+
+namespace {
+
+uint32_t ComponentValueUs(const trace::ColdStartRecord& c, ColdStartComponent component) {
+  switch (component) {
+    case ColdStartComponent::kTotal:
+      return c.cold_start_us;
+    case ColdStartComponent::kPodAlloc:
+      return c.pod_alloc_us;
+    case ColdStartComponent::kDeployCode:
+      return c.deploy_code_us;
+    case ColdStartComponent::kDeployDep:
+      return c.deploy_dep_us;
+    case ColdStartComponent::kScheduling:
+      return c.scheduling_us;
+  }
+  return 0;
+}
+
+}  // namespace
+
+stats::Ecdf PoolSizeDistribution(const trace::TraceStore& store, int region,
+                                 trace::PoolSizeClass size_class,
+                                 ColdStartComponent component) {
+  stats::Ecdf ecdf;
+  for (const auto& c : store.cold_starts()) {
+    if (region >= 0 && static_cast<int>(c.region) != region) {
+      continue;
+    }
+    const auto& f = store.function(c.function_id);
+    if (trace::SizeClassOf(f.config) != size_class) {
+      continue;
+    }
+    const uint32_t v = ComponentValueUs(c, component);
+    if (component == ColdStartComponent::kDeployDep && v == 0) {
+      continue;  // Functions without layers are excluded from the dep plots.
+    }
+    ecdf.Add(ToSeconds(v));
+  }
+  ecdf.Seal();
+  return ecdf;
+}
+
+std::vector<PoolSizeSummary> ComputePoolSizeSummaries(const trace::TraceStore& store) {
+  std::vector<PoolSizeSummary> out;
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    for (int s = 0; s < 2; ++s) {
+      for (int c = 0; c < kNumColdStartComponents; ++c) {
+        PoolSizeSummary e;
+        e.region = static_cast<trace::RegionId>(r);
+        e.size_class = static_cast<trace::PoolSizeClass>(s);
+        e.component = static_cast<ColdStartComponent>(c);
+        e.stats = PoolSizeDistribution(store, r, e.size_class, e.component).Summary();
+        out.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace coldstart::analysis

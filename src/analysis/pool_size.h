@@ -1,0 +1,46 @@
+// Small- vs. large-pool cold-start distributions (Figure 13).
+//
+// The paper splits functions into small pods (<= 400 millicores and 256 MB) and large
+// pods (everything bigger) and shows violin plots of total cold-start time and each
+// component. We report the distribution summaries (quartiles + tails), which capture
+// the violin's shape, plus the per-stage allocation modes.
+#ifndef COLDSTART_ANALYSIS_POOL_SIZE_H_
+#define COLDSTART_ANALYSIS_POOL_SIZE_H_
+
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "trace/trace_store.h"
+
+namespace coldstart::analysis {
+
+enum class ColdStartComponent {
+  kTotal = 0,
+  kPodAlloc,
+  kDeployCode,
+  kDeployDep,
+  kScheduling,
+};
+inline constexpr int kNumColdStartComponents = 5;
+const char* ComponentName(ColdStartComponent c);
+
+// Cold-start samples (seconds) for one region, one size class, one component.
+// For kDeployDep, zero values (functions without layers) are excluded, matching the
+// figure ("deploy dependency time is zero and excluded from plots").
+stats::Ecdf PoolSizeDistribution(const trace::TraceStore& store, int region,
+                                 trace::PoolSizeClass size_class,
+                                 ColdStartComponent component);
+
+struct PoolSizeSummary {
+  trace::RegionId region = 0;
+  trace::PoolSizeClass size_class = trace::PoolSizeClass::kSmall;
+  ColdStartComponent component = ColdStartComponent::kTotal;
+  stats::SummaryStats stats;
+};
+
+// All (region x size class x component) summaries; the Fig. 13 grid.
+std::vector<PoolSizeSummary> ComputePoolSizeSummaries(const trace::TraceStore& store);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_POOL_SIZE_H_

@@ -1,0 +1,121 @@
+#include "analysis/region_stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/aggregate.h"
+
+namespace coldstart::analysis {
+
+namespace {
+
+inline bool Match(int filter, trace::RegionId region) {
+  return filter < 0 || static_cast<int>(region) == filter;
+}
+
+}  // namespace
+
+std::vector<RegionSizes> ComputeRegionSizes(const trace::TraceStore& store) {
+  std::vector<RegionSizes> sizes(trace::kNumRegions);
+  std::vector<std::unordered_set<trace::UserId>> users(trace::kNumRegions);
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    sizes[static_cast<size_t>(r)].region = static_cast<trace::RegionId>(r);
+  }
+  for (const auto& f : store.functions()) {
+    ++sizes[f.region].functions;
+    users[f.region].insert(f.user_id);
+  }
+  for (int r = 0; r < trace::kNumRegions; ++r) {
+    sizes[static_cast<size_t>(r)].users = users[static_cast<size_t>(r)].size();
+  }
+  for (const auto& req : store.requests()) {
+    ++sizes[req.region].requests;
+  }
+  for (const auto& p : store.pods()) {
+    ++sizes[p.region].pods;
+  }
+  for (const auto& c : store.cold_starts()) {
+    ++sizes[c.region].cold_starts;
+  }
+  return sizes;
+}
+
+stats::Ecdf RequestsPerDayPerFunction(const trace::TraceStore& store, int region) {
+  const std::vector<uint64_t> counts = trace::RequestsPerFunction(store);
+  const double days =
+      std::max<double>(1.0, static_cast<double>(store.horizon()) / static_cast<double>(kDay));
+  stats::Ecdf ecdf;
+  for (const auto& f : store.functions()) {
+    if (!Match(region, f.region)) {
+      continue;
+    }
+    const uint64_t total = counts[f.function_id];
+    if (total > 0) {
+      ecdf.Add(static_cast<double>(total) / days);
+    }
+  }
+  ecdf.Seal();
+  return ecdf;
+}
+
+stats::Ecdf MeanExecutionTimePerMinute(const trace::TraceStore& store, int region) {
+  const auto series = trace::MeanExecutionTimeSeries(store, region, kMinute);
+  stats::Ecdf ecdf;
+  for (const double v : series) {
+    if (v > 0) {
+      ecdf.Add(v);
+    }
+  }
+  ecdf.Seal();
+  return ecdf;
+}
+
+stats::Ecdf MeanCpuUsagePerMinute(const trace::TraceStore& store, int region) {
+  const auto series = trace::MeanCpuUsageSeries(store, region, kMinute);
+  stats::Ecdf ecdf;
+  for (const double v : series) {
+    if (v > 0) {
+      ecdf.Add(v);
+    }
+  }
+  ecdf.Seal();
+  return ecdf;
+}
+
+stats::Ecdf FunctionsPerUser(const trace::TraceStore& store, int region) {
+  std::unordered_map<trace::UserId, int> counts;
+  for (const auto& f : store.functions()) {
+    if (Match(region, f.region)) {
+      ++counts[f.user_id];
+    }
+  }
+  stats::Ecdf ecdf;
+  for (const auto& [user, n] : counts) {
+    ecdf.Add(static_cast<double>(n));
+  }
+  ecdf.Seal();
+  return ecdf;
+}
+
+stats::Ecdf RequestsPerUser(const trace::TraceStore& store, int region) {
+  std::unordered_map<trace::UserId, uint64_t> counts;
+  // Users with zero requests still count (they own functions); seed them first.
+  for (const auto& f : store.functions()) {
+    if (Match(region, f.region)) {
+      counts.emplace(f.user_id, 0);
+    }
+  }
+  for (const auto& r : store.requests()) {
+    if (Match(region, r.region)) {
+      ++counts[r.user_id];
+    }
+  }
+  stats::Ecdf ecdf;
+  for (const auto& [user, n] : counts) {
+    ecdf.Add(static_cast<double>(n));
+  }
+  ecdf.Seal();
+  return ecdf;
+}
+
+}  // namespace coldstart::analysis

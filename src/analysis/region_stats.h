@@ -1,0 +1,43 @@
+// Region-level statistics: Figure 1 (sizes), Figure 3 (per-region CDFs), Figure 4
+// (per-user CDFs). Operates purely on the Table 1 streams.
+#ifndef COLDSTART_ANALYSIS_REGION_STATS_H_
+#define COLDSTART_ANALYSIS_REGION_STATS_H_
+
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "trace/trace_store.h"
+
+namespace coldstart::analysis {
+
+struct RegionSizes {
+  trace::RegionId region = 0;
+  uint64_t functions = 0;
+  uint64_t users = 0;
+  uint64_t requests = 0;
+  uint64_t pods = 0;
+  uint64_t cold_starts = 0;
+};
+
+// One entry per region (Fig. 1's axes plus cold-start counts).
+std::vector<RegionSizes> ComputeRegionSizes(const trace::TraceStore& store);
+
+// Fig. 3a: requests per day per function (mean over trace days; zero-request
+// functions excluded, as they never appear in the request stream).
+stats::Ecdf RequestsPerDayPerFunction(const trace::TraceStore& store, int region);
+
+// Fig. 3b: mean execution time per minute, seconds (minutes with no requests skipped).
+stats::Ecdf MeanExecutionTimePerMinute(const trace::TraceStore& store, int region);
+
+// Fig. 3c: mean CPU usage per minute, cores.
+stats::Ecdf MeanCpuUsagePerMinute(const trace::TraceStore& store, int region);
+
+// Fig. 4a: functions per user.
+stats::Ecdf FunctionsPerUser(const trace::TraceStore& store, int region);
+
+// Fig. 4b: requests per user over the full trace.
+stats::Ecdf RequestsPerUser(const trace::TraceStore& store, int region);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_REGION_STATS_H_

@@ -1,0 +1,51 @@
+#include "analysis/report.h"
+
+#include "common/check.h"
+
+namespace coldstart::analysis {
+
+std::vector<std::string> QuantileHeaders(const std::string& label_header) {
+  return {label_header, "count", "p10", "p25", "p50", "p75", "p90", "p99", "mean"};
+}
+
+void AddQuantileRow(TextTable& table, const std::string& label, const stats::Ecdf& ecdf) {
+  table.Row()
+      .Cell(label)
+      .Cell(static_cast<uint64_t>(ecdf.size()))
+      .Cell(ecdf.Quantile(0.10), 4)
+      .Cell(ecdf.Quantile(0.25), 4)
+      .Cell(ecdf.Quantile(0.50), 4)
+      .Cell(ecdf.Quantile(0.75), 4)
+      .Cell(ecdf.Quantile(0.90), 4)
+      .Cell(ecdf.Quantile(0.99), 4)
+      .Cell(ecdf.Mean(), 4);
+}
+
+TextTable CdfCurveTable(const std::string& x_header, const stats::Ecdf& ecdf, int points) {
+  TextTable table({x_header, "cdf"});
+  for (const auto& [x, f] : ecdf.CurveLogX(points)) {
+    table.Row().Cell(x, 5).Cell(f, 4);
+  }
+  return table;
+}
+
+TextTable CorrelationTable(const std::vector<std::string>& names,
+                           const std::vector<std::vector<stats::CorrelationResult>>& m) {
+  COLDSTART_CHECK_EQ(names.size(), m.size());
+  std::vector<std::string> headers = {""};
+  headers.insert(headers.end(), names.begin(), names.end());
+  TextTable table(headers);
+  for (size_t i = 0; i < m.size(); ++i) {
+    table.Row().Cell(names[i]);
+    for (size_t j = 0; j < m[i].size(); ++j) {
+      std::string cell = FormatDouble(m[i][j].rho, 2);
+      if (m[i][j].significant()) {
+        cell += '*';
+      }
+      table.Cell(cell);
+    }
+  }
+  return table;
+}
+
+}  // namespace coldstart::analysis

@@ -1,0 +1,31 @@
+// Rendering helpers shared by the bench harnesses: CDF quantile rows, CDF curves,
+// and correlation matrices as aligned text tables.
+#ifndef COLDSTART_ANALYSIS_REPORT_H_
+#define COLDSTART_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "stats/correlation.h"
+#include "stats/ecdf.h"
+
+namespace coldstart::analysis {
+
+// Appends one row "label, count, p10, p25, p50, p75, p90, p99, mean" to `table`.
+// The table must have been created with QuantileHeaders().
+std::vector<std::string> QuantileHeaders(const std::string& label_header);
+void AddQuantileRow(TextTable& table, const std::string& label, const stats::Ecdf& ecdf);
+
+// Renders a CDF as `points` (x, F(x)) rows with log-spaced x.
+TextTable CdfCurveTable(const std::string& x_header, const stats::Ecdf& ecdf,
+                        int points = 20);
+
+// Renders a labelled correlation matrix; significant cells (p < 0.05) carry a '*'
+// suffix like the paper's Figure 12.
+TextTable CorrelationTable(const std::vector<std::string>& names,
+                           const std::vector<std::vector<stats::CorrelationResult>>& m);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_REPORT_H_

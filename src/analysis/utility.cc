@@ -1,0 +1,59 @@
+#include "analysis/utility.h"
+
+#include <algorithm>
+
+namespace coldstart::analysis {
+
+double PodUtilityRatio(const trace::PodLifetimeRecord& pod, SimDuration keep_alive) {
+  if (pod.cold_start_us == 0) {
+    return 0.0;
+  }
+  const SimDuration lifetime = pod.death_time - pod.cold_start_begin;
+  const SimDuration useful =
+      lifetime - keep_alive - static_cast<SimDuration>(pod.cold_start_us);
+  const double useful_us = std::max<double>(static_cast<double>(useful), 1000.0);
+  return useful_us / static_cast<double>(pod.cold_start_us);
+}
+
+namespace {
+
+template <typename Matcher>
+stats::Ecdf UtilityCdf(const trace::TraceStore& store, int region,
+                       SimDuration keep_alive, const Matcher& matches) {
+  stats::Ecdf ecdf;
+  for (const auto& p : store.pods()) {
+    if (region >= 0 && static_cast<int>(p.region) != region) {
+      continue;
+    }
+    if (!matches(store.function(p.function_id))) {
+      continue;
+    }
+    if (p.cold_start_us == 0) {
+      continue;
+    }
+    ecdf.Add(PodUtilityRatio(p, keep_alive));
+  }
+  ecdf.Seal();
+  return ecdf;
+}
+
+}  // namespace
+
+stats::Ecdf UtilityByRuntime(const trace::TraceStore& store, int region, int runtime,
+                             SimDuration keep_alive) {
+  return UtilityCdf(store, region, keep_alive, [runtime](const trace::FunctionRecord& f) {
+    return runtime < 0 || static_cast<int>(f.runtime) == runtime;
+  });
+}
+
+stats::Ecdf UtilityByTrigger(const trace::TraceStore& store, int region,
+                             int trigger_group, SimDuration keep_alive) {
+  return UtilityCdf(store, region, keep_alive,
+                    [trigger_group](const trace::FunctionRecord& f) {
+                      return trigger_group < 0 ||
+                             static_cast<int>(trace::GroupOf(f.primary_trigger)) ==
+                                 trigger_group;
+                    });
+}
+
+}  // namespace coldstart::analysis

@@ -1,0 +1,32 @@
+// Pod utility ratio (§4.5, Figure 17) — the paper's proposed metric.
+//
+// utility = useful lifetime / cold-start time, where useful lifetime is the pod's
+// total lifetime minus the keep-alive window and minus the cold start itself (the
+// time the pod is actually available to do work). A ratio <= 1 means the pod was
+// usable for no longer than its own cold start took.
+#ifndef COLDSTART_ANALYSIS_UTILITY_H_
+#define COLDSTART_ANALYSIS_UTILITY_H_
+
+#include <vector>
+
+#include "stats/ecdf.h"
+#include "trace/trace_store.h"
+
+namespace coldstart::analysis {
+
+// Utility ratio of one pod record under the given keep-alive constant. Useful lifetime
+// is floored at 1 ms so ratios stay positive on log axes.
+double PodUtilityRatio(const trace::PodLifetimeRecord& pod,
+                       SimDuration keep_alive = kMinute);
+
+// Fig. 17a: utility CDF for one runtime (-1 = all) in one region.
+stats::Ecdf UtilityByRuntime(const trace::TraceStore& store, int region, int runtime,
+                             SimDuration keep_alive = kMinute);
+
+// Fig. 17b: utility CDF for one trigger group (-1 = all).
+stats::Ecdf UtilityByTrigger(const trace::TraceStore& store, int region,
+                             int trigger_group, SimDuration keep_alive = kMinute);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_UTILITY_H_

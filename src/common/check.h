@@ -1,0 +1,35 @@
+// Lightweight assertion macros for invariant checking.
+//
+// CHECK* macros are always on (release included): simulator correctness depends on
+// invariants that must not be compiled away. They print the failing expression with
+// file/line context and abort.
+#ifndef COLDSTART_COMMON_CHECK_H_
+#define COLDSTART_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coldstart {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace coldstart
+
+#define COLDSTART_CHECK(expr)                                 \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::coldstart::CheckFailed(#expr, __FILE__, __LINE__);    \
+    }                                                         \
+  } while (0)
+
+#define COLDSTART_CHECK_GE(a, b) COLDSTART_CHECK((a) >= (b))
+#define COLDSTART_CHECK_GT(a, b) COLDSTART_CHECK((a) > (b))
+#define COLDSTART_CHECK_LE(a, b) COLDSTART_CHECK((a) <= (b))
+#define COLDSTART_CHECK_LT(a, b) COLDSTART_CHECK((a) < (b))
+#define COLDSTART_CHECK_EQ(a, b) COLDSTART_CHECK((a) == (b))
+#define COLDSTART_CHECK_NE(a, b) COLDSTART_CHECK((a) != (b))
+
+#endif  // COLDSTART_COMMON_CHECK_H_

@@ -1,0 +1,121 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart {
+
+LogHistogram::LogHistogram(double min_value, double max_value, int buckets_per_decade) {
+  COLDSTART_CHECK_GT(min_value, 0.0);
+  COLDSTART_CHECK_GT(max_value, min_value);
+  COLDSTART_CHECK_GT(buckets_per_decade, 0);
+  log_min_ = std::log10(min_value);
+  log_max_ = std::log10(max_value);
+  log_step_ = 1.0 / buckets_per_decade;
+  inv_log_step_ = buckets_per_decade;
+  const int n = static_cast<int>(std::ceil((log_max_ - log_min_) * inv_log_step_)) + 1;
+  counts_.assign(static_cast<size_t>(n), 0);
+}
+
+int LogHistogram::BucketFor(double value) const {
+  if (!(value > 0.0)) {
+    return 0;
+  }
+  const double pos = (std::log10(value) - log_min_) * inv_log_step_;
+  const int n = num_buckets();
+  if (pos < 0) {
+    return 0;
+  }
+  if (pos >= n - 1) {
+    return n - 1;
+  }
+  return static_cast<int>(pos);
+}
+
+void LogHistogram::Add(double value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  counts_[static_cast<size_t>(BucketFor(value))] += count;
+  if (total_count_ == 0) {
+    min_recorded_ = value;
+    max_recorded_ = value;
+  } else {
+    min_recorded_ = std::min(min_recorded_, value);
+    max_recorded_ = std::max(max_recorded_, value);
+  }
+  total_count_ += count;
+  sum_ += value * static_cast<double>(count);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  COLDSTART_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.total_count_ > 0) {
+    if (total_count_ == 0) {
+      min_recorded_ = other.min_recorded_;
+      max_recorded_ = other.max_recorded_;
+    } else {
+      min_recorded_ = std::min(min_recorded_, other.min_recorded_);
+      max_recorded_ = std::max(max_recorded_, other.max_recorded_);
+    }
+  }
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  sum_ = 0;
+  min_recorded_ = 0;
+  max_recorded_ = 0;
+}
+
+double LogHistogram::Mean() const {
+  return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+}
+
+double LogHistogram::bucket_lower(int i) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(i) * log_step_);
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_count_ - 1);
+  uint64_t seen = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const uint64_t c = counts_[static_cast<size_t>(i)];
+    if (c == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + c - 1) >= target) {
+      // Geometric midpoint of the bucket, clamped to the recorded range.
+      const double mid = std::pow(10.0, log_min_ + (static_cast<double>(i) + 0.5) * log_step_);
+      return std::clamp(mid, min_recorded_, max_recorded_);
+    }
+    seen += c;
+  }
+  return max_recorded_;
+}
+
+double LogHistogram::CdfAt(double value) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  const int b = BucketFor(value);
+  uint64_t seen = 0;
+  for (int i = 0; i <= b; ++i) {
+    seen += counts_[static_cast<size_t>(i)];
+  }
+  return static_cast<double>(seen) / static_cast<double>(total_count_);
+}
+
+}  // namespace coldstart

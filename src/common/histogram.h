@@ -1,0 +1,60 @@
+// Log-bucketed latency histogram.
+//
+// Records positive values (durations in µs, ratios, ...) into geometrically spaced
+// buckets so that quantiles over 6+ decades (the paper's cold-start times span 10ms to
+// >100s) can be tracked in O(1) memory. Quantile error is bounded by the bucket growth
+// factor (default ~2.3% with 64 buckets per decade).
+#ifndef COLDSTART_COMMON_HISTOGRAM_H_
+#define COLDSTART_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coldstart {
+
+class LogHistogram {
+ public:
+  // Tracks values in [min_value, max_value] with `buckets_per_decade` geometric buckets
+  // per factor of 10. Values below/above the range clamp into the edge buckets.
+  LogHistogram(double min_value, double max_value, int buckets_per_decade = 64);
+
+  void Add(double value, uint64_t count = 1);
+  void Merge(const LogHistogram& other);
+  void Reset();
+
+  uint64_t total_count() const { return total_count_; }
+  double min_recorded() const { return min_recorded_; }
+  double max_recorded() const { return max_recorded_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+
+  // Value at quantile q in [0, 1]; returns the geometric midpoint of the bucket that
+  // contains the q-th sample. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  // Fraction of recorded values <= value.
+  double CdfAt(double value) const;
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  uint64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+  // Lower edge of bucket i.
+  double bucket_lower(int i) const;
+
+ private:
+  int BucketFor(double value) const;
+
+  double log_min_;
+  double log_max_;
+  double inv_log_step_;
+  double log_step_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  double sum_ = 0;
+  double min_recorded_ = 0;
+  double max_recorded_ = 0;
+};
+
+}  // namespace coldstart
+
+#endif  // COLDSTART_COMMON_HISTOGRAM_H_

@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+namespace coldstart {
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return h;
+}
+
+Rng Rng::ForkStream(std::string_view label) const {
+  // Combine this stream's state with the label hash; the state itself is untouched.
+  uint64_t material = state_[0] ^ Rotl(state_[2], 13);
+  return Rng(MixHash(material, HashString(label)));
+}
+
+Rng Rng::ForkStream(uint64_t key) const {
+  uint64_t material = state_[0] ^ Rotl(state_[2], 13);
+  return Rng(MixHash(material, key));
+}
+
+}  // namespace coldstart

@@ -1,0 +1,38 @@
+#include "common/sim_time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace coldstart {
+
+std::string FormatSimTime(SimTime t) {
+  const int64_t day = DayIndex(t);
+  SimDuration rem = TimeOfDay(t);
+  const int64_t h = rem / kHour;
+  rem %= kHour;
+  const int64_t m = rem / kMinute;
+  rem %= kMinute;
+  const int64_t s = rem / kSecond;
+  const int64_t ms = (rem % kSecond) / kMillisecond;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "d%02" PRId64 " %02" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
+                day, h, m, s, ms);
+  return buf;
+}
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double abs = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (abs < static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", d);
+  } else if (abs < static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(d) / kMillisecond);
+  } else if (abs < static_cast<double>(kMinute)) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / kSecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fmin", static_cast<double>(d) / kMinute);
+  }
+  return buf;
+}
+
+}  // namespace coldstart

@@ -1,0 +1,53 @@
+// Simulated-time primitives.
+//
+// All platform timestamps are microseconds since the start of the trace, matching the
+// µs resolution of the paper's pod-level table (Table 1). Times are plain int64 ticks
+// (not std::chrono) so they can be stored compactly in columnar traces and serialized
+// losslessly to CSV.
+#ifndef COLDSTART_COMMON_SIM_TIME_H_
+#define COLDSTART_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace coldstart {
+
+// Microseconds since trace start.
+using SimTime = int64_t;
+// A span of microseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+
+// Converts a duration to fractional seconds (for analysis/report code).
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+
+// Converts fractional seconds to a duration, rounding to the nearest microsecond.
+constexpr SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+// Index of the minute bucket containing `t` (bucket 0 covers [0, 1min)).
+constexpr int64_t MinuteIndex(SimTime t) { return t / kMinute; }
+// Index of the hour bucket containing `t`.
+constexpr int64_t HourIndex(SimTime t) { return t / kHour; }
+// Index of the day containing `t` (day 0 is the first trace day).
+constexpr int64_t DayIndex(SimTime t) { return t / kDay; }
+// Offset within the day, in [0, kDay).
+constexpr SimDuration TimeOfDay(SimTime t) { return t % kDay; }
+// Fractional hour-of-day in [0, 24).
+constexpr double HourOfDay(SimTime t) { return static_cast<double>(TimeOfDay(t)) / kHour; }
+
+// Renders "d12 03:45:06.123" style timestamps for human-readable reports.
+std::string FormatSimTime(SimTime t);
+// Renders durations with an adaptive unit ("532us", "12.3ms", "4.56s", "2.1min").
+std::string FormatDuration(SimDuration d);
+
+}  // namespace coldstart
+
+#endif  // COLDSTART_COMMON_SIM_TIME_H_

@@ -1,0 +1,110 @@
+#include "common/table.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace coldstart {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  const double a = std::fabs(v);
+  if (a != 0.0 && (a >= 1e7 || a < 1e-4)) {
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  }
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+TextTable& TextTable::Row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+TextTable& TextTable::Cell(const std::string& value) {
+  COLDSTART_CHECK(!rows_.empty());
+  COLDSTART_CHECK_LT(rows_.back().size(), headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::Cell(double value, int precision) {
+  return Cell(FormatDouble(value, precision));
+}
+
+TextTable& TextTable::Cell(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return Cell(std::string(buf));
+}
+
+TextTable& TextTable::Cell(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return Cell(std::string(buf));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto append_padded = [&](const std::string& s, size_t w, bool last) {
+    out += s;
+    if (!last) {
+      out.append(w - s.size() + 2, ' ');
+    }
+  };
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    append_padded(headers_[c], widths[c], c + 1 == headers_.size());
+  }
+  out += '\n';
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      append_padded(row[c], widths[c], c + 1 == row.size());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += row[c];
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) {
+    append_row(row);
+  }
+  return out;
+}
+
+}  // namespace coldstart

@@ -1,0 +1,85 @@
+#include "core/experiment.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "trace/binary_io.h"
+#include "workload/arrivals.h"
+
+namespace coldstart::core {
+
+ExperimentResult Experiment::Run(platform::PlatformPolicy* policy) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  ExperimentResult result;
+  const workload::Calendar calendar = config_.MakeCalendar();
+  const std::vector<workload::RegionProfile> profiles = config_.ScaledProfiles();
+
+  result.population = workload::GeneratePopulation(profiles, config_.seed);
+  std::vector<workload::ArrivalEvent> arrivals =
+      workload::GenerateArrivals(result.population, profiles, calendar, config_.seed);
+
+  sim::Simulator sim;
+  platform::Platform::Options options;
+  options.seed = config_.seed;
+  options.record_requests = config_.record_requests;
+  platform::Platform platform(result.population, profiles, calendar, sim, result.store,
+                              options, policy);
+  platform.InjectArrivals(std::move(arrivals));
+  sim.RunUntil(calendar.horizon());
+  platform.Finalize();
+  result.store.Seal();
+
+  result.visible_cold_starts.reserve(profiles.size());
+  result.prewarm_spawns.reserve(profiles.size());
+  result.delayed_allocations.reserve(profiles.size());
+  for (size_t r = 0; r < profiles.size(); ++r) {
+    const auto region = static_cast<trace::RegionId>(r);
+    result.visible_cold_starts.push_back(platform.cold_starts(region));
+    result.prewarm_spawns.push_back(platform.load(region).prewarm_spawns);
+    result.delayed_allocations.push_back(platform.load(region).delayed_allocations);
+    result.scratch_allocations.push_back(platform.scratch_allocations(region));
+    result.cold_start_latency_sum_us.push_back(platform.cold_start_latency_sum_us(region));
+  }
+  result.events_processed = sim.events_processed();
+  result.sim_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+std::string Experiment::DefaultCacheDir() {
+  if (const char* env = std::getenv("COLDSTART_CACHE_DIR"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "coldstart_cache";
+}
+
+ExperimentResult Experiment::RunCached(const std::string& cache_dir) const {
+  namespace fs = std::filesystem;
+  char name[64];
+  std::snprintf(name, sizeof(name), "scenario_%016" PRIx64 ".bin", config_.Fingerprint());
+  const std::string path = (fs::path(cache_dir) / name).string();
+
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    ExperimentResult result;
+    if (trace::ReadBinaryTrace(path, result.store)) {
+      result.store.Seal();
+      result.from_cache = true;
+      return result;
+    }
+    // Corrupt or stale-format cache: fall through to a fresh run and rewrite.
+  }
+
+  ExperimentResult result = Run(nullptr);
+  fs::create_directories(cache_dir, ec);
+  if (!trace::WriteBinaryTrace(result.store, path)) {
+    std::fprintf(stderr, "warning: failed to write trace cache at %s\n", path.c_str());
+  }
+  return result;
+}
+
+}  // namespace coldstart::core

@@ -1,0 +1,55 @@
+// Experiment runner: generate workload -> simulate platform -> hand back traces.
+//
+// Run() executes the full pipeline. RunCached() additionally persists the baseline
+// (policy-free) trace as CSV keyed by the scenario fingerprint, so the many bench
+// binaries that analyze the same scenario simulate it only once.
+#ifndef COLDSTART_CORE_EXPERIMENT_H_
+#define COLDSTART_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "platform/platform.h"
+
+namespace coldstart::core {
+
+struct ExperimentResult {
+  trace::TraceStore store;            // Sealed; horizon set.
+  workload::Population population;    // Empty when loaded from cache.
+  bool from_cache = false;
+
+  // Platform statistics (zero when loaded from cache; the trace itself carries
+  // everything the analyses need).
+  std::vector<int64_t> visible_cold_starts;   // Per region.
+  std::vector<int64_t> prewarm_spawns;        // Per region.
+  std::vector<int64_t> delayed_allocations;   // Per region.
+  std::vector<int64_t> scratch_allocations;   // Per region (pool misses).
+  std::vector<int64_t> cold_start_latency_sum_us;  // Per region.
+  uint64_t events_processed = 0;
+  double sim_wall_seconds = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ScenarioConfig config) : config_(std::move(config)) {}
+
+  const ScenarioConfig& config() const { return config_; }
+
+  // Runs the scenario (optionally under a policy). Deterministic in the config.
+  ExperimentResult Run(platform::PlatformPolicy* policy = nullptr) const;
+
+  // Baseline run with trace caching under `cache_dir`. Policy runs must use Run()
+  // (policies change the trace, which would poison the cache).
+  ExperimentResult RunCached(const std::string& cache_dir) const;
+
+  // Default cache directory: $COLDSTART_CACHE_DIR or ./coldstart_cache.
+  static std::string DefaultCacheDir();
+
+ private:
+  ScenarioConfig config_;
+};
+
+}  // namespace coldstart::core
+
+#endif  // COLDSTART_CORE_EXPERIMENT_H_

@@ -1,0 +1,49 @@
+#include "core/scenario.h"
+
+#include "common/rng.h"
+
+namespace coldstart::core {
+
+ScenarioConfig::ScenarioConfig() : profiles(workload::DefaultRegionProfiles()) {}
+
+workload::Calendar ScenarioConfig::MakeCalendar() const {
+  workload::Calendar::Options opts;
+  opts.trace_days = days;
+  return workload::Calendar(opts);
+}
+
+std::vector<workload::RegionProfile> ScenarioConfig::ScaledProfiles() const {
+  std::vector<workload::RegionProfile> scaled;
+  scaled.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    scaled.push_back(scale == 1.0 ? p : workload::ScaledProfile(p, scale));
+  }
+  return scaled;
+}
+
+uint64_t ScenarioConfig::Fingerprint() const {
+  uint64_t h = MixHash(seed, static_cast<uint64_t>(days));
+  h = MixHash(h, static_cast<uint64_t>(scale * 1e6));
+  h = MixHash(h, record_requests ? 1 : 0);
+  h = MixHash(h, profiles.size());
+  for (const auto& p : profiles) {
+    h = MixHash(h, static_cast<uint64_t>(p.region));
+    h = MixHash(h, static_cast<uint64_t>(p.num_functions));
+    h = MixHash(h, static_cast<uint64_t>(p.popularity_alpha * 1e6));
+    h = MixHash(h, static_cast<uint64_t>(p.arch.sched_base_s * 1e6));
+    h = MixHash(h, static_cast<uint64_t>(p.arch.alloc_stage1_median_s * 1e6));
+    h = MixHash(h, static_cast<uint64_t>(p.arch.dep_bandwidth_kb_per_s));
+  }
+  return h;
+}
+
+ScenarioConfig PaperScenario() { return ScenarioConfig(); }
+
+ScenarioConfig SmallScenario() {
+  ScenarioConfig config;
+  config.days = 7;
+  config.scale = 0.3;
+  return config;
+}
+
+}  // namespace coldstart::core

@@ -1,0 +1,39 @@
+// Scenario configuration: everything that defines one reproducible experiment.
+#ifndef COLDSTART_CORE_SCENARIO_H_
+#define COLDSTART_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/calendar.h"
+#include "workload/region_profile.h"
+
+namespace coldstart::core {
+
+struct ScenarioConfig {
+  uint64_t seed = 42;
+  int days = 31;       // Trace length; the paper's dataset covers 31 days.
+  double scale = 1.0;  // Scales function counts and pool sizes (for quick runs).
+  bool record_requests = true;
+  // Regions to simulate; defaults to the five calibrated profiles.
+  std::vector<workload::RegionProfile> profiles;
+
+  ScenarioConfig();
+
+  workload::Calendar MakeCalendar() const;
+  // Profiles after applying `scale`.
+  std::vector<workload::RegionProfile> ScaledProfiles() const;
+
+  // Stable hash of all generation-relevant fields; keys the trace cache.
+  uint64_t Fingerprint() const;
+};
+
+// The default full-paper scenario (5 regions, 31 days, seed 42).
+ScenarioConfig PaperScenario();
+
+// A reduced scenario for unit/integration tests (~7 days, 0.3x scale).
+ScenarioConfig SmallScenario();
+
+}  // namespace coldstart::core
+
+#endif  // COLDSTART_CORE_SCENARIO_H_

@@ -1,0 +1,118 @@
+#include "platform/coldstart_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::platform {
+
+namespace {
+
+// LogNormal multiplicative noise with median 1 and the given sigma.
+double Noise(Rng& rng, double sigma) { return std::exp(sigma * rng.NextGaussian()); }
+
+// Seconds -> SimDuration with a 1 µs floor (component resolutions in Table 1 are µs,
+// and a measured component is never exactly zero when the step executes).
+SimDuration Dur(double seconds) {
+  return std::max<SimDuration>(1, FromSeconds(seconds));
+}
+
+}  // namespace
+
+ColdStartPipeline::ColdStartPipeline(const workload::RegionProfile& profile,
+                                     const workload::Calendar& calendar)
+    : profile_(profile), calendar_(calendar) {}
+
+double ColdStartPipeline::PostHolidayDepMultiplier(SimTime now) const {
+  const int64_t day = DayIndex(now);
+  const int64_t since = calendar_.DaysSinceHolidayEnd(day);
+  if (since < 0) {
+    return 1.0;
+  }
+  const double extra = (profile_.arch.post_holiday_dep_penalty - 1.0) *
+                       std::exp(-static_cast<double>(since) / 1.5);
+  return 1.0 + extra;
+}
+
+ColdStartComponents ColdStartPipeline::Compute(const workload::FunctionSpec& spec,
+                                               ResourcePool& pool,
+                                               const RegionLoadState& load, SimTime now,
+                                               Rng& rng) const {
+  const auto& arch = profile_.arch;
+  const workload::RuntimeTraits& traits = workload::TraitsOf(spec.runtime);
+  ColdStartComponents out;
+
+  // Regional congestion factor: decayed cold starts in the last ~5 minutes, with
+  // saturation (a congested fabric degrades sublinearly, and this caps the
+  // congestion -> overlap -> congestion feedback). The caller (Platform) refreshes
+  // the window before invoking Compute.
+  const double raw_window = load.cold_start_window;
+  const double rate_window = raw_window / (1.0 + raw_window / arch.rate_saturation);
+  // In-flight pipeline counts saturate too: queueing capacity is finite, and an
+  // unbounded linear term would let overlap feed back into itself without limit.
+  const double active_sat = static_cast<double>(load.active_cold_starts) /
+                            (1.0 + static_cast<double>(load.active_cold_starts) / 60.0);
+  const double active_code_sat = static_cast<double>(load.active_code_deploys) /
+                                 (1.0 + static_cast<double>(load.active_code_deploys) / 60.0);
+  const double active_dep_sat = static_cast<double>(load.active_dep_deploys) /
+                                (1.0 + static_cast<double>(load.active_dep_deploys) / 60.0);
+
+  // --- Pod allocation. ---
+  double alloc_s = 0;
+  if (!traits.pool_backed) {
+    // Custom images have no reserved pool: the pod is built from scratch and the
+    // container image pulled every time (the slowest allocation path, §4.4).
+    out.pool_stage = 3;
+    out.from_scratch = true;
+    alloc_s = arch.custom_scratch_median_s * Noise(rng, arch.alloc_scratch_sigma);
+  } else {
+    const PoolAcquisition acq = pool.Acquire(now, rng);
+    out.pool_stage = acq.stage;
+    out.from_scratch = acq.from_scratch;
+    if (acq.from_scratch) {
+      alloc_s = arch.alloc_scratch_median_s * Noise(rng, arch.alloc_scratch_sigma);
+    } else {
+      const double median = arch.alloc_stage1_median_s *
+                            std::pow(arch.alloc_stage_growth, acq.stage - 1);
+      alloc_s = median * Noise(rng, arch.alloc_sigma);
+    }
+  }
+  if (traits.alloc_extra_s > 0) {
+    // http runtimes start an HTTP server inside the pod before it can serve.
+    alloc_s += traits.alloc_extra_s * Noise(rng, 0.25);
+  }
+  alloc_s += arch.alloc_congestion_coeff * active_sat * rng.Uniform(0.5, 1.5);
+  alloc_s *= 1.0 + arch.alloc_rate_coeff * rate_window;
+  out.pod_alloc = Dur(alloc_s);
+
+  // --- Code deployment. ---
+  const double code_congestion = (1.0 + arch.code_congestion_coeff * active_code_sat) *
+                                 (1.0 + arch.code_rate_coeff * rate_window);
+  const double code_s = (arch.code_base_s + static_cast<double>(spec.code_size_kb) /
+                                                arch.code_bandwidth_kb_per_s) *
+                        traits.code_factor * code_congestion * Noise(rng, 0.30);
+  out.deploy_code = Dur(code_s);
+
+  // --- Dependency deployment (exactly zero without layers; excluded from Fig. 13d). ---
+  if (spec.dep_size_kb > 0) {
+    const double dep_congestion = (1.0 + arch.dep_congestion_coeff * active_dep_sat) *
+                                  (1.0 + arch.dep_rate_coeff * rate_window);
+    const double dep_s = (arch.dep_base_s + static_cast<double>(spec.dep_size_kb) /
+                                                arch.dep_bandwidth_kb_per_s) *
+                         traits.dep_factor * dep_congestion *
+                         PostHolidayDepMultiplier(now) * Noise(rng, 0.35);
+    out.deploy_dep = Dur(dep_s);
+  }
+
+  // --- Scheduling. ---
+  const double sched_s =
+      arch.sched_base_s * traits.sched_factor * Noise(rng, arch.sched_sigma) *
+          (1.0 + arch.sched_rate_coeff * rate_window) +
+      arch.sched_queue_coeff_s * active_sat * rng.Uniform(0.7, 1.3);
+  out.scheduling = Dur(sched_s);
+
+  return out;
+}
+
+}  // namespace coldstart::platform

@@ -1,0 +1,56 @@
+// The cold-start pipeline: computes the four component latencies of Figure 2.
+//
+// Component model (per DESIGN.md §5):
+//   pod allocation  = staged pool search (depth from live pool occupancy) or
+//                     from-scratch creation; http adds a server start; plus a
+//                     congestion term driven by concurrent cold starts.
+//   deploy code     = base + code_size/bandwidth, scaled by runtime factor and
+//                     registry congestion.
+//   deploy deps     = same shape over dependency size; exactly zero for functions
+//                     without layers; post-holiday penalty on the first workdays.
+//   scheduling      = base x runtime placement factor + queueing term per in-flight
+//                     cold start.
+// All noise is multiplicative LogNormal so components stay positive and long-tailed.
+#ifndef COLDSTART_PLATFORM_COLDSTART_PIPELINE_H_
+#define COLDSTART_PLATFORM_COLDSTART_PIPELINE_H_
+
+#include "platform/load_state.h"
+#include "platform/resource_pool.h"
+#include "workload/calendar.h"
+#include "workload/region_profile.h"
+
+namespace coldstart::platform {
+
+struct ColdStartComponents {
+  SimDuration pod_alloc = 0;
+  SimDuration deploy_code = 0;
+  SimDuration deploy_dep = 0;
+  SimDuration scheduling = 0;
+  int pool_stage = 1;
+  bool from_scratch = false;
+
+  SimDuration total() const { return pod_alloc + deploy_code + deploy_dep + scheduling; }
+};
+
+class ColdStartPipeline {
+ public:
+  ColdStartPipeline(const workload::RegionProfile& profile,
+                    const workload::Calendar& calendar);
+
+  // Computes component times for one cold start of `spec` at `now`, drawing a pod from
+  // `pool` (mutates pool occupancy).
+  ColdStartComponents Compute(const workload::FunctionSpec& spec, ResourcePool& pool,
+                              const RegionLoadState& load, SimTime now, Rng& rng) const;
+
+ private:
+  // Multiplier > 1 on dependency deployment right after the holiday (cold caches and
+  // first-time redeployments), decaying over ~2 workdays.
+  double PostHolidayDepMultiplier(SimTime now) const;
+
+  workload::RegionProfile profile_;
+  workload::Calendar calendar_;
+};
+
+}  // namespace coldstart::platform
+
+#endif  // COLDSTART_PLATFORM_COLDSTART_PIPELINE_H_

@@ -1,0 +1,442 @@
+#include "platform/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::platform {
+
+using trace::ColdStartRecord;
+using trace::FunctionId;
+using trace::PodId;
+using trace::RegionId;
+using workload::FunctionSpec;
+
+Platform::Platform(const workload::Population& population,
+                   const std::vector<workload::RegionProfile>& profiles,
+                   const workload::Calendar& calendar, sim::Simulator& sim,
+                   trace::TraceStore& store, Options options, PlatformPolicy* policy)
+    : population_(population),
+      profiles_(profiles),
+      calendar_(calendar),
+      sim_(sim),
+      store_(store),
+      options_(options),
+      policy_(policy),
+      rng_(MixHash(options.seed, HashString("platform"))) {
+  COLDSTART_CHECK(!profiles_.empty());
+  pipelines_.reserve(profiles_.size());
+  pools_.reserve(profiles_.size());
+  for (const auto& profile : profiles_) {
+    pipelines_.emplace_back(profile, calendar_);
+    std::vector<ResourcePool> region_pools;
+    region_pools.reserve(trace::kNumResourceConfigs);
+    for (int c = 0; c < trace::kNumResourceConfigs; ++c) {
+      region_pools.emplace_back(profile.pool_base_size[static_cast<size_t>(c)],
+                                profile.pool_refill_per_min);
+    }
+    pools_.push_back(std::move(region_pools));
+  }
+  loads_.resize(profiles_.size());
+  visible_cold_starts_.assign(profiles_.size(), 0);
+  cold_start_latency_sum_us_.assign(profiles_.size(), 0);
+  states_.resize(population_.functions.size());
+
+  // Function-level table (one row per function, like the paper's third stream).
+  for (const auto& f : population_.functions) {
+    trace::FunctionRecord rec;
+    rec.function_id = f.id;
+    rec.user_id = f.user;
+    rec.region = f.region;
+    rec.runtime = f.runtime;
+    rec.primary_trigger = f.primary_trigger;
+    rec.trigger_mask = f.trigger_mask;
+    rec.config = f.config;
+    store_.AddFunction(rec);
+  }
+
+  if (policy_ != nullptr) {
+    policy_->OnAttach(*this);
+    sim::SchedulePeriodic(sim_, 0, kMinute, calendar_.horizon(),
+                          [this](int64_t) { policy_->OnMinuteTick(sim_.now()); });
+  }
+}
+
+void Platform::InjectArrivals(std::vector<workload::ArrivalEvent> arrivals) {
+  // Arrivals are injected one day at a time so the event queue never holds more than
+  // ~a day of closures (a month of arrivals up front would dominate peak memory).
+  arrivals_ = std::move(arrivals);
+  const SimTime horizon = calendar_.horizon();
+  size_t begin = 0;
+  for (SimTime day_start = 0; day_start < horizon && begin < arrivals_.size();
+       day_start += kDay) {
+    const SimTime day_end = day_start + kDay;
+    size_t end = begin;
+    while (end < arrivals_.size() && arrivals_[end].time < day_end) {
+      ++end;
+    }
+    if (end == begin) {
+      continue;
+    }
+    sim_.ScheduleAt(std::max(day_start, arrivals_[begin].time - 1), [this, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        sim_.ScheduleAt(arrivals_[i].time,
+                        [this, fid = arrivals_[i].function] { HandleArrival(fid, false); });
+      }
+    });
+    begin = end;
+  }
+}
+
+const workload::FunctionSpec& Platform::spec(FunctionId function) const {
+  return population_.functions.at(function);
+}
+
+ResourcePool& Platform::pool(RegionId region, trace::ResourceConfig config) {
+  return pools_.at(region).at(static_cast<size_t>(config));
+}
+
+const RegionLoadState& Platform::load(RegionId region) const { return loads_.at(region); }
+
+bool Platform::HasAvailablePod(FunctionId function) const {
+  const FunctionSpec& s = population_.functions.at(function);
+  for (const Pod* pod : states_[function].pods) {
+    if (pod->slots_used < s.pod_concurrency) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Platform::alive_pod_count(FunctionId function) const {
+  return static_cast<int>(states_.at(function).pods.size());
+}
+
+int64_t Platform::cold_starts(RegionId region) const {
+  return visible_cold_starts_.at(region);
+}
+
+int64_t Platform::total_cold_starts() const {
+  int64_t total = 0;
+  for (const int64_t c : visible_cold_starts_) {
+    total += c;
+  }
+  return total;
+}
+
+int64_t Platform::cold_start_latency_sum_us(RegionId region) const {
+  return cold_start_latency_sum_us_.at(region);
+}
+
+int64_t Platform::scratch_allocations(RegionId region) const {
+  int64_t total = 0;
+  for (const auto& pool : pools_.at(region)) {
+    total += pool.scratch_count();
+  }
+  return total;
+}
+
+Pod* Platform::FindPodWithSlot(FunctionState& state, SimTime now) const {
+  Pod* best_warm = nullptr;
+  Pod* best_warming = nullptr;
+  for (Pod* pod : state.pods) {
+    const FunctionSpec& s = population_.functions[pod->function];
+    if (pod->slots_used >= s.pod_concurrency) {
+      continue;
+    }
+    if (pod->ready_time <= now) {
+      // Prefer the warm pod that has been idle longest (LRU keeps the fleet compact).
+      if (best_warm == nullptr || pod->last_busy_end < best_warm->last_busy_end) {
+        best_warm = pod;
+      }
+    } else if (best_warming == nullptr || pod->ready_time < best_warming->ready_time) {
+      best_warming = pod;
+    }
+  }
+  return best_warm != nullptr ? best_warm : best_warming;
+}
+
+trace::ClusterId Platform::PickCluster(const FunctionSpec& spec,
+                                       const FunctionState& state, RegionId region) {
+  if (spec.single_cluster) {
+    return spec.home_cluster;
+  }
+  // Hash-affinity with power-of-two spillover: compare the home cluster against one
+  // random alternative and place the pod where this function has fewer pods (§2.1's
+  // "balance traffic between clusters, starting pods in a new cluster").
+  const trace::ClusterId alt = static_cast<trace::ClusterId>(
+      (spec.home_cluster + 1 + rng_.NextBounded(trace::kClustersPerRegion - 1)) %
+      trace::kClustersPerRegion);
+  int home_count = 0;
+  int alt_count = 0;
+  for (const Pod* pod : state.pods) {
+    if (pod->region != region) {
+      continue;
+    }
+    if (pod->cluster == spec.home_cluster) {
+      ++home_count;
+    } else if (pod->cluster == alt) {
+      ++alt_count;
+    }
+  }
+  return home_count <= alt_count ? spec.home_cluster : alt;
+}
+
+Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool prewarmed,
+                              SimDuration extra_sched_us) {
+  const SimTime now = sim_.now();
+  FunctionState& state = states_[spec.id];
+  RegionLoadState& load = loads_[region];
+
+  ResourcePool& pool = pools_[region][static_cast<size_t>(spec.config)];
+  load.ObserveColdStart(now);  // The event contributes to its own congestion window.
+  ColdStartComponents comp =
+      pipelines_[region].Compute(spec, pool, load, now, rng_);
+  comp.scheduling += extra_sched_us;
+
+  auto pod = std::make_unique<Pod>();
+  pod->id = next_pod_id_++;
+  pod->function = spec.id;
+  pod->region = region;
+  pod->cluster = PickCluster(spec, state, region);
+  pod->config = spec.config;
+  pod->cold_start_begin = now;
+  pod->ready_time = now + comp.total();
+  pod->cold_start_us = static_cast<uint32_t>(std::min<SimDuration>(comp.total(), UINT32_MAX));
+  pod->last_busy_end = pod->ready_time;
+  pod->prewarmed = prewarmed;
+
+  // Load counters stay elevated for the duration of the pipeline; the decrements are
+  // what make congestion oscillate with the cold-start rate.
+  ++load.active_cold_starts;
+  ++load.active_code_deploys;
+  const bool has_deps = spec.dep_size_kb > 0;
+  if (has_deps) {
+    ++load.active_dep_deploys;
+  }
+  sim_.ScheduleAt(pod->ready_time, [this, region, has_deps] {
+    RegionLoadState& l = loads_[region];
+    --l.active_cold_starts;
+    --l.active_code_deploys;
+    if (has_deps) {
+      --l.active_dep_deploys;
+    }
+  });
+  ++load.total_cold_starts;
+
+  if (prewarmed) {
+    ++load.prewarm_spawns;
+  } else {
+    ++visible_cold_starts_[region];
+    cold_start_latency_sum_us_[region] += comp.total();
+    ColdStartRecord rec;
+    rec.timestamp = now;
+    rec.pod_id = pod->id;
+    rec.function_id = spec.id;
+    rec.user_id = spec.user;
+    rec.region = region;
+    rec.cluster = pod->cluster;
+    rec.cold_start_us = pod->cold_start_us;
+    rec.pod_alloc_us = static_cast<uint32_t>(comp.pod_alloc);
+    rec.deploy_code_us = static_cast<uint32_t>(comp.deploy_code);
+    rec.deploy_dep_us = static_cast<uint32_t>(comp.deploy_dep);
+    rec.scheduling_us = static_cast<uint32_t>(comp.scheduling);
+    store_.AddColdStart(rec);
+    if (policy_ != nullptr) {
+      policy_->OnColdStart(spec, now, comp.total());
+    }
+  }
+
+  Pod* raw = pod.get();
+  state.pods.push_back(raw);
+  alive_pods_.emplace(raw->id, std::move(pod));
+  return raw;
+}
+
+void Platform::AssignRequest(Pod* pod, const FunctionSpec& spec, SimTime arrival) {
+  ++pod->slots_used;
+  // Any pending keep-alive is void: the pod is busy again.
+  ++pod->keepalive_gen;
+
+  const SimTime exec_start = std::max(arrival, pod->ready_time);
+  double exec_us = std::exp(std::log(spec.exec_median_us) +
+                            spec.exec_sigma * rng_.NextGaussian());
+  exec_us = std::clamp(exec_us, 100.0, 600e6);
+  const uint32_t exec = static_cast<uint32_t>(exec_us);
+  const SimTime exec_end = exec_start + exec;
+
+  sim_.ScheduleAt(exec_end, [this, pod_id = pod->id, exec_start, exec_end, exec,
+                             fid = spec.id] {
+    OnRequestComplete(pod_id, exec_start, exec_end, exec, population_.functions[fid]);
+  });
+}
+
+void Platform::OnRequestComplete(PodId pod_id, SimTime exec_start, SimTime exec_end,
+                                 uint32_t exec_us, const FunctionSpec& spec) {
+  const auto it = alive_pods_.find(pod_id);
+  COLDSTART_CHECK(it != alive_pods_.end());
+  Pod* pod = it->second.get();
+  COLDSTART_CHECK_GT(pod->slots_used, 0);
+  --pod->slots_used;
+  ++pod->served;
+  pod->last_busy_end = std::max(pod->last_busy_end, exec_end);
+
+  if (options_.record_requests) {
+    trace::RequestRecord rec;
+    rec.timestamp = exec_start;
+    rec.request_id = MixHash(0x9e3779b9, next_request_id_++);
+    rec.pod_id = pod->id;
+    rec.function_id = spec.id;
+    rec.user_id = spec.user;
+    rec.region = pod->region;
+    rec.cluster = pod->cluster;
+    rec.execution_time_us = exec_us;
+    double cpu = spec.cpu_mean_cores * std::exp(0.3 * rng_.NextGaussian());
+    cpu = std::clamp(cpu, 0.005,
+                     static_cast<double>(CpuMillicoresOf(spec.config)) / 1000.0);
+    rec.cpu_millicores = static_cast<uint16_t>(cpu * 1000.0);
+    double mem_kb = spec.mem_mean_kb * std::exp(0.25 * rng_.NextGaussian());
+    mem_kb = std::clamp(mem_kb, 1024.0,
+                        1024.0 * static_cast<double>(MemoryMbOf(spec.config)));
+    rec.memory_kb = static_cast<uint32_t>(mem_kb);
+    store_.AddRequest(rec);
+  }
+  ++loads_[pod->region].total_requests;
+
+  // Workflow fan-out: downstream functions are invoked when the parent finishes.
+  for (const auto& edge : spec.children) {
+    if (rng_.NextBool(edge.probability)) {
+      const SimDuration delay = FromSeconds(rng_.Uniform(0.005, 0.05));
+      sim_.ScheduleAt(exec_end + delay,
+                      [this, child = edge.child] { HandleArrival(child, false); });
+    }
+  }
+
+  if (pod->slots_used == 0) {
+    ArmKeepAlive(pod);
+  }
+}
+
+void Platform::ArmKeepAlive(Pod* pod) {
+  const uint64_t gen = ++pod->keepalive_gen;
+  const FunctionSpec& spec = population_.functions[pod->function];
+  const SimDuration keep_alive = policy_ != nullptr
+                                     ? policy_->KeepAliveFor(spec, sim_.now())
+                                     : options_.default_keep_alive;
+  sim_.ScheduleAt(sim_.now() + keep_alive, [this, pod_id = pod->id, gen] {
+    const auto it = alive_pods_.find(pod_id);
+    if (it == alive_pods_.end()) {
+      return;  // Already dead.
+    }
+    Pod* p = it->second.get();
+    if (p->keepalive_gen != gen || p->slots_used > 0) {
+      return;  // Was re-used since; a newer keep-alive owns it.
+    }
+    KillPod(p, sim_.now());
+  });
+}
+
+void Platform::KillPod(Pod* pod, SimTime death_time) {
+  const FunctionSpec& spec = population_.functions[pod->function];
+  if (workload::TraitsOf(spec.runtime).pool_backed) {
+    pools_[pod->region][static_cast<size_t>(pod->config)].Release(death_time);
+  }
+
+  trace::PodLifetimeRecord rec;
+  rec.pod_id = pod->id;
+  rec.function_id = pod->function;
+  rec.region = pod->region;
+  rec.cluster = pod->cluster;
+  rec.config = pod->config;
+  rec.cold_start_begin = pod->cold_start_begin;
+  rec.ready_time = pod->ready_time;
+  rec.last_busy_end = pod->last_busy_end;
+  rec.death_time = death_time;
+  rec.cold_start_us = pod->cold_start_us;
+  rec.requests_served = pod->served;
+  store_.AddPodLifetime(rec);
+
+  auto& pods = states_[pod->function].pods;
+  const auto it = std::find(pods.begin(), pods.end(), pod);
+  COLDSTART_CHECK(it != pods.end());
+  *it = pods.back();
+  pods.pop_back();
+  alive_pods_.erase(pod->id);
+}
+
+void Platform::HandleArrival(FunctionId fid, bool delay_exempt) {
+  const FunctionSpec& fspec = population_.functions.at(fid);
+  const SimTime now = sim_.now();
+
+  if (policy_ != nullptr) {
+    policy_->OnArrival(fspec, now);
+    if (!fspec.children.empty()) {
+      policy_->OnParentRequestStart(fspec, now);
+    }
+    if (!delay_exempt && !trace::IsSynchronous(fspec.primary_trigger)) {
+      const SimDuration delay = policy_->AdmissionDelay(fspec, now, loads_[fspec.region]);
+      if (delay > 0) {
+        ++loads_[fspec.region].delayed_allocations;
+        sim_.ScheduleAt(now + delay, [this, fid] { HandleArrival(fid, true); });
+        return;
+      }
+    }
+  }
+
+  FunctionState& state = states_[fid];
+  Pod* pod = FindPodWithSlot(state, now);
+  if (pod == nullptr) {
+    RegionId region = fspec.region;
+    SimDuration extra_sched = 0;
+    if (policy_ != nullptr) {
+      const RegionId routed = policy_->RouteColdStart(fspec, now);
+      if (routed != fspec.region && routed < profiles_.size()) {
+        region = routed;
+        extra_sched = FromSeconds(profiles_[fspec.region].inter_region_rtt_ms / 1000.0);
+      }
+    }
+    pod = StartColdStart(fspec, region, /*prewarmed=*/false, extra_sched);
+  }
+  AssignRequest(pod, fspec, now);
+}
+
+void Platform::SpawnPrewarmedPod(FunctionId function, RegionId region,
+                                 SimDuration initial_keep_alive) {
+  const FunctionSpec& fspec = population_.functions.at(function);
+  Pod* pod = StartColdStart(fspec, region, /*prewarmed=*/true, 0);
+  // The prewarmed pod idles from readiness; give it the requested survival window.
+  const uint64_t gen = ++pod->keepalive_gen;
+  sim_.ScheduleAt(pod->ready_time + initial_keep_alive, [this, pod_id = pod->id, gen] {
+    const auto it = alive_pods_.find(pod_id);
+    if (it == alive_pods_.end()) {
+      return;
+    }
+    Pod* p = it->second.get();
+    if (p->keepalive_gen != gen || p->slots_used > 0) {
+      return;
+    }
+    KillPod(p, sim_.now());
+  });
+}
+
+void Platform::Finalize() {
+  store_.set_horizon(calendar_.horizon());
+  // Pods alive at the end of the trace are censored at the horizon, mirroring how the
+  // dataset's month boundary truncates pod lifetimes.
+  std::vector<Pod*> remaining;
+  remaining.reserve(alive_pods_.size());
+  for (auto& [id, pod] : alive_pods_) {
+    remaining.push_back(pod.get());
+  }
+  // Deterministic order (unordered_map iteration is not).
+  std::sort(remaining.begin(), remaining.end(),
+            [](const Pod* a, const Pod* b) { return a->id < b->id; });
+  for (Pod* pod : remaining) {
+    // Censor at the horizon, but never before the pod's own activity (a request can
+    // still be executing when the trace ends).
+    KillPod(pod, std::max({calendar_.horizon(), pod->ready_time, pod->last_busy_end}));
+  }
+}
+
+}  // namespace coldstart::platform

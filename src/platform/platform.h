@@ -1,0 +1,136 @@
+// The multi-region serverless platform (YuanRong-like; Fig. 2 life cycle).
+//
+// One Platform instance hosts all five regions: per-region resource pools, cold-start
+// pipelines, and load state, plus per-function pod sets with keep-alive management.
+// Driven by a Simulator; emits the Table 1 trace streams into a TraceStore.
+//
+// Request path: arrival -> (optional policy admission delay for async triggers) ->
+// find a pod with a free concurrency slot (warm preferred, warming accepted) ->
+// otherwise cold start: draw a pod through the staged pool search, run the 4-component
+// pipeline, and bind the request to the pod's ready time. Completions update
+// keep-alive state and fan out workflow children.
+#ifndef COLDSTART_PLATFORM_PLATFORM_H_
+#define COLDSTART_PLATFORM_PLATFORM_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/coldstart_pipeline.h"
+#include "platform/load_state.h"
+#include "platform/policy_hooks.h"
+#include "platform/resource_pool.h"
+#include "sim/simulator.h"
+#include "trace/trace_store.h"
+#include "workload/arrivals.h"
+
+namespace coldstart::platform {
+
+// A pod instance (warming or warm). slots_used counts requests bound to the pod,
+// whether executing or waiting for readiness.
+struct Pod {
+  trace::PodId id = 0;
+  trace::FunctionId function = 0;
+  trace::RegionId region = 0;
+  trace::ClusterId cluster = 0;
+  trace::ResourceConfig config = trace::ResourceConfig::k300m128;
+  SimTime cold_start_begin = 0;
+  SimTime ready_time = 0;
+  uint32_t cold_start_us = 0;
+  int slots_used = 0;
+  SimTime last_busy_end = 0;
+  uint32_t served = 0;
+  uint64_t keepalive_gen = 0;
+  bool prewarmed = false;
+};
+
+class Platform {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    bool record_requests = true;
+    // Baseline keep-alive when no policy overrides it (§2.2: one minute).
+    SimDuration default_keep_alive = kMinute;
+  };
+
+  Platform(const workload::Population& population,
+           const std::vector<workload::RegionProfile>& profiles,
+           const workload::Calendar& calendar, sim::Simulator& sim,
+           trace::TraceStore& store, Options options,
+           PlatformPolicy* policy = nullptr);
+
+  // Schedules all exogenous arrivals onto the simulator. Takes ownership: day-batched
+  // injector events reference the stored vector for the lifetime of the run.
+  void InjectArrivals(std::vector<workload::ArrivalEvent> arrivals);
+
+  // Writes function records + flushes still-alive pods; call once after the run.
+  void Finalize();
+
+  // --- Policy-facing API. ---
+  // Starts a pod for `function` in `region` with no triggering request. The pod's
+  // cold start is not a user-visible cold start (it is counted in prewarm_spawns).
+  // `initial_keep_alive` is how long the idle prewarmed pod survives awaiting traffic.
+  void SpawnPrewarmedPod(trace::FunctionId function, trace::RegionId region,
+                         SimDuration initial_keep_alive);
+  ResourcePool& pool(trace::RegionId region, trace::ResourceConfig config);
+  const RegionLoadState& load(trace::RegionId region) const;
+  const workload::FunctionSpec& spec(trace::FunctionId function) const;
+  // True when the function has a pod that is (or will be) able to take a request:
+  // ready (or warming) with a free concurrency slot.
+  bool HasAvailablePod(trace::FunctionId function) const;
+  int alive_pod_count(trace::FunctionId function) const;
+  const std::vector<workload::RegionProfile>& profiles() const { return profiles_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // --- Stats. ---
+  // User-visible cold starts per region (excludes prewarm spawns).
+  int64_t cold_starts(trace::RegionId region) const;
+  int64_t total_cold_starts() const;
+  uint64_t pods_created() const { return next_pod_id_; }
+  // Sum over user-visible cold starts of total cold-start latency, per region (µs).
+  int64_t cold_start_latency_sum_us(trace::RegionId region) const;
+  // From-scratch pod creations (pool misses) across the region's pools.
+  int64_t scratch_allocations(trace::RegionId region) const;
+
+ private:
+  struct FunctionState {
+    std::vector<Pod*> pods;  // Alive pods (warming or warm), any region.
+  };
+
+  void HandleArrival(trace::FunctionId fid, bool delay_exempt);
+  Pod* FindPodWithSlot(FunctionState& state, SimTime now) const;
+  Pod* StartColdStart(const workload::FunctionSpec& spec, trace::RegionId region,
+                      bool prewarmed, SimDuration extra_sched_us);
+  void AssignRequest(Pod* pod, const workload::FunctionSpec& spec, SimTime arrival);
+  void OnRequestComplete(trace::PodId pod_id, SimTime exec_start, SimTime exec_end,
+                         uint32_t exec_us, const workload::FunctionSpec& spec);
+  void ArmKeepAlive(Pod* pod);
+  void KillPod(Pod* pod, SimTime death_time);
+  trace::ClusterId PickCluster(const workload::FunctionSpec& spec,
+                               const FunctionState& state, trace::RegionId region);
+
+  const workload::Population& population_;
+  std::vector<workload::RegionProfile> profiles_;
+  workload::Calendar calendar_;
+  sim::Simulator& sim_;
+  trace::TraceStore& store_;
+  Options options_;
+  PlatformPolicy* policy_;  // Not owned; may be null.
+
+  std::vector<ColdStartPipeline> pipelines_;                  // Per region.
+  std::vector<std::vector<ResourcePool>> pools_;              // [region][config].
+  std::vector<RegionLoadState> loads_;                        // Per region.
+  std::vector<int64_t> visible_cold_starts_;                  // Per region.
+  std::vector<int64_t> cold_start_latency_sum_us_;            // Per region.
+  std::vector<FunctionState> states_;                         // Per function.
+  std::vector<workload::ArrivalEvent> arrivals_;              // Owned by InjectArrivals.
+  std::unordered_map<trace::PodId, std::unique_ptr<Pod>> alive_pods_;
+
+  Rng rng_;
+  trace::PodId next_pod_id_ = 0;
+  uint64_t next_request_id_ = 0;
+};
+
+}  // namespace coldstart::platform
+
+#endif  // COLDSTART_PLATFORM_PLATFORM_H_

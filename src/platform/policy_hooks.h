@@ -1,0 +1,76 @@
+// Extension points for scheduling/mitigation policies (§5 of the paper).
+//
+// The baseline platform implements the production behaviour described in §2.2 (fixed
+// 60 s keep-alive, home-region execution, no prewarming, no admission control).
+// Policies override these hooks; concrete implementations live in src/policy/.
+#ifndef COLDSTART_PLATFORM_POLICY_HOOKS_H_
+#define COLDSTART_PLATFORM_POLICY_HOOKS_H_
+
+#include "common/sim_time.h"
+#include "platform/load_state.h"
+#include "workload/function_model.h"
+
+namespace coldstart::platform {
+
+class Platform;
+
+class PlatformPolicy {
+ public:
+  virtual ~PlatformPolicy() = default;
+
+  // Called once when the platform is constructed; policies keep the pointer to spawn
+  // prewarmed pods or adjust pool targets.
+  virtual void OnAttach(Platform& platform) { (void)platform; }
+
+  // Admission delay for an *asynchronously triggered* request (peak shaving). The
+  // platform asks once per request; returning 0 admits immediately. Synchronous
+  // triggers are never delayed.
+  virtual SimDuration AdmissionDelay(const workload::FunctionSpec& spec, SimTime now,
+                                     const RegionLoadState& load) {
+    (void)spec;
+    (void)now;
+    (void)load;
+    return 0;
+  }
+
+  // Keep-alive granted to a pod of `spec` going idle at `now`. The production default
+  // is one minute (§2.2).
+  virtual SimDuration KeepAliveFor(const workload::FunctionSpec& spec, SimTime now) {
+    (void)spec;
+    (void)now;
+    return kMinute;
+  }
+
+  // Region in which a needed cold start should run (cross-region scheduling). The
+  // platform adds the inter-region RTT to scheduling time when this differs from the
+  // function's home region.
+  virtual trace::RegionId RouteColdStart(const workload::FunctionSpec& spec, SimTime now) {
+    (void)now;
+    return spec.region;
+  }
+
+  // Observation hooks (for learning policies).
+  virtual void OnArrival(const workload::FunctionSpec& spec, SimTime now) {
+    (void)spec;
+    (void)now;
+  }
+  virtual void OnColdStart(const workload::FunctionSpec& spec, SimTime now,
+                           SimDuration total) {
+    (void)spec;
+    (void)now;
+    (void)total;
+  }
+  // Fired when a request of a function with workflow children starts executing; chain
+  // predictors prewarm the children here.
+  virtual void OnParentRequestStart(const workload::FunctionSpec& parent, SimTime now) {
+    (void)parent;
+    (void)now;
+  }
+
+  // Control-loop tick, once per simulated minute.
+  virtual void OnMinuteTick(SimTime now) { (void)now; }
+};
+
+}  // namespace coldstart::platform
+
+#endif  // COLDSTART_PLATFORM_POLICY_HOOKS_H_

@@ -1,0 +1,76 @@
+#include "platform/resource_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::platform {
+
+ResourcePool::ResourcePool(int target, double refill_per_min)
+    : free_(target), target_(target), refill_per_min_(refill_per_min) {
+  COLDSTART_CHECK_GE(target, 0);
+  COLDSTART_CHECK_GE(refill_per_min, 0.0);
+}
+
+void ResourcePool::Refill(SimTime now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  refill_credit_ += refill_per_min_ * static_cast<double>(now - last_refill_) /
+                    static_cast<double>(kMinute);
+  last_refill_ = now;
+  const int whole = static_cast<int>(refill_credit_);
+  if (whole > 0 && free_ < target_) {
+    const int add = std::min(whole, target_ - free_);
+    free_ += add;
+    refill_credit_ -= add;
+  }
+  // Credit cannot bank more than one target's worth (provisioner capacity bound).
+  refill_credit_ = std::min(refill_credit_, static_cast<double>(std::max(target_, 1)));
+}
+
+int ResourcePool::free_pods(SimTime now) {
+  Refill(now);
+  return free_;
+}
+
+PoolAcquisition ResourcePool::Acquire(SimTime now, Rng& rng) {
+  Refill(now);
+  PoolAcquisition acq;
+  if (free_ <= 0 || target_ <= 0) {
+    acq.stage = 3;
+    acq.from_scratch = true;
+    ++scratch_count_;
+    return acq;
+  }
+  const double occ = static_cast<double>(free_) / static_cast<double>(target_);
+  // Occupancy-driven search depth: a well-stocked pool answers locally; a nearly-empty
+  // one forces the scheduler to widen the search across clusters and stages.
+  if (occ >= 0.5) {
+    acq.stage = 1;
+  } else if (occ >= 0.15) {
+    acq.stage = rng.NextBool(0.8) ? 1 : 2;
+  } else {
+    acq.stage = rng.NextBool(0.65) ? 2 : 3;
+  }
+  --free_;
+  return acq;
+}
+
+void ResourcePool::Release(SimTime now) {
+  Refill(now);
+  // Deleted pods recycle into the pool, but the pool never overfills past target plus
+  // a small surge margin (the provisioner reclaims the excess).
+  const int cap = target_ + std::max(1, target_ / 4);
+  if (free_ < cap) {
+    ++free_;
+  }
+}
+
+void ResourcePool::SetTarget(int target) {
+  COLDSTART_CHECK_GE(target, 0);
+  target_ = target;
+}
+
+}  // namespace coldstart::platform

@@ -1,0 +1,76 @@
+#include "policy/composite.h"
+
+#include <algorithm>
+
+namespace coldstart::policy {
+
+CompositePolicy& CompositePolicy::Add(std::unique_ptr<platform::PlatformPolicy> policy) {
+  policies_.push_back(std::move(policy));
+  return *this;
+}
+
+void CompositePolicy::OnAttach(platform::Platform& platform) {
+  for (auto& p : policies_) {
+    p->OnAttach(platform);
+  }
+}
+
+SimDuration CompositePolicy::AdmissionDelay(const workload::FunctionSpec& spec,
+                                            SimTime now,
+                                            const platform::RegionLoadState& load) {
+  SimDuration delay = 0;
+  for (auto& p : policies_) {
+    delay = std::max(delay, p->AdmissionDelay(spec, now, load));
+  }
+  return delay;
+}
+
+SimDuration CompositePolicy::KeepAliveFor(const workload::FunctionSpec& spec,
+                                          SimTime now) {
+  for (auto& p : policies_) {
+    const SimDuration ka = p->KeepAliveFor(spec, now);
+    if (ka != kMinute) {
+      return ka;
+    }
+  }
+  return kMinute;
+}
+
+trace::RegionId CompositePolicy::RouteColdStart(const workload::FunctionSpec& spec,
+                                                SimTime now) {
+  for (auto& p : policies_) {
+    const trace::RegionId r = p->RouteColdStart(spec, now);
+    if (r != spec.region) {
+      return r;
+    }
+  }
+  return spec.region;
+}
+
+void CompositePolicy::OnArrival(const workload::FunctionSpec& spec, SimTime now) {
+  for (auto& p : policies_) {
+    p->OnArrival(spec, now);
+  }
+}
+
+void CompositePolicy::OnColdStart(const workload::FunctionSpec& spec, SimTime now,
+                                  SimDuration total) {
+  for (auto& p : policies_) {
+    p->OnColdStart(spec, now, total);
+  }
+}
+
+void CompositePolicy::OnParentRequestStart(const workload::FunctionSpec& parent,
+                                           SimTime now) {
+  for (auto& p : policies_) {
+    p->OnParentRequestStart(parent, now);
+  }
+}
+
+void CompositePolicy::OnMinuteTick(SimTime now) {
+  for (auto& p : policies_) {
+    p->OnMinuteTick(now);
+  }
+}
+
+}  // namespace coldstart::policy

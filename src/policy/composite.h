@@ -1,0 +1,44 @@
+// Composition of platform policies.
+//
+// The platform takes a single PlatformPolicy; CompositePolicy fans every hook out to a
+// list of sub-policies so prewarming, dynamic keep-alive, peak shaving, cross-region
+// routing, and pool prediction can be combined in one experiment.
+//
+// Combination rules: observation hooks go to everyone; AdmissionDelay takes the
+// maximum requested delay; KeepAliveFor and RouteColdStart take the first sub-policy
+// that deviates from the default (list order = priority).
+#ifndef COLDSTART_POLICY_COMPOSITE_H_
+#define COLDSTART_POLICY_COMPOSITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "platform/policy_hooks.h"
+
+namespace coldstart::policy {
+
+class CompositePolicy : public platform::PlatformPolicy {
+ public:
+  CompositePolicy() = default;
+
+  // Takes ownership. Returns *this for chaining.
+  CompositePolicy& Add(std::unique_ptr<platform::PlatformPolicy> policy);
+
+  void OnAttach(platform::Platform& platform) override;
+  SimDuration AdmissionDelay(const workload::FunctionSpec& spec, SimTime now,
+                             const platform::RegionLoadState& load) override;
+  SimDuration KeepAliveFor(const workload::FunctionSpec& spec, SimTime now) override;
+  trace::RegionId RouteColdStart(const workload::FunctionSpec& spec, SimTime now) override;
+  void OnArrival(const workload::FunctionSpec& spec, SimTime now) override;
+  void OnColdStart(const workload::FunctionSpec& spec, SimTime now,
+                   SimDuration total) override;
+  void OnParentRequestStart(const workload::FunctionSpec& parent, SimTime now) override;
+  void OnMinuteTick(SimTime now) override;
+
+ private:
+  std::vector<std::unique_ptr<platform::PlatformPolicy>> policies_;
+};
+
+}  // namespace coldstart::policy
+
+#endif  // COLDSTART_POLICY_COMPOSITE_H_

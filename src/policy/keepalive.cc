@@ -1,0 +1,32 @@
+#include "policy/keepalive.h"
+
+#include <algorithm>
+
+namespace coldstart::policy {
+
+DynamicKeepAlivePolicy::DynamicKeepAlivePolicy() : DynamicKeepAlivePolicy(Options{}) {}
+DynamicKeepAlivePolicy::DynamicKeepAlivePolicy(Options options) : options_(options) {}
+
+void DynamicKeepAlivePolicy::OnArrival(const workload::FunctionSpec& spec, SimTime now) {
+  History& h = history_[spec.id];
+  if (h.last_arrival >= 0) {
+    const double iat = static_cast<double>(now - h.last_arrival);
+    h.iat_ewma = h.observations == 0
+                     ? iat
+                     : options_.ewma_alpha * iat + (1 - options_.ewma_alpha) * h.iat_ewma;
+    ++h.observations;
+  }
+  h.last_arrival = now;
+}
+
+SimDuration DynamicKeepAlivePolicy::KeepAliveFor(const workload::FunctionSpec& spec,
+                                                 SimTime) {
+  const auto it = history_.find(spec.id);
+  if (it == history_.end() || it->second.observations < options_.min_observations) {
+    return options_.default_keep_alive;
+  }
+  const auto scaled = static_cast<SimDuration>(options_.headroom * it->second.iat_ewma);
+  return std::clamp(scaled, options_.min_keep_alive, options_.max_keep_alive);
+}
+
+}  // namespace coldstart::policy

@@ -1,0 +1,44 @@
+#include "policy/peak_shaving.h"
+
+#include "common/rng.h"
+
+namespace coldstart::policy {
+
+PeakShavingPolicy::PeakShavingPolicy() : PeakShavingPolicy(Options{}) {}
+PeakShavingPolicy::PeakShavingPolicy(Options options) : options_(options) {}
+
+bool PeakShavingPolicy::Delayable(trace::Trigger t) const {
+  switch (t) {
+    case trace::Trigger::kObs:
+      return options_.delay_obs;
+    case trace::Trigger::kLts:
+    case trace::Trigger::kCts:
+      return options_.delay_logs;
+    case trace::Trigger::kTimer:
+      return options_.delay_timers;
+    case trace::Trigger::kDis:
+    case trace::Trigger::kSmn:
+    case trace::Trigger::kKafka:
+      return true;
+    default:
+      return false;
+  }
+}
+
+SimDuration PeakShavingPolicy::AdmissionDelay(const workload::FunctionSpec& spec,
+                                              SimTime,
+                                              const platform::RegionLoadState& load) {
+  if (!Delayable(spec.primary_trigger)) {
+    return 0;
+  }
+  if (load.cold_start_window < options_.cold_start_pressure_threshold) {
+    return 0;
+  }
+  ++delays_issued_;
+  // Spread admissions uniformly over (0, max_delay] so the shaved peak does not simply
+  // reappear max_delay later.
+  const double u = static_cast<double>(SplitMix64(mix_) >> 11) * 0x1.0p-53;
+  return 1 + static_cast<SimDuration>(u * static_cast<double>(options_.max_delay));
+}
+
+}  // namespace coldstart::policy

@@ -1,0 +1,43 @@
+// Asynchronous peak shaving (§3.3 / §5 "Synchronous vs. asynchronous calls").
+//
+// When the region is under cold-start pressure, asynchronous, non-latency-critical
+// requests are admitted with a bounded delay, moving their pod allocations out of the
+// peak ("even a short delay could significantly reduce peak pod allocations").
+// Synchronous triggers are never delayed (the platform enforces this).
+#ifndef COLDSTART_POLICY_PEAK_SHAVING_H_
+#define COLDSTART_POLICY_PEAK_SHAVING_H_
+
+#include "platform/policy_hooks.h"
+
+namespace coldstart::policy {
+
+class PeakShavingPolicy : public platform::PlatformPolicy {
+ public:
+  struct Options {
+    double cold_start_pressure_threshold = 30;  // Recent-window cold starts.
+    SimDuration max_delay = kMinute;
+    // Triggers treated as deadline-insensitive (logs/object events, per §3.3).
+    bool delay_obs = true;
+    bool delay_logs = true;   // LTS / CTS.
+    bool delay_timers = false;
+  };
+
+  PeakShavingPolicy();
+  explicit PeakShavingPolicy(Options options);
+
+  SimDuration AdmissionDelay(const workload::FunctionSpec& spec, SimTime now,
+                             const platform::RegionLoadState& load) override;
+
+  int64_t delays_issued() const { return delays_issued_; }
+
+ private:
+  bool Delayable(trace::Trigger t) const;
+
+  Options options_;
+  int64_t delays_issued_ = 0;
+  uint64_t mix_ = 0x9E3779B97F4A7C15ull;  // Cheap deterministic jitter state.
+};
+
+}  // namespace coldstart::policy
+
+#endif  // COLDSTART_POLICY_PEAK_SHAVING_H_

@@ -1,0 +1,54 @@
+#include "policy/pool_prediction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::policy {
+
+PoolPredictionPolicy::PoolPredictionPolicy() : PoolPredictionPolicy(Options{}) {}
+PoolPredictionPolicy::PoolPredictionPolicy(Options options) : options_(std::move(options)) {}
+
+namespace {
+constexpr int kMinutesPerDay = 1440;
+}
+
+void PoolPredictionPolicy::OnAttach(platform::Platform& platform) {
+  platform_ = &platform;
+  const int n =
+      static_cast<int>(platform.profiles().size()) * trace::kNumResourceConfigs;
+  predictors_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    predictors_.push_back(MakePredictor(options_.predictor, kMinutesPerDay));
+  }
+  demand_this_minute_.assign(static_cast<size_t>(n), 0.0);
+}
+
+void PoolPredictionPolicy::OnColdStart(const workload::FunctionSpec& spec, SimTime,
+                                       SimDuration) {
+  COLDSTART_CHECK(platform_ != nullptr);
+  demand_this_minute_[static_cast<size_t>(IndexOf(spec.region, spec.config))] += 1.0;
+}
+
+void PoolPredictionPolicy::OnMinuteTick(SimTime) {
+  COLDSTART_CHECK(platform_ != nullptr);
+  const int num_regions = static_cast<int>(platform_->profiles().size());
+  for (int r = 0; r < num_regions; ++r) {
+    for (int c = 0; c < trace::kNumResourceConfigs; ++c) {
+      const int idx = IndexOf(static_cast<trace::RegionId>(r),
+                              static_cast<trace::ResourceConfig>(c));
+      auto& predictor = *predictors_[static_cast<size_t>(idx)];
+      predictor.Observe(demand_this_minute_[static_cast<size_t>(idx)]);
+      demand_this_minute_[static_cast<size_t>(idx)] = 0.0;
+      const int target = std::clamp(
+          static_cast<int>(std::ceil(options_.headroom * predictor.Predict())),
+          options_.min_target, options_.max_target);
+      platform_->pool(static_cast<trace::RegionId>(r),
+                      static_cast<trace::ResourceConfig>(c))
+          .SetTarget(target);
+    }
+  }
+}
+
+}  // namespace coldstart::policy

@@ -1,0 +1,84 @@
+#include "policy/predictors.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace coldstart::policy {
+
+MovingAveragePredictor::MovingAveragePredictor(int window) {
+  COLDSTART_CHECK_GT(window, 0);
+  ring_.assign(static_cast<size_t>(window), 0.0);
+}
+
+void MovingAveragePredictor::Observe(double value) {
+  sum_ += value - ring_[next_];
+  ring_[next_] = value;
+  next_ = (next_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+}
+
+double MovingAveragePredictor::Predict() const {
+  return filled_ == 0 ? 0.0 : sum_ / static_cast<double>(filled_);
+}
+
+SeasonalNaivePredictor::SeasonalNaivePredictor(int season) {
+  COLDSTART_CHECK_GT(season, 0);
+  season_.assign(static_cast<size_t>(season), 0.0);
+}
+
+void SeasonalNaivePredictor::Observe(double value) {
+  season_[pos_] = value;
+  pos_ = (pos_ + 1) % season_.size();
+  ++observed_;
+  last_ = value;
+}
+
+double SeasonalNaivePredictor::Predict() const {
+  if (observed_ < season_.size()) {
+    return last_;
+  }
+  // pos_ currently points at the slot holding the value from exactly one season ago.
+  return season_[pos_];
+}
+
+HoltWintersPredictor::HoltWintersPredictor(int season, double alpha, double beta,
+                                           double gamma)
+    : alpha_(alpha), beta_(beta), gamma_(gamma) {
+  COLDSTART_CHECK_GT(season, 0);
+  seasonal_.assign(static_cast<size_t>(season), 0.0);
+}
+
+void HoltWintersPredictor::Observe(double value) {
+  if (observed_ == 0) {
+    level_ = value;
+  }
+  const double s = seasonal_[pos_];
+  const double prev_level = level_;
+  level_ = alpha_ * (value - s) + (1 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1 - beta_) * trend_;
+  seasonal_[pos_] = gamma_ * (value - level_) + (1 - gamma_) * s;
+  pos_ = (pos_ + 1) % seasonal_.size();
+  ++observed_;
+}
+
+double HoltWintersPredictor::Predict() const {
+  return std::max(0.0, level_ + trend_ + seasonal_[pos_]);
+}
+
+std::unique_ptr<SeriesPredictor> MakePredictor(const std::string& kind, int season) {
+  if (kind == "moving-average") {
+    return std::make_unique<MovingAveragePredictor>(30);
+  }
+  if (kind == "seasonal-naive") {
+    return std::make_unique<SeasonalNaivePredictor>(season);
+  }
+  if (kind == "holt-winters") {
+    return std::make_unique<HoltWintersPredictor>(season, 0.3, 0.05, 0.15);
+  }
+  COLDSTART_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace coldstart::policy

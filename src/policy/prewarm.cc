@@ -1,0 +1,105 @@
+#include "policy/prewarm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::policy {
+
+TimerAwarePrewarmPolicy::TimerAwarePrewarmPolicy() : TimerAwarePrewarmPolicy(Options{}) {}
+TimerAwarePrewarmPolicy::TimerAwarePrewarmPolicy(Options options) : options_(options) {}
+
+ProfilePrewarmPolicy::ProfilePrewarmPolicy() : ProfilePrewarmPolicy(Options{}) {}
+ProfilePrewarmPolicy::ProfilePrewarmPolicy(Options options) : options_(options) {}
+
+void TimerAwarePrewarmPolicy::OnArrival(const workload::FunctionSpec& spec, SimTime now) {
+  COLDSTART_CHECK(platform_ != nullptr);
+  FunctionHistory& h = history_[spec.id];
+  if (h.last_arrival < 0) {
+    h.last_arrival = now;
+    return;
+  }
+  const double iat = static_cast<double>(now - h.last_arrival);
+  h.last_arrival = now;
+  if (iat <= 0) {
+    return;
+  }
+  if (h.period_estimate <= 0) {
+    h.period_estimate = iat;
+    h.stable_count = 1;
+    return;
+  }
+  const double rel_err = std::fabs(iat - h.period_estimate) / h.period_estimate;
+  if (rel_err <= options_.stability_tolerance) {
+    ++h.stable_count;
+    h.period_estimate = 0.7 * h.period_estimate + 0.3 * iat;
+  } else {
+    h.stable_count = 0;
+    h.period_estimate = iat;
+    return;
+  }
+
+  const auto period = static_cast<SimDuration>(h.period_estimate);
+  const bool periodic_enough = h.stable_count >= options_.min_observations;
+  const bool outside_keep_alive = period > kMinute && period <= options_.max_period;
+  if (!periodic_enough || !outside_keep_alive) {
+    return;
+  }
+  // The pod serving the current fire dies after its keep-alive; spawn a fresh pod just
+  // before the next fire. Survival window covers prediction error on both sides.
+  const SimDuration until_next = period - options_.lead_time;
+  if (until_next <= 0) {
+    return;
+  }
+  platform::Platform& p = *platform_;
+  const trace::FunctionId fid = spec.id;
+  const trace::RegionId region = spec.region;
+  const SimDuration survival = 2 * options_.lead_time + 10 * kSecond;
+  p.simulator().ScheduleAfter(until_next, [&p, fid, region, survival] {
+    if (!p.HasAvailablePod(fid)) {
+      p.SpawnPrewarmedPod(fid, region, survival);
+    }
+  });
+  ++prewarms_issued_;
+}
+
+void ProfilePrewarmPolicy::OnArrival(const workload::FunctionSpec& spec, SimTime now) {
+  Profile& prof = profiles_[spec.id];
+  const int minute = static_cast<int>((TimeOfDay(now)) / kMinute);
+  prof.per_minute[static_cast<size_t>(minute)] += 1.0f;
+}
+
+void ProfilePrewarmPolicy::OnColdStart(const workload::FunctionSpec& spec, SimTime,
+                                       SimDuration) {
+  watch_list_.insert(spec.id);
+}
+
+void ProfilePrewarmPolicy::OnMinuteTick(SimTime now) {
+  COLDSTART_CHECK(platform_ != nullptr);
+  const int64_t day = DayIndex(now);
+  if (day < 1) {
+    return;  // Need at least one day of history before the profile means anything.
+  }
+  const int next_minute = static_cast<int>(((TimeOfDay(now)) / kMinute + 1) % 1440);
+  int budget = options_.max_prewarms_per_tick;
+  for (auto it = watch_list_.begin(); it != watch_list_.end() && budget > 0;) {
+    const trace::FunctionId fid = *it;
+    const auto prof_it = profiles_.find(fid);
+    if (prof_it == profiles_.end()) {
+      it = watch_list_.erase(it);
+      continue;
+    }
+    const double expected =
+        prof_it->second.per_minute[static_cast<size_t>(next_minute)] /
+        static_cast<double>(day);
+    if (expected >= options_.min_expected_arrivals && !platform_->HasAvailablePod(fid)) {
+      platform_->SpawnPrewarmedPod(fid, platform_->spec(fid).region,
+                                   options_.prewarm_keep_alive);
+      ++prewarms_issued_;
+      --budget;
+    }
+    ++it;
+  }
+}
+
+}  // namespace coldstart::policy

@@ -1,0 +1,87 @@
+// Prewarming policies (§4.3 / §5 "Predicting cold starts").
+//
+// TimerAwarePrewarmPolicy: learns each function's inter-arrival period online (timers
+// are strictly periodic, so the estimate converges after two arrivals) and spawns a
+// prewarmed pod shortly before the next predicted fire when the period exceeds the
+// keep-alive window. This directly targets the Fig. 14 diagonal: timer functions that
+// cold-start on every invocation.
+//
+// ProfilePrewarmPolicy: watches functions that recently cold-started and keeps a pod
+// warm when the learned minute-of-day profile predicts an imminent invocation —
+// the "pre-warm pods with popular configurations" direction of §3.3.
+#ifndef COLDSTART_POLICY_PREWARM_H_
+#define COLDSTART_POLICY_PREWARM_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "platform/platform.h"
+
+namespace coldstart::policy {
+
+class TimerAwarePrewarmPolicy : public platform::PlatformPolicy {
+ public:
+  struct Options {
+    SimDuration lead_time = 5 * kSecond;    // Spawn this long before the predicted fire.
+    SimDuration max_period = 2 * kHour;     // Don't prewarm rarer functions than this.
+    double stability_tolerance = 0.05;      // |IAT - estimate| / estimate to call it periodic.
+    int min_observations = 3;
+  };
+
+  TimerAwarePrewarmPolicy();
+  explicit TimerAwarePrewarmPolicy(Options options);
+
+  void OnAttach(platform::Platform& platform) override { platform_ = &platform; }
+  void OnArrival(const workload::FunctionSpec& spec, SimTime now) override;
+
+  int64_t prewarms_issued() const { return prewarms_issued_; }
+
+ private:
+  struct FunctionHistory {
+    SimTime last_arrival = -1;
+    double period_estimate = 0;  // µs.
+    int stable_count = 0;
+  };
+
+  Options options_;
+  platform::Platform* platform_ = nullptr;
+  std::unordered_map<trace::FunctionId, FunctionHistory> history_;
+  int64_t prewarms_issued_ = 0;
+};
+
+class ProfilePrewarmPolicy : public platform::PlatformPolicy {
+ public:
+  struct Options {
+    double min_expected_arrivals = 0.3;  // Prewarm when next-minute prediction exceeds.
+    SimDuration prewarm_keep_alive = 2 * kMinute;
+    int max_prewarms_per_tick = 50;
+  };
+
+  ProfilePrewarmPolicy();
+  explicit ProfilePrewarmPolicy(Options options);
+
+  void OnAttach(platform::Platform& platform) override { platform_ = &platform; }
+  void OnArrival(const workload::FunctionSpec& spec, SimTime now) override;
+  void OnColdStart(const workload::FunctionSpec& spec, SimTime now,
+                   SimDuration total) override;
+  void OnMinuteTick(SimTime now) override;
+
+  int64_t prewarms_issued() const { return prewarms_issued_; }
+
+ private:
+  struct Profile {
+    // Smoothed arrivals per minute-of-day (1440 bins), updated online.
+    std::vector<float> per_minute = std::vector<float>(1440, 0.f);
+    int days_observed = 0;
+  };
+
+  Options options_;
+  platform::Platform* platform_ = nullptr;
+  std::unordered_map<trace::FunctionId, Profile> profiles_;
+  std::unordered_set<trace::FunctionId> watch_list_;  // Cold-started recently.
+  int64_t prewarms_issued_ = 0;
+};
+
+}  // namespace coldstart::policy
+
+#endif  // COLDSTART_POLICY_PREWARM_H_

@@ -1,0 +1,31 @@
+#include "policy/workflow_prewarm.h"
+
+namespace coldstart::policy {
+
+WorkflowPrewarmPolicy::WorkflowPrewarmPolicy() : WorkflowPrewarmPolicy(Options{}) {}
+WorkflowPrewarmPolicy::WorkflowPrewarmPolicy(Options options) : options_(options) {}
+
+void WorkflowPrewarmPolicy::OnParentRequestStart(const workload::FunctionSpec& parent,
+                                                 SimTime now) {
+  if (platform_ == nullptr) {
+    return;
+  }
+  for (const auto& edge : parent.children) {
+    if (edge.probability < options_.min_edge_probability) {
+      continue;
+    }
+    const auto it = last_prewarm_.find(edge.child);
+    if (it != last_prewarm_.end() && now - it->second < options_.per_child_cooldown) {
+      continue;
+    }
+    if (platform_->HasAvailablePod(edge.child)) {
+      continue;
+    }
+    const workload::FunctionSpec& child = platform_->spec(edge.child);
+    platform_->SpawnPrewarmedPod(edge.child, child.region, options_.prewarm_keep_alive);
+    last_prewarm_[edge.child] = now;
+    ++prewarms_issued_;
+  }
+}
+
+}  // namespace coldstart::policy

@@ -1,0 +1,41 @@
+// Workflow call-chain prewarming (§5 "Workflow function calls can be predicted").
+//
+// When a request of a function with workflow children starts, the children are likely
+// to be invoked within the parent's execution time. This policy prewarms pods for
+// high-probability children that have no available pod, hiding the child's cold start
+// behind the parent's execution.
+#ifndef COLDSTART_POLICY_WORKFLOW_PREWARM_H_
+#define COLDSTART_POLICY_WORKFLOW_PREWARM_H_
+
+#include <unordered_map>
+
+#include "platform/platform.h"
+
+namespace coldstart::policy {
+
+class WorkflowPrewarmPolicy : public platform::PlatformPolicy {
+ public:
+  struct Options {
+    double min_edge_probability = 0.15;  // Ignore unlikely edges.
+    SimDuration prewarm_keep_alive = kMinute;
+    SimDuration per_child_cooldown = 30 * kSecond;  // At most one prewarm per window.
+  };
+
+  WorkflowPrewarmPolicy();
+  explicit WorkflowPrewarmPolicy(Options options);
+
+  void OnAttach(platform::Platform& platform) override { platform_ = &platform; }
+  void OnParentRequestStart(const workload::FunctionSpec& parent, SimTime now) override;
+
+  int64_t prewarms_issued() const { return prewarms_issued_; }
+
+ private:
+  Options options_;
+  platform::Platform* platform_ = nullptr;
+  std::unordered_map<trace::FunctionId, SimTime> last_prewarm_;
+  int64_t prewarms_issued_ = 0;
+};
+
+}  // namespace coldstart::policy
+
+#endif  // COLDSTART_POLICY_WORKFLOW_PREWARM_H_

@@ -1,0 +1,80 @@
+#include "sim/simulator.h"
+
+#include <memory>
+
+namespace coldstart::sim {
+
+void Simulator::ScheduleAt(SimTime t, Handler fn) {
+  COLDSTART_CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+uint64_t Simulator::RunUntil(SimTime until) {
+  stop_requested_ = false;
+  uint64_t processed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    const Event& top = queue_.top();
+    if (top.time > until) {
+      break;
+    }
+    // Move the handler out before popping: the handler may schedule new events, which
+    // mutates the queue.
+    Handler fn = std::move(const_cast<Event&>(top).fn);
+    now_ = top.time;
+    queue_.pop();
+    fn();
+    ++processed;
+    ++events_processed_;
+  }
+  if (queue_.empty() || (!stop_requested_ && now_ < until)) {
+    now_ = until;
+  }
+  return processed;
+}
+
+uint64_t Simulator::RunToCompletion() {
+  stop_requested_ = false;
+  uint64_t processed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    const Event& top = queue_.top();
+    Handler fn = std::move(const_cast<Event&>(top).fn);
+    now_ = top.time;
+    queue_.pop();
+    fn();
+    ++processed;
+    ++events_processed_;
+  }
+  return processed;
+}
+
+void SchedulePeriodic(Simulator& sim, SimTime start, SimDuration period, SimTime end,
+                      std::function<void(int64_t)> fn) {
+  COLDSTART_CHECK_GT(period, 0);
+  if (start >= end) {
+    return;
+  }
+  // A small heap state carries the tick index through the self-rescheduling closure.
+  struct State {
+    Simulator* sim;
+    SimDuration period;
+    SimTime end;
+    int64_t index;
+    std::function<void(int64_t)> fn;
+  };
+  auto state = std::make_shared<State>(State{&sim, period, end, 0, std::move(fn)});
+  // Self-rescheduling functor (a recursive lambda in struct form).
+  struct Recur {
+    std::shared_ptr<State> s;
+    void operator()() const {
+      s->fn(s->index);
+      ++s->index;
+      const SimTime next = s->sim->now() + s->period;
+      if (next < s->end) {
+        s->sim->ScheduleAt(next, Recur{s});
+      }
+    }
+  };
+  sim.ScheduleAt(start, Recur{state});
+}
+
+}  // namespace coldstart::sim

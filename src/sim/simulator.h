@@ -1,0 +1,80 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with a deterministic total order: events fire by
+// (time, insertion sequence), so two events at the same timestamp run in the order
+// they were scheduled. Handlers are arbitrary callables; components that need
+// cancellation use generation counters rather than queue surgery (cheaper, and it
+// keeps the queue a plain binary heap).
+#ifndef COLDSTART_SIM_SIMULATOR_H_
+#define COLDSTART_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+
+namespace coldstart::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+  // Schedules `fn` at absolute time `t` (>= now).
+  void ScheduleAt(SimTime t, Handler fn);
+  // Schedules `fn` after `dt` (>= 0) from now.
+  void ScheduleAfter(SimDuration dt, Handler fn) {
+    COLDSTART_CHECK_GE(dt, 0);
+    ScheduleAt(now_ + dt, std::move(fn));
+  }
+
+  // Runs until the queue empties or the clock would pass `until`. Events scheduled
+  // exactly at `until` do fire. Returns the number of events processed by this call.
+  uint64_t RunUntil(SimTime until);
+
+  // Runs until the queue is empty.
+  uint64_t RunToCompletion();
+
+  // Requests that the current RunUntil/RunToCompletion stop after the in-flight
+  // handler returns (pending events remain queued).
+  void Stop() { stop_requested_ = true; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Handler fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+// Invokes `fn(bucket_index)` every `period` from `start` until `end` (exclusive).
+// Used for per-minute metric sampling and pool maintenance loops.
+void SchedulePeriodic(Simulator& sim, SimTime start, SimDuration period, SimTime end,
+                      std::function<void(int64_t)> fn);
+
+}  // namespace coldstart::sim
+
+#endif  // COLDSTART_SIM_SIMULATOR_H_

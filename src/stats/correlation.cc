@@ -1,0 +1,176 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace coldstart::stats {
+
+namespace {
+
+// Regularized incomplete beta function I_x(a, b) via the continued-fraction expansion
+// (Numerical Recipes style); used for the Student-t CDF.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) {
+    d = kFpMin;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) {
+      break;
+    }
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  if (x >= 1.0) {
+    return 1.0;
+  }
+  const double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                       a * std::log(x) + b * std::log1p(-x);
+  const double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - bt * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+double StudentTTwoSidedPValue(double t, double dof) {
+  COLDSTART_CHECK_GT(dof, 0.0);
+  if (!std::isfinite(t)) {
+    return 0.0;
+  }
+  const double x = dof / (dof + t * t);
+  return RegularizedIncompleteBeta(dof / 2.0, 0.5, x);
+}
+
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Ties [i, j] all get the average of ranks i+1 .. j+1.
+    const double rank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  COLDSTART_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) {
+    return 0.0;  // A constant series has no defined correlation; report 0.
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+CorrelationResult SpearmanCorrelation(const std::vector<double>& x,
+                                      const std::vector<double>& y) {
+  COLDSTART_CHECK_EQ(x.size(), y.size());
+  CorrelationResult r;
+  const size_t n = x.size();
+  if (n < 3) {
+    return r;
+  }
+  const std::vector<double> rx = MidRanks(x);
+  const std::vector<double> ry = MidRanks(y);
+  r.rho = PearsonCorrelation(rx, ry);
+  const double dof = static_cast<double>(n) - 2.0;
+  const double denom = 1.0 - r.rho * r.rho;
+  if (denom <= 0) {
+    r.p_value = 0.0;
+  } else {
+    const double t = r.rho * std::sqrt(dof / denom);
+    r.p_value = StudentTTwoSidedPValue(t, dof);
+  }
+  return r;
+}
+
+std::vector<std::vector<CorrelationResult>> SpearmanMatrix(
+    const std::vector<std::vector<double>>& series) {
+  const size_t k = series.size();
+  std::vector<std::vector<CorrelationResult>> m(k, std::vector<CorrelationResult>(k));
+  for (size_t i = 0; i < k; ++i) {
+    m[i][i].rho = 1.0;
+    m[i][i].p_value = 0.0;
+    for (size_t j = i + 1; j < k; ++j) {
+      const CorrelationResult r = SpearmanCorrelation(series[i], series[j]);
+      m[i][j] = r;
+      m[j][i] = r;
+    }
+  }
+  return m;
+}
+
+}  // namespace coldstart::stats

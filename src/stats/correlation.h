@@ -1,0 +1,39 @@
+// Rank correlation for Figure 12's component-correlation matrices.
+//
+// Spearman's rho with midrank tie handling; significance via the standard
+// t-approximation (t = r * sqrt((n-2)/(1-r^2)) with n-2 dof), which is what the paper's
+// "* marks p < 0.05" asterisks correspond to at these sample sizes.
+#ifndef COLDSTART_STATS_CORRELATION_H_
+#define COLDSTART_STATS_CORRELATION_H_
+
+#include <vector>
+
+namespace coldstart::stats {
+
+struct CorrelationResult {
+  double rho = 0.0;      // Spearman rank correlation in [-1, 1].
+  double p_value = 1.0;  // Two-sided.
+  bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+// Midranks of `values` (average rank for ties), 1-based as in the textbook definition.
+std::vector<double> MidRanks(const std::vector<double>& values);
+
+// Pearson correlation of two equal-length vectors.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+// Spearman correlation with two-sided p-value. Requires x.size() == y.size() >= 3.
+CorrelationResult SpearmanCorrelation(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+// Symmetric matrix of pairwise Spearman correlations between columns of `series`
+// (series[i] is column i; all columns must have equal length).
+std::vector<std::vector<CorrelationResult>> SpearmanMatrix(
+    const std::vector<std::vector<double>>& series);
+
+// Two-sided p-value of a Student-t statistic with `dof` degrees of freedom.
+double StudentTTwoSidedPValue(double t, double dof);
+
+}  // namespace coldstart::stats
+
+#endif  // COLDSTART_STATS_CORRELATION_H_

@@ -1,0 +1,102 @@
+// Probability distributions used for workload modelling and for the Figure 10 fits.
+//
+// Each distribution exposes parameters, moment conversions, sampling (via Rng), and the
+// analytic pdf/cdf needed for fit-quality checks. Parameterizations follow the usual
+// conventions: LogNormal(mu, sigma) on the log scale, Weibull(shape k, scale lambda).
+#ifndef COLDSTART_STATS_DISTRIBUTIONS_H_
+#define COLDSTART_STATS_DISTRIBUTIONS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace coldstart::stats {
+
+// ---------------------------------------------------------------------------
+// LogNormal. The paper fits cold-start times with LogNormal(mean 3.24, sd 7.10)
+// (moments of the distribution itself, not of the logs).
+struct LogNormalParams {
+  double mu = 0.0;     // Mean of log(X).
+  double sigma = 1.0;  // Std dev of log(X), > 0.
+
+  double Mean() const;
+  double StdDev() const;
+  double Median() const;
+
+  // Recovers (mu, sigma) from the distribution's mean and standard deviation.
+  static LogNormalParams FromMoments(double mean, double stddev);
+
+  double Sample(Rng& rng) const;
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double q) const;
+};
+
+// ---------------------------------------------------------------------------
+// Weibull. The paper fits cold-start inter-arrival times with Weibull(mean 1.25, sd 3.66).
+struct WeibullParams {
+  double shape = 1.0;  // k > 0.
+  double scale = 1.0;  // lambda > 0.
+
+  double Mean() const;
+  double StdDev() const;
+
+  // Solves for (k, lambda) matching the given moments; uses bisection on the coefficient
+  // of variation, which is monotone in k.
+  static WeibullParams FromMoments(double mean, double stddev);
+
+  double Sample(Rng& rng) const;
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double Quantile(double q) const;
+};
+
+// ---------------------------------------------------------------------------
+// Bounded Pareto on [lo, hi] with tail index alpha; heavy-tailed function popularity.
+struct BoundedParetoParams {
+  double alpha = 1.0;
+  double lo = 1.0;
+  double hi = 1e6;
+
+  double Sample(Rng& rng) const;
+  double Cdf(double x) const;
+};
+
+// ---------------------------------------------------------------------------
+// Zipf over {0, ..., n-1} with exponent s (rank popularity). O(1) sampling via
+// precomputed cumulative weights (n is at most tens of thousands here).
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s);
+  int Sample(Rng& rng) const;
+  double ProbabilityOfRank(int rank) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+// ---------------------------------------------------------------------------
+// Categorical distribution over arbitrary weights.
+class CategoricalSampler {
+ public:
+  explicit CategoricalSampler(std::vector<double> weights);
+  int Sample(Rng& rng) const;
+  double Probability(int index) const;
+  int size() const { return static_cast<int>(cumulative_.size()); }
+
+ private:
+  std::vector<double> cumulative_;
+  std::vector<double> probabilities_;
+};
+
+// Standard normal CDF (used by LogNormal and by p-value computation).
+double StdNormalCdf(double z);
+
+// Poisson sample with the given mean: Knuth's product method for small lambda, a
+// clamped normal approximation above 64 (workload synthesis does not need exact tail
+// behaviour there).
+int SamplePoisson(Rng& rng, double lambda);
+
+}  // namespace coldstart::stats
+
+#endif  // COLDSTART_STATS_DISTRIBUTIONS_H_

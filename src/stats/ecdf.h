@@ -1,0 +1,59 @@
+// Empirical CDFs and summary statistics.
+//
+// The paper reports nearly everything as CDFs (Figs. 3, 4, 10, 15, 16, 17); Ecdf is the
+// shared representation. It stores sorted samples, so quantiles are exact.
+#ifndef COLDSTART_STATS_ECDF_H_
+#define COLDSTART_STATS_ECDF_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace coldstart::stats {
+
+struct SummaryStats {
+  size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void Add(double sample);
+  // Must be called after the last Add() and before any query; idempotent.
+  void Seal();
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Exact sample quantile (linear interpolation between order statistics).
+  double Quantile(double q) const;
+  // P(X <= x).
+  double CdfAt(double x) const;
+  double Mean() const;
+  double StdDev() const;
+  SummaryStats Summary() const;
+
+  // Evaluates the ECDF at `n` log-spaced points spanning [min, max]; used by benches
+  // to print CDF curves. Returns (x, F(x)) pairs.
+  std::vector<std::pair<double, double>> CurveLogX(int n) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sealed_ = true;
+};
+
+}  // namespace coldstart::stats
+
+#endif  // COLDSTART_STATS_ECDF_H_

@@ -1,0 +1,118 @@
+#include "stats/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::stats {
+
+LogNormalParams FitLogNormalMle(const std::vector<double>& samples) {
+  COLDSTART_CHECK_GE(samples.size(), 2u);
+  double sum = 0;
+  for (const double x : samples) {
+    COLDSTART_CHECK_GT(x, 0.0);
+    sum += std::log(x);
+  }
+  const double n = static_cast<double>(samples.size());
+  const double mu = sum / n;
+  double ss = 0;
+  for (const double x : samples) {
+    const double d = std::log(x) - mu;
+    ss += d * d;
+  }
+  LogNormalParams p;
+  p.mu = mu;
+  p.sigma = std::sqrt(ss / n);
+  if (p.sigma <= 0) {
+    p.sigma = 1e-12;  // Degenerate (all samples equal): keep the params valid.
+  }
+  return p;
+}
+
+WeibullParams FitWeibullMle(const std::vector<double>& samples) {
+  COLDSTART_CHECK_GE(samples.size(), 2u);
+  const double n = static_cast<double>(samples.size());
+  double sum_log = 0;
+  for (const double x : samples) {
+    COLDSTART_CHECK_GT(x, 0.0);
+    sum_log += std::log(x);
+  }
+  const double mean_log = sum_log / n;
+
+  // Profile likelihood equation in k:
+  //   g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0
+  // g is increasing in k on (0, inf); solve by Newton with bisection safeguard.
+  auto g_and_gprime = [&](double k, double& g, double& gp) {
+    double swk = 0, swklog = 0, swklog2 = 0;
+    for (const double x : samples) {
+      const double lx = std::log(x);
+      const double w = std::pow(x, k);
+      swk += w;
+      swklog += w * lx;
+      swklog2 += w * lx * lx;
+    }
+    const double r = swklog / swk;
+    g = r - 1.0 / k - mean_log;
+    gp = (swklog2 / swk) - r * r + 1.0 / (k * k);
+  };
+
+  double lo = 1e-3, hi = 50.0;
+  double k = 1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    double g, gp;
+    g_and_gprime(k, g, gp);
+    if (std::fabs(g) < 1e-12) {
+      break;
+    }
+    if (g > 0) {
+      hi = std::min(hi, k);
+    } else {
+      lo = std::max(lo, k);
+    }
+    double next = k - g / gp;
+    if (!(next > lo && next < hi)) {
+      next = 0.5 * (lo + hi);  // Newton left the bracket; bisect.
+    }
+    if (std::fabs(next - k) < 1e-14) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+
+  double swk = 0;
+  for (const double x : samples) {
+    swk += std::pow(x, k);
+  }
+  WeibullParams p;
+  p.shape = k;
+  p.scale = std::pow(swk / n, 1.0 / k);
+  return p;
+}
+
+FitQuality EvaluateLogNormalFit(const std::vector<double>& sorted_samples,
+                                const LogNormalParams& p) {
+  FitQuality q;
+  q.ks_distance = KsDistance(sorted_samples, p);
+  double ll = 0;
+  for (const double x : sorted_samples) {
+    ll += std::log(std::max(p.Pdf(x), 1e-300));
+  }
+  q.log_likelihood = ll;
+  return q;
+}
+
+FitQuality EvaluateWeibullFit(const std::vector<double>& sorted_samples,
+                              const WeibullParams& p) {
+  FitQuality q;
+  q.ks_distance = KsDistance(sorted_samples, p);
+  double ll = 0;
+  for (const double x : sorted_samples) {
+    ll += std::log(std::max(p.Pdf(x), 1e-300));
+  }
+  q.log_likelihood = ll;
+  return q;
+}
+
+}  // namespace coldstart::stats

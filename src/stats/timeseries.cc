@@ -1,0 +1,133 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::stats {
+
+std::vector<double> MovingAverage(const std::vector<double>& series, int window) {
+  COLDSTART_CHECK_GT(window, 0);
+  const int n = static_cast<int>(series.size());
+  std::vector<double> out(series.size());
+  const int half = window / 2;
+  // Prefix sums make each window O(1).
+  std::vector<double> prefix(series.size() + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix[static_cast<size_t>(i) + 1] = prefix[static_cast<size_t>(i)] + series[static_cast<size_t>(i)];
+  }
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - half);
+    const int hi = std::min(n - 1, i + half);
+    const double sum = prefix[static_cast<size_t>(hi) + 1] - prefix[static_cast<size_t>(lo)];
+    out[static_cast<size_t>(i)] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& series) {
+  std::vector<double> out(series.size(), 0.0);
+  if (series.empty()) {
+    return out;
+  }
+  const auto [mn_it, mx_it] = std::minmax_element(series.begin(), series.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  if (mx <= mn) {
+    return out;
+  }
+  for (size_t i = 0; i < series.size(); ++i) {
+    out[i] = (series[i] - mn) / (mx - mn);
+  }
+  return out;
+}
+
+std::vector<Peak> LargestPeakPerPeriod(const std::vector<double>& series, size_t period) {
+  COLDSTART_CHECK_GT(period, 0u);
+  std::vector<Peak> peaks;
+  for (size_t start = 0; start + period <= series.size(); start += period) {
+    Peak p;
+    p.index = start;
+    p.value = series[start];
+    for (size_t i = start; i < start + period; ++i) {
+      if (series[i] > p.value) {
+        p.value = series[i];
+        p.index = i;
+      }
+    }
+    peaks.push_back(p);
+  }
+  return peaks;
+}
+
+double PeakToTroughRatio(const std::vector<double>& series, double floor) {
+  if (series.size() < 2) {
+    return 1.0;
+  }
+  const auto [mn_it, mx_it] = std::minmax_element(series.begin(), series.end());
+  const double mx = *mx_it;
+  if (mx <= 0) {
+    return 1.0;
+  }
+  const double mn = std::max(*mn_it, floor);
+  return std::max(1.0, mx / mn);
+}
+
+double Autocorrelation(const std::vector<double>& series, size_t lag) {
+  const size_t n = series.size();
+  if (n == 0 || lag >= n) {
+    return 0.0;
+  }
+  double mean = 0;
+  for (const double v : series) {
+    mean += v;
+  }
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (const double v : series) {
+    var += (v - mean) * (v - mean);
+  }
+  if (var <= 0) {
+    return 0.0;
+  }
+  double acc = 0;
+  for (size_t i = 0; i + lag < n; ++i) {
+    acc += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return acc / var;
+}
+
+std::vector<double> Downsample(const std::vector<double>& series, size_t factor) {
+  COLDSTART_CHECK_GT(factor, 0u);
+  std::vector<double> out;
+  out.reserve(series.size() / factor);
+  for (size_t start = 0; start + factor <= series.size(); start += factor) {
+    double sum = 0;
+    for (size_t i = start; i < start + factor; ++i) {
+      sum += series[i];
+    }
+    out.push_back(sum);
+  }
+  return out;
+}
+
+std::vector<double> PeriodicProfile(const std::vector<double>& series, size_t period) {
+  COLDSTART_CHECK_GT(period, 0u);
+  const size_t periods = series.size() / period;
+  std::vector<double> out(period, 0.0);
+  if (periods == 0) {
+    return out;
+  }
+  for (size_t p = 0; p < periods; ++p) {
+    for (size_t i = 0; i < period; ++i) {
+      out[i] += series[p * period + i];
+    }
+  }
+  for (auto& v : out) {
+    v /= static_cast<double>(periods);
+  }
+  return out;
+}
+
+}  // namespace coldstart::stats

@@ -1,0 +1,47 @@
+// Time-series utilities for the peak/periodicity analyses (Figs. 5, 6, 8).
+//
+// Series are plain std::vector<double> with a fixed bucket duration implied by the
+// caller (per-minute or per-hour everywhere in this codebase).
+#ifndef COLDSTART_STATS_TIMESERIES_H_
+#define COLDSTART_STATS_TIMESERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace coldstart::stats {
+
+// Centered moving average with the given (odd) window; edges use the available
+// partial window, so the output length equals the input length.
+std::vector<double> MovingAverage(const std::vector<double>& series, int window);
+
+// Scales a series into [0, 1] by its min/max; a constant series maps to all zeros.
+std::vector<double> MinMaxNormalize(const std::vector<double>& series);
+
+struct Peak {
+  size_t index = 0;
+  double value = 0;
+};
+
+// Largest value in each consecutive chunk of `period` buckets (the paper's "largest
+// peak in 24 hours", applied to the smoothed signal).
+std::vector<Peak> LargestPeakPerPeriod(const std::vector<double>& series, size_t period);
+
+// Peak-to-trough ratio of a (smoothed) series: max / min over the series. Troughs at
+// zero are clamped to `floor` to keep the ratio finite; a series with < 2 samples or
+// no identifiable oscillation returns 1.
+double PeakToTroughRatio(const std::vector<double>& series, double floor = 1.0);
+
+// Sample autocorrelation at the given lag (mean-removed, biased normalization).
+double Autocorrelation(const std::vector<double>& series, size_t lag);
+
+// Sums consecutive groups of `factor` buckets (e.g. minute series -> hour series with
+// factor 60). The trailing partial group, if any, is dropped.
+std::vector<double> Downsample(const std::vector<double>& series, size_t factor);
+
+// Element-wise mean of the same bucket across periods, e.g. the average day profile of
+// a minute series with period = 1440. Ignores trailing partial periods.
+std::vector<double> PeriodicProfile(const std::vector<double>& series, size_t period);
+
+}  // namespace coldstart::stats
+
+#endif  // COLDSTART_STATS_TIMESERIES_H_

@@ -1,0 +1,236 @@
+#include "trace/aggregate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace coldstart::trace {
+
+namespace {
+
+// True when the record's region matches the filter (-1 = all regions).
+inline bool RegionMatches(int filter, RegionId region) {
+  return filter < 0 || static_cast<int>(region) == filter;
+}
+
+inline size_t BucketOf(SimTime t, SimDuration bucket) {
+  return static_cast<size_t>(t / bucket);
+}
+
+}  // namespace
+
+size_t NumBuckets(SimTime horizon, SimDuration bucket) {
+  COLDSTART_CHECK_GT(bucket, 0);
+  return static_cast<size_t>((horizon + bucket - 1) / bucket);
+}
+
+std::vector<double> RequestCountSeries(const TraceStore& store, int region,
+                                       SimDuration bucket) {
+  std::vector<double> out(NumBuckets(store.horizon(), bucket), 0.0);
+  for (const auto& r : store.requests()) {
+    if (!RegionMatches(region, r.region)) {
+      continue;
+    }
+    const size_t b = BucketOf(r.timestamp, bucket);
+    if (b < out.size()) {
+      out[b] += 1.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> MeanExecutionTimeSeries(const TraceStore& store, int region,
+                                            SimDuration bucket) {
+  const size_t n = NumBuckets(store.horizon(), bucket);
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> cnt(n, 0.0);
+  for (const auto& r : store.requests()) {
+    if (!RegionMatches(region, r.region)) {
+      continue;
+    }
+    const size_t b = BucketOf(r.timestamp, bucket);
+    if (b < n) {
+      sum[b] += static_cast<double>(r.execution_time_us) / kSecond;
+      cnt[b] += 1.0;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    sum[i] = cnt[i] > 0 ? sum[i] / cnt[i] : 0.0;
+  }
+  return sum;
+}
+
+std::vector<double> MeanCpuUsageSeries(const TraceStore& store, int region,
+                                       SimDuration bucket) {
+  const size_t n = NumBuckets(store.horizon(), bucket);
+  std::vector<double> sum(n, 0.0);
+  std::vector<double> cnt(n, 0.0);
+  for (const auto& r : store.requests()) {
+    if (!RegionMatches(region, r.region)) {
+      continue;
+    }
+    const size_t b = BucketOf(r.timestamp, bucket);
+    if (b < n) {
+      sum[b] += static_cast<double>(r.cpu_millicores) / 1000.0;
+      cnt[b] += 1.0;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    sum[i] = cnt[i] > 0 ? sum[i] / cnt[i] : 0.0;
+  }
+  return sum;
+}
+
+std::vector<double> ColdStartCountSeries(const TraceStore& store, int region,
+                                         SimDuration bucket) {
+  std::vector<double> out(NumBuckets(store.horizon(), bucket), 0.0);
+  for (const auto& c : store.cold_starts()) {
+    if (!RegionMatches(region, c.region)) {
+      continue;
+    }
+    const size_t b = BucketOf(c.timestamp, bucket);
+    if (b < out.size()) {
+      out[b] += 1.0;
+    }
+  }
+  return out;
+}
+
+ComponentSeries ColdStartComponentSeries(const TraceStore& store, int region,
+                                         SimDuration bucket) {
+  const size_t n = NumBuckets(store.horizon(), bucket);
+  ComponentSeries s;
+  s.total.assign(n, 0.0);
+  s.pod_alloc.assign(n, 0.0);
+  s.deploy_code.assign(n, 0.0);
+  s.deploy_dep.assign(n, 0.0);
+  s.scheduling.assign(n, 0.0);
+  s.count.assign(n, 0.0);
+  for (const auto& c : store.cold_starts()) {
+    if (!RegionMatches(region, c.region)) {
+      continue;
+    }
+    const size_t b = BucketOf(c.timestamp, bucket);
+    if (b >= n) {
+      continue;
+    }
+    s.total[b] += ToSeconds(c.cold_start_us);
+    s.pod_alloc[b] += ToSeconds(c.pod_alloc_us);
+    s.deploy_code[b] += ToSeconds(c.deploy_code_us);
+    s.deploy_dep[b] += ToSeconds(c.deploy_dep_us);
+    s.scheduling[b] += ToSeconds(c.scheduling_us);
+    s.count[b] += 1.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (s.count[i] > 0) {
+      s.total[i] /= s.count[i];
+      s.pod_alloc[i] /= s.count[i];
+      s.deploy_code[i] /= s.count[i];
+      s.deploy_dep[i] /= s.count[i];
+      s.scheduling[i] /= s.count[i];
+    }
+  }
+  return s;
+}
+
+std::vector<std::vector<double>> RunningPodsSeries(
+    const TraceStore& store, int region, SimDuration bucket, int num_keys,
+    const std::function<int(const PodLifetimeRecord&)>& key_of) {
+  const size_t n = NumBuckets(store.horizon(), bucket);
+  std::vector<std::vector<double>> diff(static_cast<size_t>(num_keys),
+                                        std::vector<double>(n + 1, 0.0));
+  for (const auto& p : store.pods()) {
+    if (!RegionMatches(region, p.region)) {
+      continue;
+    }
+    const int key = key_of(p);
+    if (key < 0) {
+      continue;
+    }
+    COLDSTART_CHECK_LT(key, num_keys);
+    const size_t b0 = std::min(BucketOf(p.cold_start_begin, bucket), n);
+    const size_t b1 = std::min(BucketOf(std::max(p.death_time, p.cold_start_begin), bucket), n - 1);
+    if (b0 >= n) {
+      continue;
+    }
+    diff[static_cast<size_t>(key)][b0] += 1.0;
+    diff[static_cast<size_t>(key)][b1 + 1] -= 1.0;
+  }
+  for (auto& row : diff) {
+    double acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += row[i];
+      row[i] = acc;
+    }
+    row.resize(n);
+  }
+  return diff;
+}
+
+std::vector<uint64_t> RequestsPerFunction(const TraceStore& store) {
+  std::vector<uint64_t> out(store.functions().size(), 0);
+  for (const auto& r : store.requests()) {
+    if (r.function_id < out.size()) {
+      ++out[r.function_id];
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> ColdStartsPerFunction(const TraceStore& store) {
+  std::vector<uint64_t> out(store.functions().size(), 0);
+  for (const auto& c : store.cold_starts()) {
+    if (c.function_id < out.size()) {
+      ++out[c.function_id];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> PerFunctionRequestSeries(const TraceStore& store,
+                                                          SimDuration bucket) {
+  const size_t n = NumBuckets(store.horizon(), bucket);
+  std::vector<std::vector<double>> out(store.functions().size());
+  for (auto& row : out) {
+    row.assign(n, 0.0);
+  }
+  for (const auto& r : store.requests()) {
+    const size_t b = BucketOf(r.timestamp, bucket);
+    if (r.function_id < out.size() && b < n) {
+      out[r.function_id][b] += 1.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> AllocatedCpuCoreSeries(const TraceStore& store, int region,
+                                           SimDuration bucket) {
+  const size_t n = NumBuckets(store.horizon(), bucket);
+  std::vector<double> out(n, 0.0);
+  for (const auto& p : store.pods()) {
+    if (!RegionMatches(region, p.region)) {
+      continue;
+    }
+    const double cores = static_cast<double>(CpuMillicoresOf(p.config)) / 1000.0;
+    const SimTime begin = p.cold_start_begin;
+    const SimTime end = std::max(p.death_time, begin);
+    size_t b = BucketOf(begin, bucket);
+    while (b < n) {
+      const SimTime bucket_start = static_cast<SimTime>(b) * bucket;
+      const SimTime bucket_end = bucket_start + bucket;
+      const SimTime lo = std::max(begin, bucket_start);
+      const SimTime hi = std::min(end, bucket_end);
+      if (hi <= lo) {
+        break;
+      }
+      out[b] += cores * static_cast<double>(hi - lo) / static_cast<double>(bucket);
+      if (end <= bucket_end) {
+        break;
+      }
+      ++b;
+    }
+  }
+  return out;
+}
+
+}  // namespace coldstart::trace

@@ -1,0 +1,74 @@
+// Time-bucketed rollups over trace tables.
+//
+// Every temporal figure in the paper is a per-minute or per-hour aggregate of one of
+// the Table 1 streams; this module provides those rollups once so analysis modules and
+// benches share one implementation.
+#ifndef COLDSTART_TRACE_AGGREGATE_H_
+#define COLDSTART_TRACE_AGGREGATE_H_
+
+#include <functional>
+#include <vector>
+
+#include "trace/trace_store.h"
+
+namespace coldstart::trace {
+
+// Number of buckets of `bucket` duration needed to cover [0, horizon).
+size_t NumBuckets(SimTime horizon, SimDuration bucket);
+
+// Requests per bucket for one region (pass region = -1 for all regions).
+std::vector<double> RequestCountSeries(const TraceStore& store, int region,
+                                       SimDuration bucket);
+
+// Mean over per-bucket request execution times, in seconds. Buckets with no requests
+// hold 0.
+std::vector<double> MeanExecutionTimeSeries(const TraceStore& store, int region,
+                                            SimDuration bucket);
+
+// Mean request CPU usage per bucket, in cores.
+std::vector<double> MeanCpuUsageSeries(const TraceStore& store, int region,
+                                       SimDuration bucket);
+
+// Cold starts per bucket for one region (-1 for all).
+std::vector<double> ColdStartCountSeries(const TraceStore& store, int region,
+                                         SimDuration bucket);
+
+// Per-bucket means of the cold-start total and its four components (seconds).
+struct ComponentSeries {
+  std::vector<double> total;
+  std::vector<double> pod_alloc;
+  std::vector<double> deploy_code;
+  std::vector<double> deploy_dep;
+  std::vector<double> scheduling;
+  std::vector<double> count;  // Cold starts per bucket (not a mean).
+};
+ComponentSeries ColdStartComponentSeries(const TraceStore& store, int region,
+                                         SimDuration bucket);
+
+// Number of distinct pods alive during each bucket, per group key. `key_of` maps a pod
+// record to a key in [0, num_keys) or -1 to skip. Result is [key][bucket].
+std::vector<std::vector<double>> RunningPodsSeries(
+    const TraceStore& store, int region, SimDuration bucket, int num_keys,
+    const std::function<int(const PodLifetimeRecord&)>& key_of);
+
+// Total requests per function over the whole trace (indexed by FunctionId).
+std::vector<uint64_t> RequestsPerFunction(const TraceStore& store);
+
+// Total cold starts per function over the whole trace.
+std::vector<uint64_t> ColdStartsPerFunction(const TraceStore& store);
+
+// Per-function requests-per-minute series (sparse input -> dense series); used by the
+// peak-to-trough analysis. Only functions with ids in [0, store.functions().size()).
+// Returns [function][bucket] as a vector of vectors; memory is ~functions x buckets, so
+// callers pass hour buckets for month-long traces.
+std::vector<std::vector<double>> PerFunctionRequestSeries(const TraceStore& store,
+                                                          SimDuration bucket);
+
+// Sum of pod-seconds per bucket, grouped like RunningPodsSeries but weighting by the
+// fraction of the bucket each pod is alive (used for allocated-CPU series in Fig. 7).
+std::vector<double> AllocatedCpuCoreSeries(const TraceStore& store, int region,
+                                           SimDuration bucket);
+
+}  // namespace coldstart::trace
+
+#endif  // COLDSTART_TRACE_AGGREGATE_H_

@@ -1,0 +1,109 @@
+#include "trace/binary_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace coldstart::trace {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x434C5342'00000003ull;  // "CSLB" + format version.
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+struct Header {
+  uint64_t magic = kMagic;
+  uint64_t horizon = 0;
+  uint64_t request_count = 0;
+  uint64_t cold_start_count = 0;
+  uint64_t function_count = 0;
+  uint64_t pod_count = 0;
+  uint32_t request_size = sizeof(RequestRecord);
+  uint32_t cold_start_size = sizeof(ColdStartRecord);
+  uint32_t function_size = sizeof(FunctionRecord);
+  uint32_t pod_size = sizeof(PodLifetimeRecord);
+};
+
+template <typename T>
+bool WriteArray(std::FILE* f, const std::vector<T>& v) {
+  if (v.empty()) {
+    return true;
+  }
+  return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool ReadArray(std::FILE* f, uint64_t count, std::vector<T>& v) {
+  v.resize(count);
+  if (count == 0) {
+    return true;
+  }
+  return std::fread(v.data(), sizeof(T), count, f) == count;
+}
+
+}  // namespace
+
+bool WriteBinaryTrace(const TraceStore& store, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return false;
+  }
+  Header h;
+  h.horizon = static_cast<uint64_t>(store.horizon());
+  h.request_count = store.requests().size();
+  h.cold_start_count = store.cold_starts().size();
+  h.function_count = store.functions().size();
+  h.pod_count = store.pods().size();
+  if (std::fwrite(&h, sizeof(h), 1, f.get()) != 1) {
+    return false;
+  }
+  return WriteArray(f.get(), store.requests()) && WriteArray(f.get(), store.cold_starts()) &&
+         WriteArray(f.get(), store.functions()) && WriteArray(f.get(), store.pods());
+}
+
+bool ReadBinaryTrace(const std::string& path, TraceStore& store) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return false;
+  }
+  Header h;
+  if (std::fread(&h, sizeof(h), 1, f.get()) != 1 || h.magic != kMagic ||
+      h.request_size != sizeof(RequestRecord) || h.cold_start_size != sizeof(ColdStartRecord) ||
+      h.function_size != sizeof(FunctionRecord) || h.pod_size != sizeof(PodLifetimeRecord)) {
+    return false;
+  }
+  std::vector<RequestRecord> requests;
+  std::vector<ColdStartRecord> cold_starts;
+  std::vector<FunctionRecord> functions;
+  std::vector<PodLifetimeRecord> pods;
+  if (!ReadArray(f.get(), h.request_count, requests) ||
+      !ReadArray(f.get(), h.cold_start_count, cold_starts) ||
+      !ReadArray(f.get(), h.function_count, functions) ||
+      !ReadArray(f.get(), h.pod_count, pods)) {
+    return false;
+  }
+  for (const auto& fn : functions) {
+    store.AddFunction(fn);
+  }
+  for (const auto& r : requests) {
+    store.AddRequest(r);
+  }
+  for (const auto& c : cold_starts) {
+    store.AddColdStart(c);
+  }
+  for (const auto& p : pods) {
+    store.AddPodLifetime(p);
+  }
+  store.set_horizon(static_cast<SimTime>(h.horizon));
+  return true;
+}
+
+}  // namespace coldstart::trace

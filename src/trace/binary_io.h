@@ -1,0 +1,24 @@
+// Binary trace serialization: the fast path for the scenario cache.
+//
+// One file holds all four tables as length-prefixed arrays of packed records. The
+// format is local to a build (records are written with memcpy semantics and guarded
+// by size fields in the header); cross-toolchain interchange should use csv.h.
+#ifndef COLDSTART_TRACE_BINARY_IO_H_
+#define COLDSTART_TRACE_BINARY_IO_H_
+
+#include <string>
+
+#include "trace/trace_store.h"
+
+namespace coldstart::trace {
+
+// Writes the whole store; returns false on I/O failure.
+bool WriteBinaryTrace(const TraceStore& store, const std::string& path);
+
+// Reads into an empty store; returns false on I/O failure, bad magic, or a record
+// layout mismatch (e.g. cache written by a different build).
+bool ReadBinaryTrace(const std::string& path, TraceStore& store);
+
+}  // namespace coldstart::trace
+
+#endif  // COLDSTART_TRACE_BINARY_IO_H_

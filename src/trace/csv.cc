@@ -1,0 +1,317 @@
+#include "trace/csv.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace coldstart::trace {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr OpenWrite(const std::string& path) { return FilePtr(std::fopen(path.c_str(), "w")); }
+FilePtr OpenRead(const std::string& path) { return FilePtr(std::fopen(path.c_str(), "r")); }
+
+std::string IdField(uint64_t raw, bool hash) {
+  if (hash) {
+    return HashedId(raw);
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, raw);
+  return buf;
+}
+
+// Splits one CSV line (no quoting in our files) into fields.
+std::vector<std::string> SplitCsvLine(const char* line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (const char* p = line; *p != '\0' && *p != '\n' && *p != '\r'; ++p) {
+    if (*p == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += *p;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+}  // namespace
+
+bool WriteRequestsCsv(const TraceStore& store, const std::string& path,
+                      const CsvExportOptions& opts) {
+  FilePtr f = OpenWrite(path);
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(),
+               "timestamp_us,pod_id,cluster,function,user,request_id,"
+               "execution_time_us,cpu_millicores,memory_bytes\n");
+  for (const auto& r : store.requests()) {
+    std::fprintf(f.get(), "%" PRId64 ",%s,%s-c%d,%s,%s,%s,%u,%u,%" PRIu64 "\n",
+                 r.timestamp, IdField(r.pod_id, opts.hash_ids).c_str(),
+                 RegionName(r.region).c_str(), static_cast<int>(r.cluster),
+                 IdField(r.function_id, opts.hash_ids).c_str(),
+                 IdField(r.user_id, opts.hash_ids).c_str(),
+                 IdField(r.request_id, opts.hash_ids).c_str(), r.execution_time_us,
+                 r.cpu_millicores, static_cast<uint64_t>(r.memory_kb) * 1024);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool WriteColdStartsCsv(const TraceStore& store, const std::string& path,
+                        const CsvExportOptions& opts) {
+  FilePtr f = OpenWrite(path);
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(),
+               "timestamp_us,pod_id,cluster,function,user,cold_start_us,"
+               "pod_alloc_us,deploy_code_us,deploy_dep_us,scheduling_us\n");
+  for (const auto& c : store.cold_starts()) {
+    std::fprintf(f.get(), "%" PRId64 ",%s,%s-c%d,%s,%s,%u,%u,%u,%u,%u\n", c.timestamp,
+                 IdField(c.pod_id, opts.hash_ids).c_str(), RegionName(c.region).c_str(),
+                 static_cast<int>(c.cluster), IdField(c.function_id, opts.hash_ids).c_str(),
+                 IdField(c.user_id, opts.hash_ids).c_str(), c.cold_start_us, c.pod_alloc_us,
+                 c.deploy_code_us, c.deploy_dep_us, c.scheduling_us);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool WriteFunctionsCsv(const TraceStore& store, const std::string& path,
+                       const CsvExportOptions& opts) {
+  FilePtr f = OpenWrite(path);
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(), "function,user,region,runtime,trigger_type,trigger_mask,cpu_mem\n");
+  for (const auto& fn : store.functions()) {
+    std::fprintf(f.get(), "%s,%s,%s,%s,%s,%u,%s\n",
+                 IdField(fn.function_id, opts.hash_ids).c_str(),
+                 IdField(fn.user_id, opts.hash_ids).c_str(), RegionName(fn.region).c_str(),
+                 RuntimeName(fn.runtime), TriggerName(fn.primary_trigger),
+                 static_cast<unsigned>(fn.trigger_mask), ResourceConfigName(fn.config));
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool WritePodsCsv(const TraceStore& store, const std::string& path,
+                  const CsvExportOptions& opts) {
+  FilePtr f = OpenWrite(path);
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(),
+               "pod_id,function,region,cluster,cpu_mem,cold_start_begin_us,ready_us,"
+               "last_busy_end_us,death_us,cold_start_us,requests_served\n");
+  for (const auto& p : store.pods()) {
+    std::fprintf(f.get(),
+                 "%s,%s,%s,%d,%s,%" PRId64 ",%" PRId64 ",%" PRId64 ",%" PRId64 ",%u,%u\n",
+                 IdField(p.pod_id, opts.hash_ids).c_str(),
+                 IdField(p.function_id, opts.hash_ids).c_str(), RegionName(p.region).c_str(),
+                 static_cast<int>(p.cluster), ResourceConfigName(p.config),
+                 p.cold_start_begin, p.ready_time, p.last_busy_end, p.death_time,
+                 p.cold_start_us, p.requests_served);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+namespace {
+
+// Parses "R3-c2" into region/cluster. Returns false on malformed input.
+bool ParseCluster(const std::string& s, RegionId& region, ClusterId& cluster) {
+  int r = 0, c = 0;
+  if (std::sscanf(s.c_str(), "R%d-c%d", &r, &c) != 2) {
+    return false;
+  }
+  if (r < 1 || r > kNumRegions || c < 0 || c >= kClustersPerRegion) {
+    return false;
+  }
+  region = static_cast<RegionId>(r - 1);
+  cluster = static_cast<ClusterId>(c);
+  return true;
+}
+
+bool ParseRegion(const std::string& s, RegionId& region) {
+  int r = 0;
+  if (std::sscanf(s.c_str(), "R%d", &r) != 1 || r < 1 || r > kNumRegions) {
+    return false;
+  }
+  region = static_cast<RegionId>(r - 1);
+  return true;
+}
+
+Runtime RuntimeFromName(const std::string& s) {
+  for (int i = 0; i < kNumRuntimes; ++i) {
+    if (s == RuntimeName(static_cast<Runtime>(i))) {
+      return static_cast<Runtime>(i);
+    }
+  }
+  return Runtime::kUnknown;
+}
+
+Trigger TriggerFromName(const std::string& s) {
+  for (int i = 0; i < kNumTriggers; ++i) {
+    if (s == TriggerName(static_cast<Trigger>(i))) {
+      return static_cast<Trigger>(i);
+    }
+  }
+  return Trigger::kUnknown;
+}
+
+ResourceConfig ConfigFromName(const std::string& s) {
+  for (int i = 0; i < kNumResourceConfigs; ++i) {
+    if (s == ResourceConfigName(static_cast<ResourceConfig>(i))) {
+      return static_cast<ResourceConfig>(i);
+    }
+  }
+  return ResourceConfig::k300m128;
+}
+
+}  // namespace
+
+bool ReadRequestsCsv(const std::string& path, TraceStore& store) {
+  FilePtr f = OpenRead(path);
+  if (f == nullptr) {
+    return false;
+  }
+  char line[1024];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (first) {  // Header.
+      first = false;
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 9) {
+      return false;
+    }
+    RequestRecord r;
+    r.timestamp = std::strtoll(fields[0].c_str(), nullptr, 10);
+    r.pod_id = static_cast<PodId>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    if (!ParseCluster(fields[2], r.region, r.cluster)) {
+      return false;
+    }
+    r.function_id = static_cast<FunctionId>(std::strtoul(fields[3].c_str(), nullptr, 10));
+    r.user_id = static_cast<UserId>(std::strtoul(fields[4].c_str(), nullptr, 10));
+    r.request_id = std::strtoull(fields[5].c_str(), nullptr, 10);
+    r.execution_time_us = static_cast<uint32_t>(std::strtoul(fields[6].c_str(), nullptr, 10));
+    r.cpu_millicores = static_cast<uint16_t>(std::strtoul(fields[7].c_str(), nullptr, 10));
+    r.memory_kb = static_cast<uint32_t>(std::strtoull(fields[8].c_str(), nullptr, 10) / 1024);
+    store.AddRequest(r);
+  }
+  return true;
+}
+
+bool ReadColdStartsCsv(const std::string& path, TraceStore& store) {
+  FilePtr f = OpenRead(path);
+  if (f == nullptr) {
+    return false;
+  }
+  char line[1024];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 10) {
+      return false;
+    }
+    ColdStartRecord c;
+    c.timestamp = std::strtoll(fields[0].c_str(), nullptr, 10);
+    c.pod_id = static_cast<PodId>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    if (!ParseCluster(fields[2], c.region, c.cluster)) {
+      return false;
+    }
+    c.function_id = static_cast<FunctionId>(std::strtoul(fields[3].c_str(), nullptr, 10));
+    c.user_id = static_cast<UserId>(std::strtoul(fields[4].c_str(), nullptr, 10));
+    c.cold_start_us = static_cast<uint32_t>(std::strtoul(fields[5].c_str(), nullptr, 10));
+    c.pod_alloc_us = static_cast<uint32_t>(std::strtoul(fields[6].c_str(), nullptr, 10));
+    c.deploy_code_us = static_cast<uint32_t>(std::strtoul(fields[7].c_str(), nullptr, 10));
+    c.deploy_dep_us = static_cast<uint32_t>(std::strtoul(fields[8].c_str(), nullptr, 10));
+    c.scheduling_us = static_cast<uint32_t>(std::strtoul(fields[9].c_str(), nullptr, 10));
+    store.AddColdStart(c);
+  }
+  return true;
+}
+
+bool ReadFunctionsCsv(const std::string& path, TraceStore& store) {
+  FilePtr f = OpenRead(path);
+  if (f == nullptr) {
+    return false;
+  }
+  char line[1024];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 7) {
+      return false;
+    }
+    FunctionRecord fn;
+    fn.function_id = static_cast<FunctionId>(std::strtoul(fields[0].c_str(), nullptr, 10));
+    fn.user_id = static_cast<UserId>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    if (!ParseRegion(fields[2], fn.region)) {
+      return false;
+    }
+    fn.runtime = RuntimeFromName(fields[3]);
+    fn.primary_trigger = TriggerFromName(fields[4]);
+    fn.trigger_mask = static_cast<uint16_t>(std::strtoul(fields[5].c_str(), nullptr, 10));
+    fn.config = ConfigFromName(fields[6]);
+    store.AddFunction(fn);
+  }
+  return true;
+}
+
+bool ReadPodsCsv(const std::string& path, TraceStore& store) {
+  FilePtr f = OpenRead(path);
+  if (f == nullptr) {
+    return false;
+  }
+  char line[1024];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (first) {
+      first = false;
+      continue;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 11) {
+      return false;
+    }
+    PodLifetimeRecord p;
+    p.pod_id = static_cast<PodId>(std::strtoul(fields[0].c_str(), nullptr, 10));
+    p.function_id = static_cast<FunctionId>(std::strtoul(fields[1].c_str(), nullptr, 10));
+    if (!ParseRegion(fields[2], p.region)) {
+      return false;
+    }
+    p.cluster = static_cast<ClusterId>(std::strtoul(fields[3].c_str(), nullptr, 10));
+    p.config = ConfigFromName(fields[4]);
+    p.cold_start_begin = std::strtoll(fields[5].c_str(), nullptr, 10);
+    p.ready_time = std::strtoll(fields[6].c_str(), nullptr, 10);
+    p.last_busy_end = std::strtoll(fields[7].c_str(), nullptr, 10);
+    p.death_time = std::strtoll(fields[8].c_str(), nullptr, 10);
+    p.cold_start_us = static_cast<uint32_t>(std::strtoul(fields[9].c_str(), nullptr, 10));
+    p.requests_served = static_cast<uint32_t>(std::strtoul(fields[10].c_str(), nullptr, 10));
+    store.AddPodLifetime(p);
+  }
+  return true;
+}
+
+}  // namespace coldstart::trace

@@ -1,0 +1,40 @@
+// CSV import/export for the trace tables.
+//
+// Two modes:
+//   * Release mode (hash_ids = true): column layout and hashed-ID form mirror the
+//     public dataset release, for interoperability with external analysis scripts.
+//   * Numeric mode (hash_ids = false): lossless round-trip of numeric ids, used for
+//     checkpointing simulated traces.
+#ifndef COLDSTART_TRACE_CSV_H_
+#define COLDSTART_TRACE_CSV_H_
+
+#include <string>
+
+#include "trace/trace_store.h"
+
+namespace coldstart::trace {
+
+struct CsvExportOptions {
+  bool hash_ids = false;
+};
+
+// Each writer returns false on I/O failure.
+bool WriteRequestsCsv(const TraceStore& store, const std::string& path,
+                      const CsvExportOptions& opts = {});
+bool WriteColdStartsCsv(const TraceStore& store, const std::string& path,
+                        const CsvExportOptions& opts = {});
+bool WriteFunctionsCsv(const TraceStore& store, const std::string& path,
+                       const CsvExportOptions& opts = {});
+bool WritePodsCsv(const TraceStore& store, const std::string& path,
+                  const CsvExportOptions& opts = {});
+
+// Readers parse numeric-mode files back into `store` (appending). They return false on
+// parse or I/O failure; hashed-id files are not readable (ids are one-way).
+bool ReadRequestsCsv(const std::string& path, TraceStore& store);
+bool ReadColdStartsCsv(const std::string& path, TraceStore& store);
+bool ReadFunctionsCsv(const std::string& path, TraceStore& store);
+bool ReadPodsCsv(const std::string& path, TraceStore& store);
+
+}  // namespace coldstart::trace
+
+#endif  // COLDSTART_TRACE_CSV_H_

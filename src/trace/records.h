@@ -1,0 +1,84 @@
+// The dataset schema: one record type per monitoring stream of Table 1.
+//
+// Field names and units follow the paper: timestamps and durations in microseconds,
+// CPU usage in millicores, memory in bytes (stored as KB to keep records compact).
+// IDs are numeric; HashedId() reproduces the released dataset's hashed string form.
+#ifndef COLDSTART_TRACE_RECORDS_H_
+#define COLDSTART_TRACE_RECORDS_H_
+
+#include <string>
+
+#include "common/sim_time.h"
+#include "trace/types.h"
+
+namespace coldstart::trace {
+
+// Request-level monitoring (one row per request).
+struct RequestRecord {
+  SimTime timestamp = 0;        // At the worker, µs.
+  uint64_t request_id = 0;      // Hashed request ID.
+  PodId pod_id = 0;
+  FunctionId function_id = 0;
+  UserId user_id = 0;
+  RegionId region = 0;
+  ClusterId cluster = 0;
+  uint16_t cpu_millicores = 0;  // CPU usage of the request.
+  uint32_t execution_time_us = 0;
+  uint32_t memory_kb = 0;       // Memory usage (Table 1 reports bytes; we store KB).
+};
+
+// Pod-level monitoring (one row per cold-start event).
+struct ColdStartRecord {
+  SimTime timestamp = 0;  // When the cold start began, µs.
+  PodId pod_id = 0;
+  FunctionId function_id = 0;
+  UserId user_id = 0;
+  RegionId region = 0;
+  ClusterId cluster = 0;
+  uint32_t cold_start_us = 0;    // Total; equals the sum of the four components.
+  uint32_t pod_alloc_us = 0;     // Time to get a pod from the pool (or from scratch).
+  uint32_t deploy_code_us = 0;   // Download + extract + deploy the function package.
+  uint32_t deploy_dep_us = 0;    // Fetch + load dependency layers (0 = no layers).
+  uint32_t scheduling_us = 0;    // Networking, routing, scheduling overheads.
+};
+
+// Function-level monitoring (one row per function).
+struct FunctionRecord {
+  FunctionId function_id = 0;
+  UserId user_id = 0;
+  RegionId region = 0;
+  Runtime runtime = Runtime::kUnknown;
+  Trigger primary_trigger = Trigger::kUnknown;
+  uint16_t trigger_mask = 0;  // Bit i set <=> function has Trigger(i) attached.
+  ResourceConfig config = ResourceConfig::k300m128;
+};
+
+// Pod lifecycle (simulator-internal convenience table; the paper reconstructs the same
+// information from the request table + the 60 s keep-alive constant). Analysis code
+// uses it for utility ratios, and tests cross-check it against reconstruction.
+struct PodLifetimeRecord {
+  PodId pod_id = 0;
+  FunctionId function_id = 0;
+  RegionId region = 0;
+  ClusterId cluster = 0;
+  ResourceConfig config = ResourceConfig::k300m128;
+  SimTime cold_start_begin = 0;
+  SimTime ready_time = 0;       // cold_start_begin + cold_start_us.
+  SimTime last_busy_end = 0;    // End of the last request served.
+  SimTime death_time = 0;       // last_busy_end + keep-alive (or horizon end).
+  uint32_t cold_start_us = 0;
+  uint32_t requests_served = 0;
+};
+
+// Reproduces the dataset's hashed-ID form for CSV export ("a3f9..." style, 16 hex chars).
+std::string HashedId(uint64_t raw);
+
+inline bool HasTrigger(const FunctionRecord& f, Trigger t) {
+  return (f.trigger_mask >> static_cast<int>(t)) & 1u;
+}
+
+inline uint16_t TriggerBit(Trigger t) { return static_cast<uint16_t>(1u << static_cast<int>(t)); }
+
+}  // namespace coldstart::trace
+
+#endif  // COLDSTART_TRACE_RECORDS_H_

@@ -1,0 +1,53 @@
+#include "trace/trace_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace coldstart::trace {
+
+std::string HashedId(uint64_t raw) {
+  // One extra mixing round so that sequential numeric ids do not leak ordering, matching
+  // the spirit of the dataset's privacy hashing.
+  uint64_t s = raw ^ 0xC0FFEE123456789Aull;
+  const uint64_t h = SplitMix64(s);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return buf;
+}
+
+void TraceStore::AddFunction(const FunctionRecord& r) {
+  COLDSTART_CHECK_EQ(static_cast<size_t>(r.function_id), functions_.size());
+  functions_.push_back(r);
+  sealed_ = false;
+}
+
+void TraceStore::Seal() {
+  if (sealed_) {
+    return;
+  }
+  std::sort(requests_.begin(), requests_.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  std::sort(cold_starts_.begin(), cold_starts_.end(),
+            [](const ColdStartRecord& a, const ColdStartRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  std::sort(pods_.begin(), pods_.end(),
+            [](const PodLifetimeRecord& a, const PodLifetimeRecord& b) {
+              return a.cold_start_begin < b.cold_start_begin;
+            });
+  sealed_ = true;
+}
+
+void TraceStore::Reserve(size_t requests, size_t cold_starts, size_t pods) {
+  requests_.reserve(requests);
+  cold_starts_.reserve(cold_starts);
+  pods_.reserve(pods);
+}
+
+}  // namespace coldstart::trace

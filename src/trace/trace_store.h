@@ -1,0 +1,60 @@
+// In-memory columnar store for one scenario's traces.
+//
+// One TraceStore holds all five regions' tables, exactly as a month of the released
+// dataset would. Append during simulation, Seal() once, then run analyses. Records are
+// stored in flat vectors; Seal() sorts by timestamp so analyses can assume time order.
+#ifndef COLDSTART_TRACE_TRACE_STORE_H_
+#define COLDSTART_TRACE_TRACE_STORE_H_
+
+#include <vector>
+
+#include "trace/records.h"
+
+namespace coldstart::trace {
+
+class TraceStore {
+ public:
+  TraceStore() = default;
+
+  // Move-only: stores can be hundreds of MB.
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+  TraceStore(TraceStore&&) = default;
+  TraceStore& operator=(TraceStore&&) = default;
+
+  void AddRequest(const RequestRecord& r) { requests_.push_back(r); }
+  void AddColdStart(const ColdStartRecord& r) { cold_starts_.push_back(r); }
+  void AddPodLifetime(const PodLifetimeRecord& r) { pods_.push_back(r); }
+
+  // Registers a function; function_id must equal the current table size (dense ids).
+  void AddFunction(const FunctionRecord& r);
+
+  // Sorts request/cold-start tables by timestamp. Idempotent.
+  void Seal();
+  bool sealed() const { return sealed_; }
+
+  const std::vector<RequestRecord>& requests() const { return requests_; }
+  const std::vector<ColdStartRecord>& cold_starts() const { return cold_starts_; }
+  const std::vector<FunctionRecord>& functions() const { return functions_; }
+  const std::vector<PodLifetimeRecord>& pods() const { return pods_; }
+
+  const FunctionRecord& function(FunctionId id) const { return functions_.at(id); }
+
+  // Trace horizon: duration covered by the store, set by the simulator.
+  void set_horizon(SimTime end) { horizon_ = end; }
+  SimTime horizon() const { return horizon_; }
+
+  void Reserve(size_t requests, size_t cold_starts, size_t pods);
+
+ private:
+  std::vector<RequestRecord> requests_;
+  std::vector<ColdStartRecord> cold_starts_;
+  std::vector<FunctionRecord> functions_;
+  std::vector<PodLifetimeRecord> pods_;
+  SimTime horizon_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace coldstart::trace
+
+#endif  // COLDSTART_TRACE_TRACE_STORE_H_

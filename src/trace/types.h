@@ -1,0 +1,119 @@
+// Domain enums shared by the trace schema, the workload generator, and the platform.
+//
+// These mirror the categorical fields of the paper's dataset (Table 1, §3.3): runtime
+// languages, trigger types (with synchronicity), and CPU-memory resource
+// configurations. The aggregated 7-way trigger grouping (timers, OBS-A, APIG-S,
+// workflow-S, other S, other A, unknown) matches the grouping the paper uses in all
+// per-trigger figures.
+#ifndef COLDSTART_TRACE_TYPES_H_
+#define COLDSTART_TRACE_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace coldstart::trace {
+
+// Preinstalled runtimes (§3.3) plus Custom images and the 'unknown' bucket the paper
+// notes for unlogged functions.
+enum class Runtime : uint8_t {
+  kCSharp = 0,
+  kCustom,
+  kGo1x,
+  kJava,
+  kNodeJs,
+  kPhp73,
+  kPython2,
+  kPython3,
+  kHttp,
+  kUnknown,
+};
+inline constexpr int kNumRuntimes = 10;
+const char* RuntimeName(Runtime r);
+
+// Raw trigger types supported by the platform (§3.3 list of nine).
+enum class Trigger : uint8_t {
+  kApigSync = 0,   // API gateway, synchronous.
+  kApigAsync,      // API gateway, asynchronous.
+  kTimer,          // Cron-style timer (async).
+  kCts,            // Cloud Trace Service (async only).
+  kDis,            // Data Ingestion Service (async only).
+  kLts,            // Log Tank Service (async only).
+  kObs,            // Object Storage Service (async only).
+  kSmn,            // Simple Message Notification (async only).
+  kKafka,          // Kafka queue, asynchronous consumption.
+  kKafkaSync,      // Kafka queue, synchronous (request/reply over a topic).
+  kWorkflowSync,   // Function-to-function, synchronous.
+  kWorkflowAsync,  // Function-to-function, asynchronous.
+  kUnknown,
+};
+inline constexpr int kNumTriggers = 13;
+const char* TriggerName(Trigger t);
+
+// True when the invoking program waits for the response.
+bool IsSynchronous(Trigger t);
+
+// The paper's aggregated trigger groups used in Figures 8, 9, 14, 16, 17.
+enum class TriggerGroup : uint8_t {
+  kApigS = 0,
+  kObsA,
+  kTimerA,
+  kOtherA,
+  kOtherS,
+  kUnknown,
+  kWorkflowS,
+};
+inline constexpr int kNumTriggerGroups = 7;
+const char* TriggerGroupName(TriggerGroup g);
+TriggerGroup GroupOf(Trigger t);
+
+// CPU-memory configurations. The platform maintains pools from 300m/128MB up to
+// 26 cores/32GB (§4.2); the paper's Figure 8c/f breaks out the four popular configs.
+enum class ResourceConfig : uint8_t {
+  k300m128 = 0,   // 300 millicores, 128 MB.
+  k400m256,       // 400 millicores, 256 MB.
+  k600m512,       // 600 millicores, 512 MB.
+  k1000m1024,     // 1000 millicores, 1 GB.
+  k2000m2048,     // 2 cores, 2 GB   ("other" bucket).
+  k4000m8192,     // 4 cores, 8 GB   ("other" bucket).
+  k26000m32768,   // 26 cores, 32 GB ("other" bucket).
+};
+inline constexpr int kNumResourceConfigs = 7;
+const char* ResourceConfigName(ResourceConfig c);
+int32_t CpuMillicoresOf(ResourceConfig c);
+int32_t MemoryMbOf(ResourceConfig c);
+
+// The paper's small/large pool split (§4.2): small is at most 400 millicores and 256 MB.
+enum class PoolSizeClass : uint8_t { kSmall = 0, kLarge = 1 };
+PoolSizeClass SizeClassOf(ResourceConfig c);
+const char* PoolSizeClassName(PoolSizeClass c);
+
+// The Figure 8c/f display buckets: the four popular configs plus "other".
+enum class ConfigGroup : uint8_t {
+  k300m128 = 0,
+  k400m256,
+  k600m512,
+  k1000m1024,
+  kOther,
+};
+inline constexpr int kNumConfigGroups = 5;
+const char* ConfigGroupName(ConfigGroup g);
+ConfigGroup ConfigGroupOf(ResourceConfig c);
+
+// Region identifiers R1..R5.
+using RegionId = uint8_t;
+inline constexpr int kNumRegions = 5;
+std::string RegionName(RegionId r);
+
+// Cluster index within a region; every region has four clusters (§2.1).
+using ClusterId = uint8_t;
+inline constexpr int kClustersPerRegion = 4;
+
+using FunctionId = uint32_t;
+using UserId = uint32_t;
+using PodId = uint32_t;
+inline constexpr PodId kInvalidPod = UINT32_MAX;
+
+}  // namespace coldstart::trace
+
+#endif  // COLDSTART_TRACE_TYPES_H_

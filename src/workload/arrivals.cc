@@ -1,0 +1,135 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/distributions.h"
+
+namespace coldstart::workload {
+
+namespace {
+
+// Hour-resolution inhomogeneous Poisson: the diurnal/burst envelope changes on hour
+// scales, so sampling a Poisson count per hour and spreading points uniformly inside
+// the hour loses nothing the analyses can see (everything downstream is per-minute or
+// coarser with smoothing).
+void GeneratePoissonArrivals(const FunctionSpec& spec, const DiurnalProfile& profile,
+                             const Calendar& calendar, Rng& rng,
+                             std::vector<SimTime>& out) {
+  const int64_t hours = calendar.horizon() / kHour;
+  bool bursting = false;
+  double burst_hours_left = 0;
+  double regular_phase_us = rng.NextDouble() * 1e6;  // Phase carry-over across hours.
+  for (int64_t h = 0; h < hours; ++h) {
+    const SimTime hour_start = h * kHour;
+    const int64_t day = h / 24;
+    const double hour_mid = static_cast<double>(h % 24) + 0.5;
+
+    // Burst state machine (hour steps).
+    if (spec.burst_amplitude > 1.0) {
+      if (bursting) {
+        burst_hours_left -= 1.0;
+        if (burst_hours_left <= 0) {
+          bursting = false;
+        }
+      } else if (rng.NextBool(spec.burst_prob_per_hour)) {
+        bursting = true;
+        burst_hours_left = std::max(0.5, rng.NextExponential(1.0 / spec.burst_mean_hours));
+      }
+    }
+
+    const double gamma = hour_start < spec.diurnal_onset ? 0.0 : spec.diurnal_exponent;
+    const double shape = std::pow(profile.DayShape(hour_mid), gamma);
+    // Steady services (regular_arrivals) also damp the weekly/holiday level by their
+    // personality exponent: a load balancer's health traffic does not halve on
+    // weekends even when user traffic does.
+    const double level = spec.regular_arrivals
+                             ? std::pow(profile.DayLevel(day), gamma)
+                             : profile.DayLevel(day);
+    const double burst = bursting ? spec.burst_amplitude : 1.0;
+    const double lambda = spec.base_rate_per_day / 24.0 * shape * level * burst;
+
+    if (spec.regular_arrivals) {
+      // Jittered-regular spacing at the hour's rate; gaps cluster near 1/lambda.
+      if (lambda > 1e-9) {
+        const double step_us = static_cast<double>(kHour) / lambda;
+        double t = regular_phase_us;
+        while (t < static_cast<double>(kHour)) {
+          out.push_back(hour_start + static_cast<SimTime>(t));
+          t += step_us * rng.Uniform(0.8, 1.2);
+        }
+        regular_phase_us = t - static_cast<double>(kHour);
+      }
+      continue;
+    }
+    const int n = stats::SamplePoisson(rng, lambda);
+    for (int i = 0; i < n; ++i) {
+      out.push_back(hour_start + static_cast<SimTime>(rng.NextDouble() * kHour));
+    }
+  }
+}
+
+void GenerateTimerArrivals(const FunctionSpec& spec, const Calendar& calendar, Rng& rng,
+                           std::vector<SimTime>& out) {
+  COLDSTART_CHECK_GT(spec.timer_period, 0);
+  // Random phase so the fleet's timers do not fire in lockstep.
+  SimTime t = static_cast<SimTime>(rng.NextDouble() * static_cast<double>(spec.timer_period));
+  const SimTime horizon = calendar.horizon();
+  while (t < horizon) {
+    out.push_back(t);
+    t += spec.timer_period;
+  }
+}
+
+}  // namespace
+
+std::vector<SimTime> GenerateFunctionArrivals(const FunctionSpec& spec,
+                                              const DiurnalProfile& profile,
+                                              const Calendar& calendar, Rng rng) {
+  std::vector<SimTime> out;
+  switch (spec.kind) {
+    case ArrivalKind::kModulatedPoisson:
+      GeneratePoissonArrivals(spec, profile, calendar, rng, out);
+      break;
+    case ArrivalKind::kTimer:
+      GenerateTimerArrivals(spec, calendar, rng, out);
+      break;
+    case ArrivalKind::kWorkflowChild:
+      break;  // Invoked by parents at runtime.
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ArrivalEvent> GenerateArrivals(const Population& pop,
+                                           const std::vector<RegionProfile>& profiles,
+                                           const Calendar& calendar, uint64_t seed) {
+  Rng root(MixHash(seed, HashString("arrivals")));
+
+  // One diurnal profile per region, built once.
+  std::vector<DiurnalProfile> diurnals;
+  diurnals.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    diurnals.emplace_back(p.diurnal, calendar);
+  }
+
+  std::vector<ArrivalEvent> events;
+  for (const auto& spec : pop.functions) {
+    COLDSTART_CHECK_LT(spec.region, diurnals.size());
+    const std::vector<SimTime> times = GenerateFunctionArrivals(
+        spec, diurnals[spec.region], calendar, root.ForkStream(spec.id));
+    for (const SimTime t : times) {
+      events.push_back(ArrivalEvent{t, spec.id});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const ArrivalEvent& a, const ArrivalEvent& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.function < b.function;
+  });
+  return events;
+}
+
+}  // namespace coldstart::workload

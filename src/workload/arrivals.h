@@ -1,0 +1,36 @@
+// Exogenous arrival generation.
+//
+// Produces every externally-triggered request (modulated Poisson + timers) for a
+// population over the trace horizon. Workflow children are *not* generated here: they
+// are invoked at runtime by the platform when their parents complete, which is what
+// makes call-chain prediction (§5) a meaningful policy.
+#ifndef COLDSTART_WORKLOAD_ARRIVALS_H_
+#define COLDSTART_WORKLOAD_ARRIVALS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/calendar.h"
+#include "workload/population.h"
+
+namespace coldstart::workload {
+
+struct ArrivalEvent {
+  SimTime time = 0;
+  trace::FunctionId function = 0;
+};
+
+// Generates all exogenous arrivals in [0, calendar.horizon()), sorted by time.
+// Deterministic in (pop, profiles, calendar, seed).
+std::vector<ArrivalEvent> GenerateArrivals(const Population& pop,
+                                           const std::vector<RegionProfile>& profiles,
+                                           const Calendar& calendar, uint64_t seed);
+
+// Arrivals for a single function (exposed for tests and workload inspection tools).
+std::vector<SimTime> GenerateFunctionArrivals(const FunctionSpec& spec,
+                                              const DiurnalProfile& profile,
+                                              const Calendar& calendar, Rng rng);
+
+}  // namespace coldstart::workload
+
+#endif  // COLDSTART_WORKLOAD_ARRIVALS_H_

@@ -1,0 +1,75 @@
+#include "workload/diurnal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::workload {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+DiurnalProfile::DiurnalProfile(DiurnalParams params, Calendar calendar)
+    : params_(std::move(params)), calendar_(calendar) {
+  COLDSTART_CHECK_GE(params_.floor, 0.0);
+  // Normalize the day shape so its maximum is 1: scan at 1-minute resolution (bumps are
+  // smooth; minute resolution is far below their curvature scale).
+  double peak = 0.0;
+  for (int m = 0; m < 24 * 60; ++m) {
+    peak = std::max(peak, DayShapeRaw(static_cast<double>(m) / 60.0));
+  }
+  peak_norm_ = peak > 0 ? peak : 1.0;
+}
+
+double DiurnalProfile::DayShape(double hour_of_day) const {
+  return DayShapeRaw(hour_of_day) / peak_norm_;
+}
+
+double DiurnalProfile::DayLevel(int64_t day) const {
+  double level = calendar_.IsWeekend(day) ? params_.weekend_factor : 1.0;
+  switch (params_.holiday) {
+    case HolidayResponse::kNone:
+      return level;
+    case HolidayResponse::kRise:
+      if (calendar_.IsHoliday(day)) {
+        level *= params_.holiday_level;  // holiday_level > 1 for the rise pattern.
+      }
+      return level;
+    case HolidayResponse::kDipWithCatchUp: {
+      if (calendar_.IsHoliday(day)) {
+        // Weekend-like level during the holiday regardless of weekday.
+        return std::min(level, 1.0) * params_.holiday_level;
+      }
+      if (day == calendar_.last_workday_before_holiday()) {
+        level *= params_.pre_holiday_boost;
+      }
+      const int64_t since = calendar_.DaysSinceHolidayEnd(day);
+      if (since >= 0 && !calendar_.IsWeekend(day)) {
+        const double boost =
+            1.0 + (params_.catch_up_boost - 1.0) *
+                      std::exp(-static_cast<double>(since) / params_.catch_up_decay_days);
+        level *= boost;
+      }
+      return level;
+    }
+  }
+  return level;
+}
+
+double DiurnalProfile::RateMultiplier(SimTime t) const {
+  const int64_t day = DayIndex(t);
+  return DayShape(HourOfDay(t)) * DayLevel(day);
+}
+
+double DiurnalProfile::DayShapeRaw(double hour_of_day) const {
+  double v = params_.floor;
+  for (const auto& bump : params_.bumps) {
+    const double phase = kTwoPi * (hour_of_day - bump.peak_hour) / 24.0;
+    v += bump.amplitude * std::exp(bump.concentration * (std::cos(phase) - 1.0));
+  }
+  return v;
+}
+
+}  // namespace coldstart::workload

@@ -1,0 +1,46 @@
+#include "workload/function_model.h"
+
+#include "common/check.h"
+
+namespace coldstart::workload {
+
+// Calibration notes (targets from Figures 15 and 17, Region 2):
+//  * Custom and http have median total cold starts > 10 s, dominated by pod allocation:
+//    Custom is not pool-backed (from-scratch creation every time), http pays an HTTP
+//    server start on top of allocation.
+//  * Node.js is scheduling-dominated and third slowest overall -> high sched_factor.
+//  * Go1.x has much higher code+dependency deployment than scheduling: large static
+//    binaries (code_size) and vendored modules (dep size/probability) with a high
+//    dep_factor.
+//  * Java ships fat jars (large code), PHP/Python are small scripts.
+const RuntimeTraits& TraitsOf(trace::Runtime r) {
+  static const RuntimeTraits kTraits[trace::kNumRuntimes] = {
+      // pool  alloc_extra sched  code  dep   code_kb sigma dep_p  dep_kb  sigma
+      /* C# */
+      {true, 0.0, 1.2, 1.3, 1.0, 900, 0.8, 0.35, 4096, 0.9},
+      /* Custom */
+      {false, 0.0, 1.0, 1.1, 0.8, 2048, 1.1, 0.15, 6144, 0.8},
+      /* Go1.x */
+      {true, 0.0, 0.45, 2.6, 3.2, 4096, 0.9, 0.80, 16384, 0.9},
+      /* Java */
+      {true, 0.0, 1.35, 1.9, 1.5, 3072, 0.9, 0.55, 8192, 0.9},
+      /* Node.js */
+      {true, 0.0, 3.1, 0.9, 1.1, 512, 0.9, 0.55, 4096, 1.0},
+      /* PHP7.3 */
+      {true, 0.0, 1.1, 0.8, 0.9, 256, 0.8, 0.30, 2048, 0.8},
+      /* Python2 */
+      {true, 0.0, 1.15, 0.8, 1.0, 256, 0.9, 0.40, 3072, 0.9},
+      /* Python3 */
+      {true, 0.0, 1.0, 0.8, 1.0, 320, 0.9, 0.40, 3072, 0.9},
+      /* http */
+      {true, 9.5, 1.05, 1.0, 1.0, 768, 0.9, 0.30, 3072, 0.9},
+      /* unknown */
+      {true, 0.0, 1.0, 1.0, 1.0, 512, 1.0, 0.35, 3072, 1.0},
+  };
+  const int idx = static_cast<int>(r);
+  COLDSTART_CHECK_GE(idx, 0);
+  COLDSTART_CHECK_LT(idx, trace::kNumRuntimes);
+  return kTraits[idx];
+}
+
+}  // namespace coldstart::workload

@@ -1,0 +1,93 @@
+// Per-function workload specification and per-runtime traits.
+//
+// A FunctionSpec carries everything the arrival generator and the platform need to
+// know about one deployed function: identity, trigger/runtime/config, arrival process
+// parameters, execution profile, package sizes, and workflow fan-out edges.
+#ifndef COLDSTART_WORKLOAD_FUNCTION_MODEL_H_
+#define COLDSTART_WORKLOAD_FUNCTION_MODEL_H_
+
+#include <vector>
+
+#include "common/sim_time.h"
+#include "trace/types.h"
+
+namespace coldstart::workload {
+
+enum class ArrivalKind : uint8_t {
+  kModulatedPoisson,  // Diurnal/holiday-modulated Poisson with optional bursts.
+  kTimer,             // Strictly periodic cron-style firing; unaffected by calendar.
+  kWorkflowChild,     // No exogenous arrivals; invoked by a parent function.
+};
+
+struct WorkflowEdge {
+  trace::FunctionId child = 0;
+  double probability = 1.0;  // Chance that one parent request triggers the child.
+};
+
+struct FunctionSpec {
+  trace::FunctionId id = 0;
+  trace::UserId user = 0;
+  trace::RegionId region = 0;
+  trace::Runtime runtime = trace::Runtime::kPython3;
+  trace::Trigger primary_trigger = trace::Trigger::kTimer;
+  uint16_t trigger_mask = 0;
+  trace::ResourceConfig config = trace::ResourceConfig::k300m128;
+
+  ArrivalKind kind = ArrivalKind::kModulatedPoisson;
+  double base_rate_per_day = 1.0;     // Nominal requests/day (Poisson kind).
+  SimDuration timer_period = kHour;   // Timer kind.
+  // Steady streams (HTTP services behind load balancers, object pipelines) arrive at
+  // jittered-regular intervals rather than memorylessly: a Poisson process at 1.5/min
+  // would still leave >60s gaps ~10% of the time and spuriously kill warm pods.
+  bool regular_arrivals = false;
+
+  // Per-function periodicity personality: the region day-shape is raised to this
+  // exponent, so 0 = flat (no diurnal), 1 = region profile, >1 = sharper peaks.
+  double diurnal_exponent = 1.0;
+  // Traffic is flat before this time and diurnal after it (0 = diurnal from the start).
+  // Models workload regime changes such as R2's Java functions at day 18 (Fig. 8b).
+  SimTime diurnal_onset = 0;
+  // ON-OFF burst modulation (drives the high peak-to-trough tail of Fig. 6).
+  double burst_amplitude = 1.0;       // Rate multiplier while bursting; 1 = no bursts.
+  double burst_prob_per_hour = 0.0;   // P(burst starts in a given hour).
+  double burst_mean_hours = 2.0;
+
+  // Execution profile: per-request exec time ~ LogNormal(median, sigma).
+  double exec_median_us = 50e3;
+  double exec_sigma = 1.0;
+  double cpu_mean_cores = 0.15;       // Mean per-request CPU usage.
+  double mem_mean_kb = 64e3;
+
+  // Package sizes drive the deploy-code / deploy-dependency components.
+  uint32_t code_size_kb = 512;
+  uint32_t dep_size_kb = 0;           // 0 = no dependency layers.
+
+  int pod_concurrency = 1;            // Requests one pod serves concurrently.
+  bool single_cluster = false;        // Some functions are pinned to one cluster (§2.1).
+  trace::ClusterId home_cluster = 0;
+
+  std::vector<WorkflowEdge> children;
+};
+
+// Static per-runtime behaviour (identical across regions; regions differ via their
+// architecture profiles). Calibrated against Figures 15 and 17.
+struct RuntimeTraits {
+  // Pod allocation: Custom images have no reserved pool and are built from scratch;
+  // http functions additionally start an HTTP server inside the pod (§4.4).
+  bool pool_backed = true;
+  double alloc_extra_s = 0.0;       // Added to pod allocation (http server start).
+  double sched_factor = 1.0;        // Node.js placement is scheduling-heavy.
+  double code_factor = 1.0;         // Per-runtime code deploy multiplier.
+  double dep_factor = 1.0;          // Per-runtime dependency deploy multiplier (Go high).
+  double code_size_median_kb = 512;
+  double code_size_sigma = 1.0;
+  double dep_probability = 0.4;     // Chance a function ships dependency layers.
+  double dep_size_median_kb = 4096;
+  double dep_size_sigma = 1.0;
+};
+
+const RuntimeTraits& TraitsOf(trace::Runtime r);
+
+}  // namespace coldstart::workload
+
+#endif  // COLDSTART_WORKLOAD_FUNCTION_MODEL_H_

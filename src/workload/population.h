@@ -1,0 +1,28 @@
+// Function population generation.
+//
+// Samples the joint distribution of (user, runtime, trigger, config, rate class,
+// execution profile, package sizes, burst personality) for every region, then wires
+// workflow edges from popular root functions to workflow-triggered children. All the
+// Fig. 8/9 proportion targets are properties of this sampler.
+#ifndef COLDSTART_WORKLOAD_POPULATION_H_
+#define COLDSTART_WORKLOAD_POPULATION_H_
+
+#include <vector>
+
+#include "workload/region_profile.h"
+
+namespace coldstart::workload {
+
+struct Population {
+  std::vector<FunctionSpec> functions;  // Dense ids across all regions.
+  uint32_t num_users = 0;               // Dense user ids across all regions.
+
+  // Function id ranges per region: [region_begin[r], region_begin[r+1]).
+  std::vector<uint32_t> region_begin;
+};
+
+Population GeneratePopulation(const std::vector<RegionProfile>& profiles, uint64_t seed);
+
+}  // namespace coldstart::workload
+
+#endif  // COLDSTART_WORKLOAD_POPULATION_H_

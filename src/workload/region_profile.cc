@@ -1,0 +1,336 @@
+#include "workload/region_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace coldstart::workload {
+
+namespace {
+
+using trace::kNumResourceConfigs;
+using trace::kNumRuntimes;
+
+// Runtime weight order: C#, Custom, Go1.x, Java, Node.js, PHP7.3, Python2, Python3,
+// http, unknown. Region 2's mix is calibrated against Fig. 8e (Python3 dominant,
+// http/Node.js sizable, Custom small-but-visible); other regions are variations.
+constexpr std::array<double, kNumRuntimes> kRuntimeMixR1 = {0.03, 0.05, 0.04, 0.12, 0.13,
+                                                            0.04, 0.06, 0.34, 0.10, 0.09};
+constexpr std::array<double, kNumRuntimes> kRuntimeMixR2 = {0.02, 0.05, 0.03, 0.09, 0.12,
+                                                            0.05, 0.07, 0.38, 0.11, 0.08};
+constexpr std::array<double, kNumRuntimes> kRuntimeMixR3 = {0.02, 0.03, 0.05, 0.10, 0.10,
+                                                            0.06, 0.05, 0.40, 0.12, 0.07};
+constexpr std::array<double, kNumRuntimes> kRuntimeMixR4 = {0.02, 0.04, 0.03, 0.08, 0.14,
+                                                            0.06, 0.08, 0.40, 0.07, 0.08};
+constexpr std::array<double, kNumRuntimes> kRuntimeMixR5 = {0.03, 0.06, 0.05, 0.11, 0.11,
+                                                            0.04, 0.05, 0.33, 0.13, 0.09};
+
+// Trigger choice per runtime, order: APIG-S, TIMER, OBS, WORKFLOW-S, other-A, other-S.
+// Calibrated against Fig. 9: Python3/PHP/Node.js are timer-heavy; Java and http lean
+// APIG-S; Custom images are predominantly OBS-triggered (which is what makes OBS the
+// slow trigger in Fig. 16); Python2 has the largest other-A share.
+constexpr std::array<std::array<double, kNumTriggerChoices>, kNumRuntimes> kTriggerGivenRuntime =
+    {{
+        {0.30, 0.30, 0.02, 0.10, 0.18, 0.10},  // C#
+        {0.08, 0.15, 0.52, 0.05, 0.15, 0.05},  // Custom
+        {0.25, 0.40, 0.02, 0.10, 0.18, 0.05},  // Go1.x
+        {0.50, 0.20, 0.02, 0.10, 0.13, 0.05},  // Java
+        {0.20, 0.55, 0.02, 0.08, 0.11, 0.04},  // Node.js
+        {0.15, 0.65, 0.02, 0.05, 0.09, 0.04},  // PHP7.3
+        {0.10, 0.50, 0.03, 0.05, 0.27, 0.05},  // Python2
+        {0.12, 0.65, 0.03, 0.05, 0.11, 0.04},  // Python3
+        {0.60, 0.10, 0.02, 0.10, 0.08, 0.10},  // http
+        {0.20, 0.40, 0.06, 0.05, 0.19, 0.10},  // unknown
+    }};
+
+// CPU-memory configuration weights (Fig. 8f: small configs dominate functions and cold
+// starts). Order matches ResourceConfig.
+constexpr std::array<double, kNumResourceConfigs> kConfigWeights = {0.40, 0.22, 0.15, 0.12,
+                                                                    0.06, 0.03, 0.02};
+
+// Timer period mixes. kTimerMixShort includes minute-scale periods that produce the
+// dense Fig. 14 diagonal; kTimerMixLong shifts mass to hours for lighter regions.
+const std::vector<std::pair<SimDuration, double>>& TimerMixShort() {
+  static const std::vector<std::pair<SimDuration, double>> kMix = {
+      {60 * kSecond, 0.12},    // Stays warm: period == keep-alive.
+      {90 * kSecond, 0.01},    // Just outside keep-alive: cold start every fire.
+      {5 * kMinute, 0.05}, {15 * kMinute, 0.10}, {kHour, 0.38},
+      {6 * kHour, 0.18},   {kDay, 0.16},
+  };
+  return kMix;
+}
+
+const std::vector<std::pair<SimDuration, double>>& TimerMixLong() {
+  static const std::vector<std::pair<SimDuration, double>> kMix = {
+      {60 * kSecond, 0.08}, {15 * kMinute, 0.10}, {kHour, 0.42},
+      {6 * kHour, 0.22},    {kDay, 0.18},
+  };
+  return kMix;
+}
+
+RegionProfile MakeR1() {
+  RegionProfile p;
+  p.region = 0;
+  p.num_functions = 600;
+  p.single_function_user_fraction = 0.60;
+  // The busiest region: heavy tail reaches ~4 req/min sustained; ~8% of functions
+  // above 1 request / 10 min (the paper's 20% >= 1/min, at our 1:10 rate scale).
+  p.popularity_alpha = 0.42;
+  p.popularity_min_per_day = 1.0;
+  p.popularity_max_per_day = 5760;
+  p.obs_hot_fraction = 0.35;
+  p.http_hot_fraction = 0.25;
+  p.exec_median_s = 0.10;  // Fig. 3b: R1 median ~100 ms.
+  p.cpu_median_cores = 0.30;
+  p.diurnal.bumps = {{10.5, 1.0, 5.0}, {15.0, 0.45, 6.0}};
+  p.diurnal.floor = 0.22;
+  p.diurnal.holiday = HolidayResponse::kDipWithCatchUp;
+  p.diurnal.holiday_level = 0.55;
+  p.runtime_weights = kRuntimeMixR1;
+  p.trigger_given_runtime = kTriggerGivenRuntime;
+  p.config_weights = kConfigWeights;
+  p.timer_period_weights = TimerMixShort();
+  p.bursty_function_fraction = 0.40;
+  p.burst_amp_median = 5.0;
+  p.pool_base_size = {45, 26, 15, 11, 5, 3, 1};
+  p.pool_refill_per_min = 6.0;
+  // Architecture: dependency registry is the bottleneck and the scheduler queues under
+  // load -> cold starts dominated by dependency deployment + scheduling, means reaching
+  // ~7 s at peaks (Fig. 11a), with strong total<->sched and total<->dep correlations
+  // (Fig. 12a).
+  p.arch.alloc_stage1_median_s = 0.008;
+  p.arch.alloc_stage_growth = 5.0;
+  p.arch.alloc_scratch_median_s = 1.8;
+  p.arch.alloc_congestion_coeff = 0.004;
+  p.arch.code_base_s = 0.04;
+  p.arch.code_bandwidth_kb_per_s = 20000;
+  p.arch.code_congestion_coeff = 0.12;
+  p.arch.dep_base_s = 0.22;
+  p.arch.dep_bandwidth_kb_per_s = 4000;
+  p.arch.dep_congestion_coeff = 0.04;
+  p.arch.sched_base_s = 0.40;
+  p.arch.sched_queue_coeff_s = 0.006;
+  p.arch.custom_scratch_median_s = 9.0;
+  p.arch.sched_rate_coeff = 0.035;
+  p.arch.dep_rate_coeff = 0.015;
+  p.arch.code_rate_coeff = 0.004;
+  p.arch.sched_sigma = 0.32;
+  p.arch.post_holiday_dep_penalty = 1.9;
+  p.inter_region_rtt_ms = 35;
+  return p;
+}
+
+RegionProfile MakeR2() {
+  RegionProfile p;
+  p.region = 1;
+  p.num_functions = 450;
+  p.single_function_user_fraction = 0.70;
+  p.popularity_alpha = 0.70;
+  p.popularity_min_per_day = 0.5;
+  p.popularity_max_per_day = 2000;
+  p.obs_hot_fraction = 0.50;
+  p.http_hot_fraction = 0.20;
+  p.exec_median_s = 0.03;
+  p.cpu_median_cores = 0.20;
+  p.diurnal.bumps = {{14.5, 1.0, 4.5}};
+  p.diurnal.floor = 0.25;
+  p.diurnal.holiday = HolidayResponse::kDipWithCatchUp;
+  p.diurnal.holiday_level = 0.58;
+  p.runtime_weights = kRuntimeMixR2;
+  p.trigger_given_runtime = kTriggerGivenRuntime;
+  p.config_weights = kConfigWeights;
+  p.timer_period_weights = TimerMixLong();
+  p.bursty_function_fraction = 0.35;
+  p.burst_amp_median = 4.0;
+  p.java_regime_change_fraction = 0.75;  // Fig. 8b: Java diurnality begins at day 18.
+  p.java_regime_change_day = 18;
+  // Tight pools + slow refill: allocation frequently expands the staged search or
+  // falls through to from-scratch creation, so pod allocation dominates and swings in
+  // phase with the cold-start count (Figs. 11b, 12b).
+  p.pool_base_size = {14, 8, 5, 4, 2, 1, 1};
+  p.pool_refill_per_min = 1.5;
+  p.arch.alloc_stage1_median_s = 0.010;
+  p.arch.alloc_stage_growth = 8.0;
+  p.arch.alloc_scratch_median_s = 2.2;
+  p.arch.alloc_congestion_coeff = 0.020;
+  p.arch.code_base_s = 0.030;
+  p.arch.code_bandwidth_kb_per_s = 30000;
+  p.arch.code_congestion_coeff = 0.05;
+  p.arch.dep_base_s = 0.10;
+  p.arch.dep_bandwidth_kb_per_s = 9000;
+  p.arch.dep_congestion_coeff = 0.08;
+  p.arch.sched_base_s = 0.18;
+  p.arch.sched_queue_coeff_s = 0.004;
+  p.arch.custom_scratch_median_s = 10.0;
+  p.arch.alloc_rate_coeff = 0.025;
+  p.arch.rate_saturation = 60.0;
+  p.arch.sched_rate_coeff = 0.004;
+  p.arch.dep_rate_coeff = 0.004;
+  p.arch.post_holiday_dep_penalty = 1.7;
+  p.inter_region_rtt_ms = 35;
+  return p;
+}
+
+RegionProfile MakeR3() {
+  RegionProfile p;
+  p.region = 2;
+  p.num_functions = 150;
+  p.single_function_user_fraction = 0.85;
+  p.popularity_alpha = 1.1;
+  p.popularity_min_per_day = 0.4;
+  p.popularity_max_per_day = 900;
+  p.obs_hot_fraction = 0.30;
+  p.http_hot_fraction = 0.15;
+  p.exec_median_s = 0.02;
+  p.cpu_median_cores = 0.10;
+  p.diurnal.bumps = {{20.0, 1.0, 4.0}};
+  p.diurnal.floor = 0.30;
+  p.diurnal.holiday = HolidayResponse::kRise;  // Fig. 7: R3 rises during the holiday.
+  p.diurnal.holiday_level = 1.35;
+  p.runtime_weights = kRuntimeMixR3;
+  p.trigger_given_runtime = kTriggerGivenRuntime;
+  p.config_weights = kConfigWeights;
+  p.timer_period_weights = TimerMixLong();
+  p.bursty_function_fraction = 0.25;
+  p.burst_amp_median = 3.0;
+  // Ample small-pod pools but skeletal large-pod pools: the 5:1 large/small cold-start
+  // ratio of Fig. 13 comes from large allocations expanding the search.
+  p.pool_base_size = {36, 20, 4, 3, 1, 1, 0};
+  p.pool_refill_per_min = 4.0;
+  p.arch.alloc_stage1_median_s = 0.002;
+  p.arch.alloc_stage_growth = 10.0;
+  p.arch.alloc_scratch_median_s = 1.2;
+  p.arch.alloc_congestion_coeff = 0.002;
+  p.arch.code_base_s = 0.010;
+  p.arch.code_bandwidth_kb_per_s = 60000;
+  p.arch.code_congestion_coeff = 0.03;
+  p.arch.dep_base_s = 0.030;
+  p.arch.dep_bandwidth_kb_per_s = 20000;
+  p.arch.dep_congestion_coeff = 0.05;
+  p.arch.sched_base_s = 0.060;
+  p.arch.sched_queue_coeff_s = 0.004;
+  p.arch.custom_scratch_median_s = 7.0;
+  p.arch.sched_rate_coeff = 0.050;
+  p.arch.code_rate_coeff = 0.030;
+  p.arch.post_holiday_dep_penalty = 1.4;
+  p.inter_region_rtt_ms = 60;
+  return p;
+}
+
+RegionProfile MakeR4() {
+  RegionProfile p;
+  p.region = 3;
+  p.num_functions = 850;
+  p.single_function_user_fraction = 0.90;
+  // Many functions, almost all low-rate (Fig. 3a: ~1% at >= 1/min in the paper).
+  p.popularity_alpha = 1.3;
+  p.popularity_min_per_day = 0.3;
+  p.popularity_max_per_day = 720;
+  p.obs_hot_fraction = 0.10;
+  p.http_hot_fraction = 0.06;
+  p.exec_median_s = 0.01;
+  p.cpu_median_cores = 0.15;
+  p.diurnal.bumps = {{8.0, 1.0, 5.5}};
+  p.diurnal.floor = 0.24;
+  p.diurnal.holiday = HolidayResponse::kDipWithCatchUp;
+  p.diurnal.holiday_level = 0.62;
+  p.runtime_weights = kRuntimeMixR4;
+  p.trigger_given_runtime = kTriggerGivenRuntime;
+  p.config_weights = kConfigWeights;
+  p.timer_period_weights = TimerMixLong();
+  p.bursty_function_fraction = 0.30;
+  p.burst_amp_median = 4.5;
+  p.pool_base_size = {30, 16, 9, 6, 3, 1, 1};
+  p.pool_refill_per_min = 2.5;
+  p.arch.alloc_stage1_median_s = 0.012;
+  p.arch.alloc_stage_growth = 6.0;
+  p.arch.alloc_scratch_median_s = 2.0;
+  p.arch.alloc_congestion_coeff = 0.015;
+  p.arch.code_base_s = 0.030;
+  p.arch.code_bandwidth_kb_per_s = 35000;
+  p.arch.code_congestion_coeff = 0.05;
+  p.arch.dep_base_s = 0.120;
+  p.arch.dep_bandwidth_kb_per_s = 8000;
+  p.arch.dep_congestion_coeff = 0.10;
+  p.arch.sched_base_s = 0.22;
+  p.arch.sched_queue_coeff_s = 0.005;
+  p.arch.custom_scratch_median_s = 9.0;
+  p.arch.alloc_rate_coeff = 0.022;
+  p.arch.rate_saturation = 80.0;
+  p.arch.dep_rate_coeff = 0.010;
+  p.arch.post_holiday_dep_penalty = 1.8;
+  p.inter_region_rtt_ms = 45;
+  return p;
+}
+
+RegionProfile MakeR5() {
+  RegionProfile p;
+  p.region = 4;
+  p.num_functions = 300;
+  p.single_function_user_fraction = 0.75;
+  p.popularity_alpha = 0.65;
+  p.popularity_min_per_day = 0.8;
+  p.popularity_max_per_day = 1800;
+  p.obs_hot_fraction = 0.30;
+  p.http_hot_fraction = 0.15;
+  p.exec_median_s = 0.004;  // Fig. 3b: R5 median ~4 ms.
+  p.cpu_median_cores = 0.25;
+  p.diurnal.bumps = {{17.0, 1.0, 4.5}, {2.0, 0.3, 8.0}};
+  p.diurnal.floor = 0.26;
+  p.diurnal.holiday = HolidayResponse::kDipWithCatchUp;
+  p.diurnal.holiday_level = 0.68;
+  p.runtime_weights = kRuntimeMixR5;
+  p.trigger_given_runtime = kTriggerGivenRuntime;
+  p.config_weights = kConfigWeights;
+  p.timer_period_weights = TimerMixShort();
+  p.bursty_function_fraction = 0.35;
+  p.burst_amp_median = 4.0;
+  // Generous pools with a shallow stage ladder: small and large pods see nearly the
+  // same allocation cost (Fig. 13's ~1:1 region).
+  p.pool_base_size = {60, 36, 22, 16, 8, 4, 2};
+  p.pool_refill_per_min = 8.0;
+  p.arch.alloc_stage1_median_s = 0.006;
+  p.arch.alloc_stage_growth = 2.5;
+  p.arch.alloc_scratch_median_s = 1.5;
+  p.arch.alloc_congestion_coeff = 0.004;
+  p.arch.code_base_s = 0.020;
+  p.arch.code_bandwidth_kb_per_s = 40000;
+  p.arch.code_congestion_coeff = 0.04;
+  // Dependency fetches and scheduling share the same fabric -> the coupled
+  // oscillations behind R5's dep<->sched correlation in Fig. 12e.
+  p.arch.dep_base_s = 0.18;
+  p.arch.dep_bandwidth_kb_per_s = 8000;
+  p.arch.dep_congestion_coeff = 0.05;
+  p.arch.sched_base_s = 0.26;
+  p.arch.sched_queue_coeff_s = 0.004;
+  p.arch.custom_scratch_median_s = 8.0;
+  p.arch.dep_rate_coeff = 0.032;
+  p.arch.sched_rate_coeff = 0.045;
+  p.arch.sched_sigma = 0.32;
+  p.arch.post_holiday_dep_penalty = 1.5;
+  p.inter_region_rtt_ms = 30;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<RegionProfile>& DefaultRegionProfiles() {
+  static const std::vector<RegionProfile> kProfiles = {MakeR1(), MakeR2(), MakeR3(),
+                                                       MakeR4(), MakeR5()};
+  return kProfiles;
+}
+
+RegionProfile ScaledProfile(const RegionProfile& profile, double scale) {
+  COLDSTART_CHECK_GT(scale, 0.0);
+  COLDSTART_CHECK_LE(scale, 4.0);
+  RegionProfile p = profile;
+  p.num_functions = std::max(10, static_cast<int>(std::lround(profile.num_functions * scale)));
+  for (auto& size : p.pool_base_size) {
+    size = std::max(1, static_cast<int>(std::lround(size * scale)));
+  }
+  p.pool_refill_per_min = std::max(0.5, profile.pool_refill_per_min * scale);
+  return p;
+}
+
+}  // namespace coldstart::workload

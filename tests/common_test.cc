@@ -1,0 +1,202 @@
+// Tests for the common layer: RNG, histograms, time formatting, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/table.h"
+
+namespace coldstart {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextDoublePositive(), 0.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextExponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkStreamIsDeterministic) {
+  Rng a(5), b(5);
+  Rng fa = a.ForkStream("workload");
+  Rng fb = b.ForkStream("workload");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fa.NextU64(), fb.NextU64());
+  }
+}
+
+TEST(RngTest, ForkStreamLabelsIndependent) {
+  Rng a(5);
+  Rng f1 = a.ForkStream("x");
+  Rng f2 = a.ForkStream("y");
+  EXPECT_NE(f1.NextU64(), f2.NextU64());
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(5), b(5);
+  (void)a.ForkStream("anything");
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, HashStringStableAndDistinct) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(FromSeconds(1.5), 1500000);
+  EXPECT_DOUBLE_EQ(ToSeconds(2 * kSecond), 2.0);
+  EXPECT_EQ(MinuteIndex(59 * kSecond), 0);
+  EXPECT_EQ(MinuteIndex(61 * kSecond), 1);
+  EXPECT_EQ(DayIndex(25 * kHour), 1);
+  EXPECT_DOUBLE_EQ(HourOfDay(kDay + 6 * kHour), 6.0);
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(FormatSimTime(0), "d00 00:00:00.000");
+  EXPECT_EQ(FormatSimTime(kDay + kHour + kMinute + kSecond + kMillisecond),
+            "d01 01:01:01.001");
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(2 * kSecond), "2.000s");
+}
+
+TEST(HistogramTest, QuantilesOfUniformSpread) {
+  LogHistogram h(1e-3, 1e3);
+  for (int i = 1; i <= 1000; ++i) {
+    h.Add(static_cast<double>(i) / 10.0);  // 0.1 .. 100.
+  }
+  EXPECT_EQ(h.total_count(), 1000u);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 5.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 8.0);
+  EXPECT_NEAR(h.Mean(), 50.05, 0.5);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  LogHistogram h(1.0, 100.0);
+  h.Add(1e-9);
+  h.Add(1e9);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_GT(h.CdfAt(1.5), 0.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  LogHistogram a(1.0, 100.0), b(1.0, 100.0);
+  a.Add(2.0);
+  b.Add(50.0);
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max_recorded(), 50.0);
+  EXPECT_DOUBLE_EQ(a.min_recorded(), 2.0);
+}
+
+TEST(HistogramTest, CdfMonotone) {
+  LogHistogram h(1e-2, 1e2);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(std::exp(rng.NextGaussian()));
+  }
+  double prev = 0;
+  for (double x = 0.01; x < 100; x *= 1.5) {
+    const double c = h.CdfAt(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.CdfAt(1e3), 1.0);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.Row().Cell("a").Cell(int64_t{1});
+  t.Row().Cell("long-name").Cell(2.5, 1);
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.Row().Cell("x").Cell(int64_t{7});
+  EXPECT_EQ(t.RenderCsv(), "a,b\nx,7\n");
+}
+
+TEST(TableTest, FormatDoubleSwitchesToScientific) {
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
+  EXPECT_NE(FormatDouble(1e9, 2).find('e'), std::string::npos);
+  EXPECT_EQ(FormatDouble(std::nan(""), 2), "nan");
+}
+
+}  // namespace
+}  // namespace coldstart

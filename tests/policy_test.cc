@@ -1,0 +1,293 @@
+// Tests for predictors and mitigation policies.
+#include <gtest/gtest.h>
+
+#include "policy/composite.h"
+#include "policy/cross_region.h"
+#include "policy/keepalive.h"
+#include "policy/peak_shaving.h"
+#include "policy/pool_prediction.h"
+#include "policy/predictors.h"
+#include "policy/prewarm.h"
+#include "policy/workflow_prewarm.h"
+
+namespace coldstart::policy {
+namespace {
+
+using workload::FunctionSpec;
+
+TEST(MovingAveragePredictorTest, ConvergesToMean) {
+  MovingAveragePredictor p(4);
+  for (const double v : {2.0, 4.0, 6.0, 8.0}) {
+    p.Observe(v);
+  }
+  EXPECT_DOUBLE_EQ(p.Predict(), 5.0);
+  p.Observe(10.0);  // Evicts the 2.
+  EXPECT_DOUBLE_EQ(p.Predict(), 7.0);
+}
+
+TEST(MovingAveragePredictorTest, PartialWindow) {
+  MovingAveragePredictor p(10);
+  EXPECT_DOUBLE_EQ(p.Predict(), 0.0);
+  p.Observe(6.0);
+  EXPECT_DOUBLE_EQ(p.Predict(), 6.0);
+}
+
+TEST(SeasonalNaivePredictorTest, RepeatsLastSeason) {
+  SeasonalNaivePredictor p(3);
+  for (const double v : {1.0, 2.0, 3.0}) {
+    p.Observe(v);
+  }
+  // Next bucket is the same phase as the first observation.
+  EXPECT_DOUBLE_EQ(p.Predict(), 1.0);
+  p.Observe(10.0);
+  EXPECT_DOUBLE_EQ(p.Predict(), 2.0);
+}
+
+TEST(SeasonalNaivePredictorTest, FallsBackToLastBeforeFullSeason) {
+  SeasonalNaivePredictor p(5);
+  p.Observe(7.0);
+  EXPECT_DOUBLE_EQ(p.Predict(), 7.0);
+}
+
+TEST(HoltWintersPredictorTest, TracksLinearTrend) {
+  HoltWintersPredictor p(4, 0.5, 0.3, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    p.Observe(static_cast<double>(i));
+  }
+  EXPECT_NEAR(p.Predict(), 200.0, 8.0);
+}
+
+TEST(HoltWintersPredictorTest, LearnsSeasonality) {
+  HoltWintersPredictor p(2, 0.2, 0.01, 0.4);
+  for (int i = 0; i < 400; ++i) {
+    p.Observe(i % 2 == 0 ? 10.0 : 2.0);  // Alternating season.
+  }
+  const double even = p.Predict();  // Next is an even-phase bucket.
+  p.Observe(10.0);
+  const double odd = p.Predict();
+  EXPECT_GT(even, odd);
+}
+
+TEST(MakePredictorTest, AllKindsConstructible) {
+  for (const char* kind : {"moving-average", "seasonal-naive", "holt-winters"}) {
+    EXPECT_NE(MakePredictor(kind, 10), nullptr);
+  }
+}
+
+FunctionSpec TimerSpec(SimDuration period) {
+  FunctionSpec f;
+  f.id = 1;
+  f.region = 0;
+  f.primary_trigger = trace::Trigger::kTimer;
+  f.kind = workload::ArrivalKind::kTimer;
+  f.timer_period = period;
+  return f;
+}
+
+TEST(DynamicKeepAliveTest, LearnsInterArrivalTime) {
+  DynamicKeepAlivePolicy policy;
+  const FunctionSpec spec = TimerSpec(5 * kMinute);
+  SimTime t = 0;
+  for (int i = 0; i < 10; ++i) {
+    policy.OnArrival(spec, t);
+    t += 5 * kMinute;
+  }
+  const SimDuration ka = policy.KeepAliveFor(spec, t);
+  // Headroom 1.25 x 5min = 6.25min.
+  EXPECT_NEAR(ToSeconds(ka), 375.0, 5.0);
+}
+
+TEST(DynamicKeepAliveTest, DefaultBeforeEnoughObservations) {
+  DynamicKeepAlivePolicy policy;
+  const FunctionSpec spec = TimerSpec(kMinute);
+  EXPECT_EQ(policy.KeepAliveFor(spec, 0), kMinute);
+  policy.OnArrival(spec, 0);
+  policy.OnArrival(spec, kMinute);
+  EXPECT_EQ(policy.KeepAliveFor(spec, kMinute), kMinute);
+}
+
+TEST(DynamicKeepAliveTest, ClampsToBounds) {
+  DynamicKeepAlivePolicy policy;
+  const FunctionSpec spec = TimerSpec(kDay);
+  SimTime t = 0;
+  for (int i = 0; i < 6; ++i) {
+    policy.OnArrival(spec, t);
+    t += kDay;
+  }
+  EXPECT_EQ(policy.KeepAliveFor(spec, t), 10 * kMinute);  // max_keep_alive.
+}
+
+TEST(PeakShavingTest, DelaysOnlyUnderPressure) {
+  PeakShavingPolicy policy;
+  FunctionSpec obs;
+  obs.primary_trigger = trace::Trigger::kObs;
+  platform::RegionLoadState calm, pressured;
+  pressured.cold_start_window = 80;  // Well above the recent-window threshold.
+  EXPECT_EQ(policy.AdmissionDelay(obs, 0, calm), 0);
+  EXPECT_GT(policy.AdmissionDelay(obs, 0, pressured), 0);
+  EXPECT_LE(policy.AdmissionDelay(obs, 0, pressured), kMinute);
+}
+
+TEST(PeakShavingTest, RespectsTriggerSensitivity) {
+  PeakShavingPolicy policy;
+  platform::RegionLoadState pressured;
+  pressured.cold_start_window = 80;
+  FunctionSpec timer;
+  timer.primary_trigger = trace::Trigger::kTimer;  // Not delayable by default.
+  EXPECT_EQ(policy.AdmissionDelay(timer, 0, pressured), 0);
+  FunctionSpec dis;
+  dis.primary_trigger = trace::Trigger::kDis;
+  EXPECT_GT(policy.AdmissionDelay(dis, 0, pressured), 0);
+}
+
+TEST(CompositePolicyTest, FansOutAndCombines) {
+  struct CountingPolicy : platform::PlatformPolicy {
+    void OnArrival(const FunctionSpec&, SimTime) override { ++arrivals; }
+    SimDuration AdmissionDelay(const FunctionSpec&, SimTime,
+                               const platform::RegionLoadState&) override {
+      return delay;
+    }
+    int arrivals = 0;
+    SimDuration delay = 0;
+  };
+  auto a = std::make_unique<CountingPolicy>();
+  auto b = std::make_unique<CountingPolicy>();
+  a->delay = 10;
+  b->delay = 30;
+  CountingPolicy* ra = a.get();
+  CountingPolicy* rb = b.get();
+  CompositePolicy combo;
+  combo.Add(std::move(a)).Add(std::move(b));
+
+  FunctionSpec spec;
+  combo.OnArrival(spec, 0);
+  EXPECT_EQ(ra->arrivals, 1);
+  EXPECT_EQ(rb->arrivals, 1);
+  platform::RegionLoadState load;
+  EXPECT_EQ(combo.AdmissionDelay(spec, 0, load), 30);  // Max of sub-delays.
+}
+
+TEST(CompositePolicyTest, KeepAliveFirstDeviationWins) {
+  struct FixedKa : platform::PlatformPolicy {
+    explicit FixedKa(SimDuration v) : ka(v) {}
+    SimDuration KeepAliveFor(const FunctionSpec&, SimTime) override { return ka; }
+    SimDuration ka;
+  };
+  CompositePolicy combo;
+  combo.Add(std::make_unique<FixedKa>(kMinute));      // Default: skipped.
+  combo.Add(std::make_unique<FixedKa>(5 * kSecond));  // First deviation.
+  combo.Add(std::make_unique<FixedKa>(9 * kMinute));
+  FunctionSpec spec;
+  EXPECT_EQ(combo.KeepAliveFor(spec, 0), 5 * kSecond);
+}
+
+// End-to-end policy effect checks on a small simulated scenario.
+struct TimerScenarioResult {
+  int64_t cold_starts;
+  int64_t prewarms;
+};
+
+TimerScenarioResult RunTimerScenario(platform::PlatformPolicy* policy) {
+  workload::Calendar::Options copts;
+  copts.trace_days = 1;
+  const workload::Calendar cal(copts);
+  auto profiles = std::vector<workload::RegionProfile>{
+      workload::DefaultRegionProfiles()[0]};
+
+  // 20 timer functions with a 5-minute period: 288 cold starts each at baseline.
+  workload::Population pop;
+  std::vector<workload::ArrivalEvent> arrivals;
+  for (int i = 0; i < 20; ++i) {
+    FunctionSpec f;
+    f.id = static_cast<trace::FunctionId>(i);
+    f.region = 0;
+    f.primary_trigger = trace::Trigger::kTimer;
+    f.kind = workload::ArrivalKind::kTimer;
+    f.timer_period = 5 * kMinute;
+    f.exec_median_us = 5e3;
+    f.exec_sigma = 0.1;
+    f.pod_concurrency = 1;
+    pop.functions.push_back(f);
+    for (SimTime t = static_cast<SimTime>(i) * kSecond; t < cal.horizon();
+         t += 5 * kMinute) {
+      arrivals.push_back({t, static_cast<trace::FunctionId>(i)});
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const auto& a, const auto& b) { return a.time < b.time; });
+  pop.num_users = 1;
+  pop.region_begin = {0, static_cast<uint32_t>(pop.functions.size())};
+
+  sim::Simulator sim;
+  trace::TraceStore store;
+  platform::Platform::Options opts;
+  opts.seed = 33;
+  opts.record_requests = false;
+  platform::Platform platform(pop, profiles, cal, sim, store, opts, policy);
+  platform.InjectArrivals(arrivals);
+  sim.RunUntil(cal.horizon());
+  platform.Finalize();
+  return {platform.cold_starts(0), platform.load(0).prewarm_spawns};
+}
+
+TEST(PolicyScenarioTest, TimerPrewarmEliminatesMostColdStarts) {
+  const auto baseline = RunTimerScenario(nullptr);
+  TimerAwarePrewarmPolicy prewarm;
+  const auto with_policy = RunTimerScenario(&prewarm);
+  EXPECT_GT(baseline.cold_starts, 5000);
+  // Prewarming converts user-visible cold starts into background spawns.
+  EXPECT_LT(with_policy.cold_starts, baseline.cold_starts / 3);
+  EXPECT_GT(with_policy.prewarms, 1000);
+}
+
+TEST(PolicyScenarioTest, DynamicKeepAliveCoversTimerPeriods) {
+  const auto baseline = RunTimerScenario(nullptr);
+  DynamicKeepAlivePolicy dynamic;
+  const auto with_policy = RunTimerScenario(&dynamic);
+  // Keep-alive stretches to ~6.25 min > 5 min period: pods stay warm.
+  EXPECT_LT(with_policy.cold_starts, baseline.cold_starts / 10);
+}
+
+TEST(WorkflowPrewarmTest, PrewarmsChildrenOnParentStart) {
+  // Minimal platform: parent with one child edge.
+  workload::Calendar::Options copts;
+  copts.trace_days = 1;
+  const workload::Calendar cal(copts);
+  auto profiles = std::vector<workload::RegionProfile>{
+      workload::DefaultRegionProfiles()[0]};
+  workload::Population pop;
+  FunctionSpec parent;
+  parent.id = 0;
+  parent.region = 0;
+  parent.exec_median_us = 5e6;  // 5s: long enough to hide the child's warm-up.
+  parent.exec_sigma = 0.05;
+  parent.children.push_back({1, 0.9});
+  FunctionSpec child;
+  child.id = 1;
+  child.region = 0;
+  child.kind = workload::ArrivalKind::kWorkflowChild;
+  child.primary_trigger = trace::Trigger::kWorkflowSync;
+  child.exec_median_us = 5e3;
+  pop.functions = {parent, child};
+  pop.num_users = 1;
+  pop.region_begin = {0, 2};
+
+  WorkflowPrewarmPolicy policy;
+  sim::Simulator sim;
+  trace::TraceStore store;
+  platform::Platform::Options opts;
+  opts.seed = 3;
+  platform::Platform platform(pop, profiles, cal, sim, store, opts, &policy);
+  platform.InjectArrivals({{kHour, 0}});
+  sim.RunUntil(cal.horizon());
+  platform.Finalize();
+  store.Seal();
+
+  EXPECT_EQ(policy.prewarms_issued(), 1);
+  // The child's request lands on the prewarmed pod: only the parent cold-starts
+  // user-visibly.
+  EXPECT_EQ(platform.cold_starts(0), 1);
+}
+
+}  // namespace
+}  // namespace coldstart::policy

@@ -1,0 +1,121 @@
+// Tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace coldstart::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, NowAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(42, [&] { seen = sim.now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMore) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      sim.ScheduleAfter(10, chain);
+    }
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);  // Events at exactly `until` fire.
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100);  // Clock advances to the requested horizon.
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, SchedulingInPastDies) {
+  Simulator sim;
+  sim.ScheduleAt(100, [] {});
+  sim.RunToCompletion();
+  EXPECT_DEATH(sim.ScheduleAt(50, [] {}), "CHECK");
+}
+
+TEST(SimulatorTest, EventCountAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.ScheduleAt(i, [] {});
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SchedulePeriodicTest, FiresWithIndexUntilEnd) {
+  Simulator sim;
+  std::vector<int64_t> indices;
+  std::vector<SimTime> times;
+  SchedulePeriodic(sim, 0, 10, 35, [&](int64_t i) {
+    indices.push_back(i);
+    times.push_back(sim.now());
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(indices, (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(times, (std::vector<SimTime>{0, 10, 20, 30}));
+}
+
+TEST(SchedulePeriodicTest, EmptyRangeNoFiring) {
+  Simulator sim;
+  int fired = 0;
+  SchedulePeriodic(sim, 10, 5, 10, [&](int64_t) { ++fired; });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace coldstart::sim

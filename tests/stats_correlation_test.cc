@@ -1,0 +1,127 @@
+// Tests for Spearman correlation and p-values (the Figure 12 machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/correlation.h"
+
+namespace coldstart::stats {
+namespace {
+
+TEST(MidRanksTest, SimpleOrdering) {
+  const auto r = MidRanks({30.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(MidRanksTest, TiesGetAverageRank) {
+  const auto r = MidRanks({5.0, 1.0, 5.0, 9.0});
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(MidRanksTest, AllEqual) {
+  const auto r = MidRanks({2.0, 2.0, 2.0});
+  for (const double v : r) {
+    EXPECT_DOUBLE_EQ(v, 2.0);
+  }
+}
+
+TEST(PearsonTest, PerfectLinear) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(SpearmanTest, PerfectMonotoneNonlinear) {
+  // Spearman sees through monotone transforms; Pearson would not be exactly 1.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.3 * i));
+  }
+  const auto r = SpearmanCorrelation(x, y);
+  EXPECT_NEAR(r.rho, 1.0, 1e-12);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(SpearmanTest, AntiMonotone) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(1.0 / i);
+  }
+  const auto r = SpearmanCorrelation(x, y);
+  EXPECT_NEAR(r.rho, -1.0, 1e-12);
+  EXPECT_TRUE(r.significant());
+}
+
+TEST(SpearmanTest, IndependentSeriesNearZero) {
+  Rng rng(42);
+  std::vector<double> x(5000), y(5000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+  const auto r = SpearmanCorrelation(x, y);
+  EXPECT_NEAR(r.rho, 0.0, 0.05);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(SpearmanTest, NoisyPositiveDetected) {
+  Rng rng(43);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = 0.5 * x[i] + rng.NextGaussian();
+  }
+  const auto r = SpearmanCorrelation(x, y);
+  EXPECT_GT(r.rho, 0.3);
+  EXPECT_TRUE(r.significant());
+}
+
+TEST(SpearmanTest, TooFewSamplesReturnsNeutral) {
+  const auto r = SpearmanCorrelation({1.0, 2.0}, {2.0, 1.0});
+  EXPECT_DOUBLE_EQ(r.rho, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(SpearmanMatrixTest, SymmetricWithUnitDiagonal) {
+  Rng rng(44);
+  std::vector<std::vector<double>> series(3, std::vector<double>(200));
+  for (auto& s : series) {
+    for (auto& v : s) {
+      v = rng.NextDouble();
+    }
+  }
+  const auto m = SpearmanMatrix(series);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i].rho, 1.0);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j].rho, m[j][i].rho);
+    }
+  }
+}
+
+TEST(StudentTTest, KnownTwoSidedValues) {
+  // t=2.086, dof=20 -> p ~ 0.05 (critical value tables).
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.086, 20), 0.05, 0.001);
+  // t=0 -> p = 1.
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10), 1.0, 1e-9);
+  // Large t -> tiny p.
+  EXPECT_LT(StudentTTwoSidedPValue(10.0, 30), 1e-9);
+}
+
+TEST(StudentTTest, SymmetricInT) {
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedPValue(1.5, 12), StudentTTwoSidedPValue(-1.5, 12));
+}
+
+}  // namespace
+}  // namespace coldstart::stats

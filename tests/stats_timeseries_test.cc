@@ -1,0 +1,118 @@
+// Tests for time-series utilities (peaks, P2T, smoothing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/timeseries.h"
+
+namespace coldstart::stats {
+namespace {
+
+TEST(MovingAverageTest, ConstantSeriesUnchanged) {
+  const std::vector<double> s(10, 3.0);
+  for (const double v : MovingAverage(s, 5)) {
+    EXPECT_DOUBLE_EQ(v, 3.0);
+  }
+}
+
+TEST(MovingAverageTest, WindowOneIsIdentity) {
+  const std::vector<double> s = {1, 5, 2, 8};
+  EXPECT_EQ(MovingAverage(s, 1), s);
+}
+
+TEST(MovingAverageTest, SmoothsSpike) {
+  std::vector<double> s(11, 0.0);
+  s[5] = 10.0;
+  const auto out = MovingAverage(s, 5);
+  EXPECT_NEAR(out[5], 2.0, 1e-12);  // 10 spread over 5 buckets.
+  EXPECT_NEAR(out[3], 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(MovingAverageTest, EdgesUsePartialWindow) {
+  const std::vector<double> s = {4.0, 0.0, 0.0};
+  const auto out = MovingAverage(s, 3);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);  // Mean of {4, 0}.
+}
+
+TEST(MinMaxNormalizeTest, MapsToUnitRange) {
+  const auto out = MinMaxNormalize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(MinMaxNormalizeTest, ConstantSeriesToZero) {
+  for (const double v : MinMaxNormalize({5.0, 5.0, 5.0})) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(LargestPeakTest, FindsPerPeriodMaxima) {
+  // Two "days" of 4 buckets each.
+  const std::vector<double> s = {1, 9, 2, 3, 4, 5, 8, 6};
+  const auto peaks = LargestPeakPerPeriod(s, 4);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_DOUBLE_EQ(peaks[0].value, 9.0);
+  EXPECT_EQ(peaks[1].index, 6u);
+  EXPECT_DOUBLE_EQ(peaks[1].value, 8.0);
+}
+
+TEST(LargestPeakTest, DropsPartialTrailingPeriod) {
+  const std::vector<double> s = {1, 2, 3, 4, 5};
+  EXPECT_EQ(LargestPeakPerPeriod(s, 3).size(), 1u);
+}
+
+TEST(PeakToTroughTest, SineWaveRatio) {
+  std::vector<double> s;
+  for (int i = 0; i < 1000; ++i) {
+    s.push_back(10.0 + 5.0 * std::sin(2 * M_PI * i / 100.0));
+  }
+  EXPECT_NEAR(PeakToTroughRatio(s, 0.001), 3.0, 0.01);  // 15 / 5.
+}
+
+TEST(PeakToTroughTest, FlooredAtOne) {
+  EXPECT_DOUBLE_EQ(PeakToTroughRatio({5.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(PeakToTroughRatio({0.5}), 1.0);
+}
+
+TEST(PeakToTroughTest, ZeroTroughUsesFloor) {
+  EXPECT_DOUBLE_EQ(PeakToTroughRatio({0.0, 100.0}, 1.0), 100.0);
+}
+
+TEST(AutocorrelationTest, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> s;
+  for (int i = 0; i < 240; ++i) {
+    s.push_back(std::sin(2 * M_PI * i / 24.0));
+  }
+  EXPECT_GT(Autocorrelation(s, 24), 0.9);
+  EXPECT_LT(Autocorrelation(s, 12), -0.9);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  const std::vector<double> s = {1, 4, 2, 8, 5};
+  EXPECT_NEAR(Autocorrelation(s, 0), 1.0, 1e-12);
+}
+
+TEST(AutocorrelationTest, ConstantSeriesZero) {
+  EXPECT_DOUBLE_EQ(Autocorrelation({3, 3, 3, 3}, 1), 0.0);
+}
+
+TEST(DownsampleTest, SumsGroups) {
+  const auto out = Downsample({1, 2, 3, 4, 5, 6, 7}, 3);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(PeriodicProfileTest, AveragesAcrossPeriods) {
+  const auto out = PeriodicProfile({1, 2, 3, 4, 5, 6}, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 2.5);
+  EXPECT_DOUBLE_EQ(out[1], 3.5);
+  EXPECT_DOUBLE_EQ(out[2], 4.5);
+}
+
+}  // namespace
+}  // namespace coldstart::stats

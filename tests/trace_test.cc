@@ -1,0 +1,273 @@
+// Tests for the trace layer: types, store, aggregation, CSV and binary round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/aggregate.h"
+#include "trace/binary_io.h"
+#include "trace/csv.h"
+#include "trace/trace_store.h"
+
+namespace coldstart::trace {
+namespace {
+
+TEST(TypesTest, TriggerSynchronicity) {
+  EXPECT_TRUE(IsSynchronous(Trigger::kApigSync));
+  EXPECT_TRUE(IsSynchronous(Trigger::kWorkflowSync));
+  EXPECT_TRUE(IsSynchronous(Trigger::kKafkaSync));
+  EXPECT_FALSE(IsSynchronous(Trigger::kTimer));
+  EXPECT_FALSE(IsSynchronous(Trigger::kObs));
+  EXPECT_FALSE(IsSynchronous(Trigger::kLts));
+}
+
+TEST(TypesTest, TriggerGrouping) {
+  EXPECT_EQ(GroupOf(Trigger::kApigSync), TriggerGroup::kApigS);
+  EXPECT_EQ(GroupOf(Trigger::kObs), TriggerGroup::kObsA);
+  EXPECT_EQ(GroupOf(Trigger::kTimer), TriggerGroup::kTimerA);
+  EXPECT_EQ(GroupOf(Trigger::kWorkflowSync), TriggerGroup::kWorkflowS);
+  EXPECT_EQ(GroupOf(Trigger::kCts), TriggerGroup::kOtherA);
+  EXPECT_EQ(GroupOf(Trigger::kKafkaSync), TriggerGroup::kOtherS);
+  EXPECT_EQ(GroupOf(Trigger::kUnknown), TriggerGroup::kUnknown);
+}
+
+TEST(TypesTest, PoolSizeClassBoundary) {
+  // Small: at most 400 millicores AND at most 256 MB (§4.2).
+  EXPECT_EQ(SizeClassOf(ResourceConfig::k300m128), PoolSizeClass::kSmall);
+  EXPECT_EQ(SizeClassOf(ResourceConfig::k400m256), PoolSizeClass::kSmall);
+  EXPECT_EQ(SizeClassOf(ResourceConfig::k600m512), PoolSizeClass::kLarge);
+  EXPECT_EQ(SizeClassOf(ResourceConfig::k26000m32768), PoolSizeClass::kLarge);
+}
+
+TEST(TypesTest, ConfigGroups) {
+  EXPECT_EQ(ConfigGroupOf(ResourceConfig::k300m128), ConfigGroup::k300m128);
+  EXPECT_EQ(ConfigGroupOf(ResourceConfig::k2000m2048), ConfigGroup::kOther);
+}
+
+TEST(TypesTest, NamesAreStableAndDistinct) {
+  EXPECT_STREQ(RuntimeName(Runtime::kPython3), "Python3");
+  EXPECT_STREQ(TriggerName(Trigger::kObs), "OBS-A");
+  EXPECT_EQ(RegionName(0), "R1");
+  EXPECT_EQ(RegionName(4), "R5");
+  EXPECT_STREQ(ResourceConfigName(ResourceConfig::k300m128), "300-128");
+}
+
+TEST(TypesTest, HashedIdIsStable) {
+  EXPECT_EQ(HashedId(42), HashedId(42));
+  EXPECT_NE(HashedId(42), HashedId(43));
+  EXPECT_EQ(HashedId(1).size(), 16u);
+}
+
+FunctionRecord MakeFunction(FunctionId id, RegionId region,
+                            Runtime rt = Runtime::kPython3,
+                            Trigger trig = Trigger::kTimer,
+                            ResourceConfig cfg = ResourceConfig::k300m128) {
+  FunctionRecord f;
+  f.function_id = id;
+  f.user_id = id * 10;
+  f.region = region;
+  f.runtime = rt;
+  f.primary_trigger = trig;
+  f.trigger_mask = TriggerBit(trig);
+  f.config = cfg;
+  return f;
+}
+
+TEST(TraceStoreTest, SealSortsByTimestamp) {
+  TraceStore store;
+  store.AddFunction(MakeFunction(0, 0));
+  RequestRecord r1, r2;
+  r1.timestamp = 100;
+  r2.timestamp = 50;
+  store.AddRequest(r1);
+  store.AddRequest(r2);
+  store.Seal();
+  EXPECT_EQ(store.requests()[0].timestamp, 50);
+  EXPECT_EQ(store.requests()[1].timestamp, 100);
+}
+
+TEST(TraceStoreTest, FunctionIdsMustBeDense) {
+  TraceStore store;
+  store.AddFunction(MakeFunction(0, 0));
+  store.AddFunction(MakeFunction(1, 1));
+  EXPECT_EQ(store.functions().size(), 2u);
+  EXPECT_DEATH(store.AddFunction(MakeFunction(5, 0)), "CHECK");
+}
+
+TraceStore MakeTinyStore() {
+  TraceStore store;
+  store.AddFunction(MakeFunction(0, 0, Runtime::kPython3, Trigger::kTimer));
+  store.AddFunction(MakeFunction(1, 1, Runtime::kJava, Trigger::kApigSync,
+                                 ResourceConfig::k1000m1024));
+  RequestRecord r;
+  r.timestamp = 30 * kSecond;
+  r.request_id = 7;
+  r.pod_id = 1;
+  r.function_id = 0;
+  r.user_id = 0;
+  r.region = 0;
+  r.cluster = 2;
+  r.cpu_millicores = 250;
+  r.execution_time_us = 50000;
+  r.memory_kb = 2048;
+  store.AddRequest(r);
+  r.timestamp = 90 * kSecond;
+  r.function_id = 1;
+  r.region = 1;
+  store.AddRequest(r);
+
+  ColdStartRecord c;
+  c.timestamp = 10 * kSecond;
+  c.pod_id = 1;
+  c.function_id = 0;
+  c.region = 0;
+  c.cluster = 2;
+  c.pod_alloc_us = 1000;
+  c.deploy_code_us = 2000;
+  c.deploy_dep_us = 0;
+  c.scheduling_us = 3000;
+  c.cold_start_us = 6000;
+  store.AddColdStart(c);
+
+  PodLifetimeRecord p;
+  p.pod_id = 1;
+  p.function_id = 0;
+  p.region = 0;
+  p.cluster = 2;
+  p.config = ResourceConfig::k300m128;
+  p.cold_start_begin = 10 * kSecond;
+  p.ready_time = 10 * kSecond + 6000;
+  p.last_busy_end = 31 * kSecond;
+  p.death_time = 91 * kSecond;
+  p.cold_start_us = 6000;
+  p.requests_served = 1;
+  store.AddPodLifetime(p);
+
+  store.set_horizon(2 * kMinute);
+  store.Seal();
+  return store;
+}
+
+TEST(AggregateTest, RequestCountSeries) {
+  const TraceStore store = MakeTinyStore();
+  const auto all = RequestCountSeries(store, -1, kMinute);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0], 1.0);
+  EXPECT_DOUBLE_EQ(all[1], 1.0);
+  const auto r1 = RequestCountSeries(store, 0, kMinute);
+  EXPECT_DOUBLE_EQ(r1[0], 1.0);
+  EXPECT_DOUBLE_EQ(r1[1], 0.0);
+}
+
+TEST(AggregateTest, MeanExecutionSeries) {
+  const TraceStore store = MakeTinyStore();
+  const auto exec = MeanExecutionTimeSeries(store, 0, kMinute);
+  EXPECT_NEAR(exec[0], 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(exec[1], 0.0);
+}
+
+TEST(AggregateTest, ColdStartComponentSeries) {
+  const TraceStore store = MakeTinyStore();
+  const auto s = ColdStartComponentSeries(store, 0, kMinute);
+  EXPECT_DOUBLE_EQ(s.count[0], 1.0);
+  EXPECT_NEAR(s.total[0], 0.006, 1e-9);
+  EXPECT_NEAR(s.pod_alloc[0], 0.001, 1e-9);
+  EXPECT_NEAR(s.scheduling[0], 0.003, 1e-9);
+}
+
+TEST(AggregateTest, RunningPodsSeriesCoversLifetime) {
+  const TraceStore store = MakeTinyStore();
+  const auto pods = RunningPodsSeries(store, 0, kMinute, 1,
+                                      [](const PodLifetimeRecord&) { return 0; });
+  // Pod alive 10s..91s: touches both minute buckets.
+  EXPECT_DOUBLE_EQ(pods[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(pods[0][1], 1.0);
+}
+
+TEST(AggregateTest, PerFunctionCounts) {
+  const TraceStore store = MakeTinyStore();
+  const auto reqs = RequestsPerFunction(store);
+  const auto cs = ColdStartsPerFunction(store);
+  EXPECT_EQ(reqs[0], 1u);
+  EXPECT_EQ(reqs[1], 1u);
+  EXPECT_EQ(cs[0], 1u);
+  EXPECT_EQ(cs[1], 0u);
+}
+
+TEST(AggregateTest, AllocatedCpuSeries) {
+  const TraceStore store = MakeTinyStore();
+  const auto cpu = AllocatedCpuCoreSeries(store, 0, kMinute);
+  // 0.3 cores for 50s of the first minute = 0.25 core-minutes.
+  EXPECT_NEAR(cpu[0], 0.3 * 50.0 / 60.0, 1e-6);
+  EXPECT_NEAR(cpu[1], 0.3 * 31.0 / 60.0, 1e-6);
+}
+
+class RoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "coldstart_trace_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(RoundTripTest, CsvPreservesRecords) {
+  const TraceStore store = MakeTinyStore();
+  const std::string base = (dir_ / "t").string();
+  ASSERT_TRUE(WriteRequestsCsv(store, base + "_req.csv"));
+  ASSERT_TRUE(WriteColdStartsCsv(store, base + "_cs.csv"));
+  ASSERT_TRUE(WriteFunctionsCsv(store, base + "_fn.csv"));
+  ASSERT_TRUE(WritePodsCsv(store, base + "_pod.csv"));
+
+  TraceStore loaded;
+  ASSERT_TRUE(ReadFunctionsCsv(base + "_fn.csv", loaded));
+  ASSERT_TRUE(ReadRequestsCsv(base + "_req.csv", loaded));
+  ASSERT_TRUE(ReadColdStartsCsv(base + "_cs.csv", loaded));
+  ASSERT_TRUE(ReadPodsCsv(base + "_pod.csv", loaded));
+
+  ASSERT_EQ(loaded.requests().size(), store.requests().size());
+  EXPECT_EQ(loaded.requests()[0].timestamp, store.requests()[0].timestamp);
+  EXPECT_EQ(loaded.requests()[0].cpu_millicores, store.requests()[0].cpu_millicores);
+  EXPECT_EQ(loaded.requests()[0].memory_kb, store.requests()[0].memory_kb);
+  ASSERT_EQ(loaded.cold_starts().size(), 1u);
+  EXPECT_EQ(loaded.cold_starts()[0].scheduling_us, 3000u);
+  ASSERT_EQ(loaded.functions().size(), 2u);
+  EXPECT_EQ(loaded.functions()[1].runtime, Runtime::kJava);
+  EXPECT_EQ(loaded.functions()[1].config, ResourceConfig::k1000m1024);
+  ASSERT_EQ(loaded.pods().size(), 1u);
+  EXPECT_EQ(loaded.pods()[0].death_time, 91 * kSecond);
+}
+
+TEST_F(RoundTripTest, BinaryPreservesEverything) {
+  const TraceStore store = MakeTinyStore();
+  const std::string path = (dir_ / "trace.bin").string();
+  ASSERT_TRUE(WriteBinaryTrace(store, path));
+  TraceStore loaded;
+  ASSERT_TRUE(ReadBinaryTrace(path, loaded));
+  EXPECT_EQ(loaded.horizon(), store.horizon());
+  ASSERT_EQ(loaded.requests().size(), store.requests().size());
+  ASSERT_EQ(loaded.cold_starts().size(), store.cold_starts().size());
+  ASSERT_EQ(loaded.pods().size(), store.pods().size());
+  ASSERT_EQ(loaded.functions().size(), store.functions().size());
+  EXPECT_EQ(loaded.requests()[0].request_id, store.requests()[0].request_id);
+  EXPECT_EQ(loaded.pods()[0].ready_time, store.pods()[0].ready_time);
+}
+
+TEST_F(RoundTripTest, BinaryRejectsGarbage) {
+  const std::string path = (dir_ / "garbage.bin").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  TraceStore loaded;
+  EXPECT_FALSE(ReadBinaryTrace(path, loaded));
+}
+
+TEST_F(RoundTripTest, MissingFileFails) {
+  TraceStore loaded;
+  EXPECT_FALSE(ReadBinaryTrace((dir_ / "missing.bin").string(), loaded));
+  EXPECT_FALSE(ReadRequestsCsv((dir_ / "missing.csv").string(), loaded));
+}
+
+}  // namespace
+}  // namespace coldstart::trace

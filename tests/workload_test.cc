@@ -1,0 +1,282 @@
+// Tests for calendar, diurnal profiles, population generation, and arrivals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/arrivals.h"
+#include "workload/population.h"
+
+namespace coldstart::workload {
+namespace {
+
+TEST(CalendarTest, HolidayWindow) {
+  const Calendar cal;
+  EXPECT_FALSE(cal.IsHoliday(13));
+  EXPECT_TRUE(cal.IsHoliday(14));
+  EXPECT_TRUE(cal.IsHoliday(23));
+  EXPECT_FALSE(cal.IsHoliday(24));
+  EXPECT_EQ(cal.last_workday_before_holiday(), 13);
+  EXPECT_EQ(cal.first_workday_after_holiday(), 24);
+}
+
+TEST(CalendarTest, WeekendsWithTuesdayStart) {
+  const Calendar cal;  // Day 0 is a Tuesday.
+  EXPECT_FALSE(cal.IsWeekend(0));   // Tuesday.
+  EXPECT_TRUE(cal.IsWeekend(4));    // Saturday.
+  EXPECT_TRUE(cal.IsWeekend(5));    // Sunday.
+  EXPECT_FALSE(cal.IsWeekend(6));   // Monday.
+  EXPECT_FALSE(cal.IsWeekend(13));  // Last pre-holiday workday is a weekday.
+  EXPECT_FALSE(cal.IsWeekend(24));  // First post-holiday workday is a weekday.
+}
+
+TEST(CalendarTest, HorizonMatchesDays) {
+  Calendar::Options opts;
+  opts.trace_days = 7;
+  const Calendar cal(opts);
+  EXPECT_EQ(cal.horizon(), 7 * kDay);
+}
+
+TEST(DiurnalTest, DayShapePeaksAtConfiguredHour) {
+  DiurnalParams params;
+  params.bumps = {{14.0, 1.0, 5.0}};
+  params.floor = 0.2;
+  const DiurnalProfile profile(params, Calendar{});
+  EXPECT_NEAR(profile.DayShape(14.0), 1.0, 1e-6);  // Normalized peak.
+  EXPECT_LT(profile.DayShape(2.0), 0.4);
+}
+
+TEST(DiurnalTest, WeekendFactorApplies) {
+  DiurnalParams params;
+  params.weekend_factor = 0.7;
+  const DiurnalProfile profile(params, Calendar{});
+  EXPECT_DOUBLE_EQ(profile.DayLevel(0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.DayLevel(5), 0.7);
+}
+
+TEST(DiurnalTest, HolidayDipAndCatchUp) {
+  DiurnalParams params;
+  params.holiday = HolidayResponse::kDipWithCatchUp;
+  params.holiday_level = 0.5;
+  params.pre_holiday_boost = 1.2;
+  params.catch_up_boost = 1.4;
+  const DiurnalProfile profile(params, Calendar{});
+  EXPECT_NEAR(profile.DayLevel(13), 1.2, 1e-9);   // Last-workday rush.
+  EXPECT_LE(profile.DayLevel(17), 0.5 + 1e-9);    // Mid-holiday.
+  EXPECT_GT(profile.DayLevel(24), 1.2);           // Catch-up.
+  EXPECT_GT(profile.DayLevel(24), profile.DayLevel(26));  // Decays.
+}
+
+TEST(DiurnalTest, RisePatternIncreasesDuringHoliday) {
+  DiurnalParams params;
+  params.holiday = HolidayResponse::kRise;
+  params.holiday_level = 1.3;
+  const DiurnalProfile profile(params, Calendar{});
+  EXPECT_GT(profile.DayLevel(17), profile.DayLevel(10));
+}
+
+TEST(DiurnalTest, NoneIgnoresHoliday) {
+  DiurnalParams params;
+  params.holiday = HolidayResponse::kNone;
+  const DiurnalProfile profile(params, Calendar{});
+  EXPECT_DOUBLE_EQ(profile.DayLevel(17), profile.DayLevel(3));
+}
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static const Population& Pop() {
+    static const Population pop =
+        GeneratePopulation(DefaultRegionProfiles(), /*seed=*/42);
+    return pop;
+  }
+};
+
+TEST_F(PopulationTest, CountsMatchProfiles) {
+  const auto& profiles = DefaultRegionProfiles();
+  int expected = 0;
+  for (const auto& p : profiles) {
+    expected += p.num_functions;
+  }
+  EXPECT_EQ(Pop().functions.size(), static_cast<size_t>(expected));
+  ASSERT_EQ(Pop().region_begin.size(), profiles.size() + 1);
+  EXPECT_EQ(Pop().region_begin.back(), Pop().functions.size());
+}
+
+TEST_F(PopulationTest, DeterministicInSeed) {
+  const Population a = GeneratePopulation(DefaultRegionProfiles(), 7);
+  const Population b = GeneratePopulation(DefaultRegionProfiles(), 7);
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (size_t i = 0; i < a.functions.size(); ++i) {
+    EXPECT_EQ(a.functions[i].runtime, b.functions[i].runtime);
+    EXPECT_EQ(a.functions[i].primary_trigger, b.functions[i].primary_trigger);
+    EXPECT_DOUBLE_EQ(a.functions[i].base_rate_per_day, b.functions[i].base_rate_per_day);
+  }
+}
+
+TEST_F(PopulationTest, RuntimeMixWithinTolerance) {
+  // R2's Python3 share should be near its 0.38 weight.
+  const auto& pop = Pop();
+  int py3 = 0, total = 0;
+  for (uint32_t i = pop.region_begin[1]; i < pop.region_begin[2]; ++i) {
+    total += 1;
+    py3 += pop.functions[i].runtime == trace::Runtime::kPython3 ? 1 : 0;
+  }
+  const double share = static_cast<double>(py3) / total;
+  EXPECT_GT(share, 0.30);
+  EXPECT_LT(share, 0.46);
+}
+
+TEST_F(PopulationTest, TimerShareInBand) {
+  const auto& pop = Pop();
+  int timers = 0, total = 0;
+  for (uint32_t i = pop.region_begin[1]; i < pop.region_begin[2]; ++i) {
+    total += 1;
+    timers += pop.functions[i].primary_trigger == trace::Trigger::kTimer ? 1 : 0;
+  }
+  const double share = static_cast<double>(timers) / total;
+  EXPECT_GT(share, 0.35);
+  EXPECT_LT(share, 0.60);
+}
+
+TEST_F(PopulationTest, TimersHaveValidPeriodsAndFlatDiurnal) {
+  for (const auto& f : Pop().functions) {
+    if (f.kind == ArrivalKind::kTimer) {
+      EXPECT_GT(f.timer_period, 0);
+      EXPECT_DOUBLE_EQ(f.diurnal_exponent, 0.0);
+    }
+  }
+}
+
+TEST_F(PopulationTest, WorkflowChildrenAreWiredToParents) {
+  const auto& pop = Pop();
+  std::set<trace::FunctionId> children_with_parents;
+  for (const auto& f : pop.functions) {
+    for (const auto& edge : f.children) {
+      EXPECT_GT(edge.probability, 0.0);
+      EXPECT_LE(edge.probability, 1.0);
+      // Parent and child live in the same region.
+      EXPECT_EQ(pop.functions[edge.child].region, f.region);
+      children_with_parents.insert(edge.child);
+    }
+  }
+  int workflow_children = 0;
+  for (const auto& f : pop.functions) {
+    if (f.kind == ArrivalKind::kWorkflowChild) {
+      ++workflow_children;
+      EXPECT_TRUE(children_with_parents.count(f.id) == 1);
+    }
+  }
+  EXPECT_GT(workflow_children, 20);
+}
+
+TEST_F(PopulationTest, CpuWithinConfigLimits) {
+  for (const auto& f : Pop().functions) {
+    EXPECT_LE(f.cpu_mean_cores,
+              static_cast<double>(CpuMillicoresOf(f.config)) / 1000.0 + 1e-9);
+    EXPECT_GT(f.cpu_mean_cores, 0.0);
+  }
+}
+
+TEST_F(PopulationTest, UsersOwnAtLeastOneFunction) {
+  const auto& pop = Pop();
+  std::set<uint32_t> users;
+  for (const auto& f : pop.functions) {
+    users.insert(f.user);
+  }
+  EXPECT_EQ(users.size(), pop.num_users);
+}
+
+TEST(ArrivalsTest, TimerArrivalsAreExactlyPeriodic) {
+  FunctionSpec spec;
+  spec.kind = ArrivalKind::kTimer;
+  spec.timer_period = kHour;
+  Calendar::Options opts;
+  opts.trace_days = 2;
+  const Calendar cal(opts);
+  const DiurnalProfile profile(DiurnalParams{}, cal);
+  const auto times = GenerateFunctionArrivals(spec, profile, cal, Rng(5));
+  EXPECT_EQ(times.size(), 48u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], kHour);
+  }
+}
+
+TEST(ArrivalsTest, PoissonRateApproximatelyHonored) {
+  FunctionSpec spec;
+  spec.kind = ArrivalKind::kModulatedPoisson;
+  spec.base_rate_per_day = 500;
+  spec.diurnal_exponent = 0.0;  // Flat: realized = base x day level.
+  Calendar::Options opts;
+  opts.trace_days = 5;  // All weekdays, before the holiday.
+  const Calendar cal(opts);
+  const DiurnalProfile profile(DiurnalParams{}, cal);
+  const auto times = GenerateFunctionArrivals(spec, profile, cal, Rng(6));
+  EXPECT_NEAR(static_cast<double>(times.size()), 2500.0, 150.0);
+}
+
+TEST(ArrivalsTest, RegularArrivalsBoundGaps) {
+  FunctionSpec spec;
+  spec.kind = ArrivalKind::kModulatedPoisson;
+  spec.base_rate_per_day = 2880;  // 2/minute.
+  spec.diurnal_exponent = 0.0;
+  spec.regular_arrivals = true;
+  Calendar::Options opts;
+  opts.trace_days = 1;
+  const Calendar cal(opts);
+  const DiurnalProfile profile(DiurnalParams{}, cal);
+  const auto times = GenerateFunctionArrivals(spec, profile, cal, Rng(7));
+  ASSERT_GT(times.size(), 100u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i] - times[i - 1], 40 * kSecond);  // 30s nominal, 20% jitter.
+  }
+}
+
+TEST(ArrivalsTest, SortedAndWithinHorizon) {
+  const auto& profiles = DefaultRegionProfiles();
+  const Population pop = GeneratePopulation(profiles, 3);
+  Calendar::Options opts;
+  opts.trace_days = 2;
+  const Calendar cal(opts);
+  const auto events = GenerateArrivals(pop, profiles, cal, 3);
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  EXPECT_GE(events.front().time, 0);
+  EXPECT_LT(events.back().time, cal.horizon());
+}
+
+TEST(ArrivalsTest, DeterministicInSeed) {
+  const auto& profiles = DefaultRegionProfiles();
+  const Population pop = GeneratePopulation(profiles, 3);
+  Calendar::Options opts;
+  opts.trace_days = 1;
+  const Calendar cal(opts);
+  const auto a = GenerateArrivals(pop, profiles, cal, 11);
+  const auto b = GenerateArrivals(pop, profiles, cal, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].function, b[i].function);
+  }
+}
+
+TEST(ScaledProfileTest, ScalesFunctionsAndPools) {
+  const RegionProfile base = DefaultRegionProfiles()[0];
+  const RegionProfile half = ScaledProfile(base, 0.5);
+  EXPECT_EQ(half.num_functions, base.num_functions / 2);
+  EXPECT_LE(half.pool_base_size[0], base.pool_base_size[0]);
+  EXPECT_GE(half.pool_base_size[6], 1);
+}
+
+TEST(RuntimeTraitsTest, CalibratedShape) {
+  EXPECT_FALSE(TraitsOf(trace::Runtime::kCustom).pool_backed);
+  EXPECT_GT(TraitsOf(trace::Runtime::kHttp).alloc_extra_s, 5.0);
+  EXPECT_GT(TraitsOf(trace::Runtime::kNodeJs).sched_factor,
+            TraitsOf(trace::Runtime::kGo1x).sched_factor * 3);
+  EXPECT_GT(TraitsOf(trace::Runtime::kGo1x).dep_factor,
+            TraitsOf(trace::Runtime::kPython3).dep_factor);
+}
+
+}  // namespace
+}  // namespace coldstart::workload
