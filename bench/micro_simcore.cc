@@ -1,13 +1,89 @@
 // Micro-benchmarks of the simulator hot paths (google-benchmark): event queue
-// throughput, staged pool acquisition, and the cold-start pipeline.
+// throughput (timer wheel vs. the seed's priority-queue baseline), mixed-horizon
+// scheduling, streaming arrival injection, pod slab churn, staged pool
+// acquisition, and the cold-start pipeline.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
 #include "platform/coldstart_pipeline.h"
+#include "platform/platform.h"
+#include "platform/pod_slab.h"
 #include "platform/resource_pool.h"
 #include "sim/simulator.h"
+#include "workload/arrivals.h"
 #include "workload/population.h"
 
 using namespace coldstart;
+
+namespace {
+
+// The seed event core (std::priority_queue of std::function closures), kept here
+// as the measured baseline for the timer-wheel scheduler.
+class HeapBaselineSim {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  void ScheduleAt(SimTime t, Handler fn) {
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  uint64_t RunToCompletion() {
+    uint64_t processed = 0;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      Handler fn = std::move(const_cast<Event&>(top).fn);
+      now_ = top.time;
+      queue_.pop();
+      fn();
+      ++processed;
+    }
+    return processed;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Handler fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+// Mixed-horizon delay: mimics the platform's scheduling mix. Roughly half the
+// events land within milliseconds (executions), a third within seconds (long
+// executions), the rest at the keep-alive minute or hours out (far timers).
+SimDuration MixedHorizonDelay(Rng& rng) {
+  const double p = rng.NextDouble();
+  if (p < 0.50) {
+    return 1 + static_cast<SimDuration>(rng.NextBounded(20 * kMillisecond));
+  }
+  if (p < 0.80) {
+    return 1 + static_cast<SimDuration>(rng.NextBounded(5 * kSecond));
+  }
+  if (p < 0.95) {
+    return kMinute;
+  }
+  return 1 + static_cast<SimDuration>(rng.NextBounded(4 * kHour));
+}
+
+}  // namespace
 
 static void BM_EventQueueScheduleRun(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -23,6 +99,163 @@ static void BM_EventQueueScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+static void BM_EventQueueScheduleRunHeapBaseline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    HeapBaselineSim sim;
+    int64_t counter = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAt(i * 10, [&counter] { ++counter; });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRunHeapBaseline)->Arg(1024)->Arg(65536);
+
+// Steady-state scheduling at mixed horizons: self-rescheduling chains each hop
+// MixedHorizonDelay forward until the total event budget is consumed. This
+// exercises L0/L1 cascades and the overflow heap, not just the near wheel. The
+// chain count is the in-flight queue size: 64 models a small scenario, 4096 the
+// dense queues of month-scale runs.
+static void BM_EventQueueMixedHorizons(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  const int total = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Rng rng(99);
+    int64_t remaining = total;
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) {
+        sim.ScheduleAfter(MixedHorizonDelay(rng), [&hop] { hop(); });
+      }
+    };
+    for (int c = 0; c < chains; ++c) {
+      sim.ScheduleAt(MixedHorizonDelay(rng), [&hop] { hop(); });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_EventQueueMixedHorizons)->Args({64, 65536})->Args({4096, 65536});
+
+static void BM_EventQueueMixedHorizonsHeapBaseline(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  const int total = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    HeapBaselineSim sim;
+    Rng rng(99);
+    int64_t remaining = total;
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) {
+        sim.ScheduleAt(sim.now() + MixedHorizonDelay(rng), [&hop] { hop(); });
+      }
+    };
+    for (int c = 0; c < chains; ++c) {
+      sim.ScheduleAt(MixedHorizonDelay(rng), [&hop] { hop(); });
+    }
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_EventQueueMixedHorizonsHeapBaseline)
+    ->Args({64, 65536})
+    ->Args({4096, 65536});
+
+// End-to-end arrival injection: one synchronous function, `n` arrivals across a
+// day, streamed through the platform's arrival cursor. Items = arrivals.
+static void BM_ArrivalInjection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  workload::Calendar::Options copts;
+  copts.trace_days = 1;
+  const workload::Calendar calendar(copts);
+  const auto profiles =
+      std::vector<workload::RegionProfile>{workload::DefaultRegionProfiles()[0]};
+
+  workload::FunctionSpec f;
+  f.id = 0;
+  f.user = 0;
+  f.region = 0;
+  f.runtime = trace::Runtime::kPython3;
+  f.primary_trigger = trace::Trigger::kApigSync;
+  f.exec_median_us = 5e3;
+  f.exec_sigma = 0.3;
+  f.pod_concurrency = 8;
+  f.code_size_kb = 100;
+  f.dep_size_kb = 0;
+
+  std::vector<workload::ArrivalEvent> arrivals;
+  arrivals.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    arrivals.push_back(
+        {static_cast<SimTime>(i) * (kDay / n), 0});
+  }
+
+  for (auto _ : state) {
+    workload::Population pop;
+    pop.functions = {f};
+    pop.num_users = 1;
+    pop.region_begin = {0, 1};
+    sim::Simulator sim;
+    trace::TraceStore store;
+    platform::Platform::Options opts;
+    opts.seed = 7;
+    opts.record_requests = false;
+    platform::Platform platform(pop, profiles, calendar, sim, store, opts);
+    platform.InjectArrivals(arrivals);
+    sim.RunUntil(calendar.horizon());
+    platform.Finalize();
+    benchmark::DoNotOptimize(platform.total_cold_starts());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ArrivalInjection)->Arg(100000);
+
+// Pod slab churn: allocate a working set, then cycle free+allocate with handle
+// resolution, the steady-state pattern of OnRequestComplete/ArmKeepAlive/KillPod.
+static void BM_PodSlabChurn(benchmark::State& state) {
+  platform::Slab<platform::Pod> slab;
+  std::vector<platform::SlabHandle> handles;
+  for (int i = 0; i < 1024; ++i) {
+    handles.push_back(slab.Allocate().second);
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    platform::Pod* pod = slab.Resolve(handles[next]);
+    benchmark::DoNotOptimize(pod->slots_used);
+    slab.Free(handles[next]);
+    handles[next] = slab.Allocate().second;
+    next = (next + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PodSlabChurn);
+
+static void BM_PodSlabChurnMapBaseline(benchmark::State& state) {
+  // The seed's storage: id-keyed unordered_map of heap-allocated pods.
+  std::unordered_map<uint64_t, std::unique_ptr<platform::Pod>> pods;
+  std::vector<uint64_t> ids;
+  uint64_t next_id = 0;
+  for (int i = 0; i < 1024; ++i) {
+    pods.emplace(next_id, std::make_unique<platform::Pod>());
+    ids.push_back(next_id++);
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto it = pods.find(ids[next]);
+    benchmark::DoNotOptimize(it->second->slots_used);
+    pods.erase(it);
+    pods.emplace(next_id, std::make_unique<platform::Pod>());
+    ids[next] = next_id++;
+    next = (next + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PodSlabChurnMapBaseline);
 
 static void BM_PoolAcquireRelease(benchmark::State& state) {
   platform::ResourcePool pool(32, 4.0);

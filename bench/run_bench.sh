@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the simulator-core microbenchmarks and records BENCH_simcore.json for the
+# perf trajectory (timer wheel vs. heap baseline, arrival injection, slab churn).
+#
+# Usage: bench/run_bench.sh [build_dir] [output_json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT="${2:-$REPO_ROOT/BENCH_simcore.json}"
+
+if [ ! -x "$BUILD_DIR/bench_micro_simcore" ]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCOLDSTART_BUILD_BENCH=ON
+  cmake --build "$BUILD_DIR" -j --target bench_micro_simcore
+fi
+
+"$BUILD_DIR/bench_micro_simcore" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo "Wrote $OUT"

@@ -24,6 +24,7 @@ Platform::Platform(const workload::Population& population,
       store_(store),
       options_(options),
       policy_(policy),
+      arrival_cursor_(this),
       rng_(MixHash(options.seed, HashString("platform"))) {
   COLDSTART_CHECK(!profiles_.empty());
   pipelines_.reserve(profiles_.size());
@@ -63,9 +64,46 @@ Platform::Platform(const workload::Population& population,
   }
 }
 
+Platform::~Platform() {
+  if (source_attached_) {
+    sim_.AttachSource(nullptr);
+  }
+}
+
+void Platform::ArrivalCursor::Open(size_t begin, size_t end, uint64_t seq_base) {
+  // Day batches never overlap: every arrival of the previous day is strictly
+  // earlier than the next day's starter event.
+  COLDSTART_CHECK_EQ(next_, limit_);
+  next_ = begin;
+  limit_ = end;
+  seq_begin_ = begin;
+  seq_base_ = seq_base;
+}
+
+bool Platform::ArrivalCursor::Head(SimTime* time, uint64_t* seq) {
+  if (next_ == limit_) {
+    return false;
+  }
+  *time = platform_->arrivals_[next_].time;
+  *seq = seq_base_ + (next_ - seq_begin_);
+  return true;
+}
+
+void Platform::ArrivalCursor::RunHead() {
+  const workload::ArrivalEvent& arrival = platform_->arrivals_[next_++];
+  // The stream contract requires sorted arrivals (the old per-arrival closures
+  // re-ordered them through the queue; the cursor replays them as-is). Fail
+  // loudly rather than silently rewinding the clock.
+  COLDSTART_CHECK_GE(arrival.time, last_time_);
+  last_time_ = arrival.time;
+  platform_->HandleArrival(arrival.function, false);
+}
+
 void Platform::InjectArrivals(std::vector<workload::ArrivalEvent> arrivals) {
-  // Arrivals are injected one day at a time so the event queue never holds more than
-  // ~a day of closures (a month of arrivals up front would dominate peak memory).
+  // Arrivals stream through the attached cursor one day-batch at a time: the
+  // starter event reserves the batch's contiguous seq range (the same sequence
+  // numbers per-arrival closures would have consumed), so a month of arrivals
+  // costs one live event per day instead of one queued closure per arrival.
   arrivals_ = std::move(arrivals);
   const SimTime horizon = calendar_.horizon();
   size_t begin = 0;
@@ -79,13 +117,19 @@ void Platform::InjectArrivals(std::vector<workload::ArrivalEvent> arrivals) {
     if (end == begin) {
       continue;
     }
-    sim_.ScheduleAt(std::max(day_start, arrivals_[begin].time - 1), [this, begin, end] {
-      for (size_t i = begin; i < end; ++i) {
-        sim_.ScheduleAt(arrivals_[i].time,
-                        [this, fid = arrivals_[i].function] { HandleArrival(fid, false); });
-      }
+    // Wake just before the day's first arrival. The explicit 0 clamp documents
+    // the t=0 boundary (where "just before" is -1): day_start already keeps the
+    // first day non-negative, and the regression test pins the behavior.
+    const SimTime wake =
+        std::max<SimTime>(0, std::max(day_start, arrivals_[begin].time - 1));
+    sim_.ScheduleAt(wake, [this, begin, end] {
+      arrival_cursor_.Open(begin, end, sim_.ReserveSeqRange(end - begin));
     });
     begin = end;
+  }
+  if (!source_attached_ && !arrivals_.empty()) {
+    sim_.AttachSource(&arrival_cursor_);
+    source_attached_ = true;
   }
 }
 
@@ -195,7 +239,8 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
       pipelines_[region].Compute(spec, pool, load, now, rng_);
   comp.scheduling += extra_sched_us;
 
-  auto pod = std::make_unique<Pod>();
+  auto [pod, handle] = pod_slab_.Allocate();
+  pod->self = handle;
   pod->id = next_pod_id_++;
   pod->function = spec.id;
   pod->region = region;
@@ -248,10 +293,8 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
     }
   }
 
-  Pod* raw = pod.get();
-  state.pods.push_back(raw);
-  alive_pods_.emplace(raw->id, std::move(pod));
-  return raw;
+  state.pods.push_back(pod);
+  return pod;
 }
 
 void Platform::AssignRequest(Pod* pod, const FunctionSpec& spec, SimTime arrival) {
@@ -266,17 +309,17 @@ void Platform::AssignRequest(Pod* pod, const FunctionSpec& spec, SimTime arrival
   const uint32_t exec = static_cast<uint32_t>(exec_us);
   const SimTime exec_end = exec_start + exec;
 
-  sim_.ScheduleAt(exec_end, [this, pod_id = pod->id, exec_start, exec_end, exec,
+  sim_.ScheduleAt(exec_end, [this, handle = pod->self, exec_start, exec_end, exec,
                              fid = spec.id] {
-    OnRequestComplete(pod_id, exec_start, exec_end, exec, population_.functions[fid]);
+    OnRequestComplete(handle, exec_start, exec_end, exec, population_.functions[fid]);
   });
 }
 
-void Platform::OnRequestComplete(PodId pod_id, SimTime exec_start, SimTime exec_end,
-                                 uint32_t exec_us, const FunctionSpec& spec) {
-  const auto it = alive_pods_.find(pod_id);
-  COLDSTART_CHECK(it != alive_pods_.end());
-  Pod* pod = it->second.get();
+void Platform::OnRequestComplete(SlabHandle handle, SimTime exec_start,
+                                 SimTime exec_end, uint32_t exec_us,
+                                 const FunctionSpec& spec) {
+  Pod* pod = pod_slab_.Resolve(handle);
+  COLDSTART_CHECK(pod != nullptr);  // A pod with a bound request cannot die.
   COLDSTART_CHECK_GT(pod->slots_used, 0);
   --pod->slots_used;
   ++pod->served;
@@ -324,12 +367,11 @@ void Platform::ArmKeepAlive(Pod* pod) {
   const SimDuration keep_alive = policy_ != nullptr
                                      ? policy_->KeepAliveFor(spec, sim_.now())
                                      : options_.default_keep_alive;
-  sim_.ScheduleAt(sim_.now() + keep_alive, [this, pod_id = pod->id, gen] {
-    const auto it = alive_pods_.find(pod_id);
-    if (it == alive_pods_.end()) {
-      return;  // Already dead.
+  sim_.ScheduleAt(sim_.now() + keep_alive, [this, handle = pod->self, gen] {
+    Pod* p = pod_slab_.Resolve(handle);
+    if (p == nullptr) {
+      return;  // Already dead (the slot's generation moved on).
     }
-    Pod* p = it->second.get();
     if (p->keepalive_gen != gen || p->slots_used > 0) {
       return;  // Was re-used since; a newer keep-alive owns it.
     }
@@ -362,7 +404,7 @@ void Platform::KillPod(Pod* pod, SimTime death_time) {
   COLDSTART_CHECK(it != pods.end());
   *it = pods.back();
   pods.pop_back();
-  alive_pods_.erase(pod->id);
+  pod_slab_.Free(pod->self);
 }
 
 void Platform::HandleArrival(FunctionId fid, bool delay_exempt) {
@@ -407,12 +449,12 @@ void Platform::SpawnPrewarmedPod(FunctionId function, RegionId region,
   Pod* pod = StartColdStart(fspec, region, /*prewarmed=*/true, 0);
   // The prewarmed pod idles from readiness; give it the requested survival window.
   const uint64_t gen = ++pod->keepalive_gen;
-  sim_.ScheduleAt(pod->ready_time + initial_keep_alive, [this, pod_id = pod->id, gen] {
-    const auto it = alive_pods_.find(pod_id);
-    if (it == alive_pods_.end()) {
+  sim_.ScheduleAt(pod->ready_time + initial_keep_alive,
+                  [this, handle = pod->self, gen] {
+    Pod* p = pod_slab_.Resolve(handle);
+    if (p == nullptr) {
       return;
     }
-    Pod* p = it->second.get();
     if (p->keepalive_gen != gen || p->slots_used > 0) {
       return;
     }
@@ -425,11 +467,9 @@ void Platform::Finalize() {
   // Pods alive at the end of the trace are censored at the horizon, mirroring how the
   // dataset's month boundary truncates pod lifetimes.
   std::vector<Pod*> remaining;
-  remaining.reserve(alive_pods_.size());
-  for (auto& [id, pod] : alive_pods_) {
-    remaining.push_back(pod.get());
-  }
-  // Deterministic order (unordered_map iteration is not).
+  remaining.reserve(pod_slab_.alive_count());
+  pod_slab_.ForEachAlive([&remaining](Pod& pod) { remaining.push_back(&pod); });
+  // Flush in pod-id order (slot order reflects freelist reuse, not creation).
   std::sort(remaining.begin(), remaining.end(),
             [](const Pod* a, const Pod* b) { return a->id < b->id; });
   for (Pod* pod : remaining) {

@@ -13,11 +13,11 @@
 #define COLDSTART_PLATFORM_PLATFORM_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "platform/coldstart_pipeline.h"
 #include "platform/load_state.h"
+#include "platform/pod_slab.h"
 #include "platform/policy_hooks.h"
 #include "platform/resource_pool.h"
 #include "sim/simulator.h"
@@ -27,8 +27,10 @@
 namespace coldstart::platform {
 
 // A pod instance (warming or warm). slots_used counts requests bound to the pod,
-// whether executing or waiting for readiness.
+// whether executing or waiting for readiness. Pods live in a Slab<Pod>; `self` is
+// the generation-checked handle in-flight events use to re-find the pod.
 struct Pod {
+  SlabHandle self;
   trace::PodId id = 0;
   trace::FunctionId function = 0;
   trace::RegionId region = 0;
@@ -58,9 +60,14 @@ class Platform {
            const workload::Calendar& calendar, sim::Simulator& sim,
            trace::TraceStore& store, Options options,
            PlatformPolicy* policy = nullptr);
+  // The Simulator must outlive the Platform: the destructor detaches the
+  // arrival cursor from `sim` so no dangling EventSource is left behind.
+  ~Platform();
 
-  // Schedules all exogenous arrivals onto the simulator. Takes ownership: day-batched
-  // injector events reference the stored vector for the lifetime of the run.
+  // Streams all exogenous arrivals into the simulator. Takes ownership: the
+  // attached arrival cursor reads the stored vector for the lifetime of the run.
+  // Per day, one starter event reserves the day's (time, seq) keys and opens the
+  // cursor — arrivals are never materialized as queued closures.
   void InjectArrivals(std::vector<workload::ArrivalEvent> arrivals);
 
   // Writes function records + flushes still-alive pods; call once after the run.
@@ -97,12 +104,32 @@ class Platform {
     std::vector<Pod*> pods;  // Alive pods (warming or warm), any region.
   };
 
+  // Streams the owned arrival vector as a sim::EventSource. Day starters call
+  // Open() with a freshly reserved seq range, so each arrival carries exactly the
+  // (time, seq) key a per-arrival closure would have had — the event total order
+  // (and thus every downstream RNG draw) is unchanged.
+  class ArrivalCursor : public sim::EventSource {
+   public:
+    explicit ArrivalCursor(Platform* platform) : platform_(platform) {}
+    void Open(size_t begin, size_t end, uint64_t seq_base);
+    bool Head(SimTime* time, uint64_t* seq) override;
+    void RunHead() override;
+
+   private:
+    Platform* platform_;
+    size_t next_ = 0;
+    size_t limit_ = 0;
+    size_t seq_begin_ = 0;
+    uint64_t seq_base_ = 0;
+    SimTime last_time_ = 0;  // Guards the sorted-arrivals stream contract.
+  };
+
   void HandleArrival(trace::FunctionId fid, bool delay_exempt);
   Pod* FindPodWithSlot(FunctionState& state, SimTime now) const;
   Pod* StartColdStart(const workload::FunctionSpec& spec, trace::RegionId region,
                       bool prewarmed, SimDuration extra_sched_us);
   void AssignRequest(Pod* pod, const workload::FunctionSpec& spec, SimTime arrival);
-  void OnRequestComplete(trace::PodId pod_id, SimTime exec_start, SimTime exec_end,
+  void OnRequestComplete(SlabHandle handle, SimTime exec_start, SimTime exec_end,
                          uint32_t exec_us, const workload::FunctionSpec& spec);
   void ArmKeepAlive(Pod* pod);
   void KillPod(Pod* pod, SimTime death_time);
@@ -124,7 +151,9 @@ class Platform {
   std::vector<int64_t> cold_start_latency_sum_us_;            // Per region.
   std::vector<FunctionState> states_;                         // Per function.
   std::vector<workload::ArrivalEvent> arrivals_;              // Owned by InjectArrivals.
-  std::unordered_map<trace::PodId, std::unique_ptr<Pod>> alive_pods_;
+  ArrivalCursor arrival_cursor_;
+  bool source_attached_ = false;
+  Slab<Pod> pod_slab_;                                        // All alive pods.
 
   Rng rng_;
   trace::PodId next_pod_id_ = 0;

@@ -1,0 +1,112 @@
+// Chunked slab allocator with generation-checked handles.
+//
+// The platform keeps every alive pod in one of these instead of an
+// unordered_map<PodId, unique_ptr<Pod>>: completion and keep-alive events carry a
+// SlabHandle, so resolving a pod is two shifts and a generation compare instead of
+// a hash lookup, and allocation reuses slots from a dense LIFO freelist instead of
+// hitting the heap per pod. Chunks are stable — a T* stays valid for the slot's
+// lifetime — which lets per-function pod lists hold raw pointers.
+//
+// Generations make stale handles detectable: Free bumps the slot's generation, so
+// a handle captured by an in-flight event resolves to nullptr once the slot is
+// freed (or recycled), replacing the old map.find(id) == end() liveness test.
+#ifndef COLDSTART_PLATFORM_POD_SLAB_H_
+#define COLDSTART_PLATFORM_POD_SLAB_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace coldstart::platform {
+
+struct SlabHandle {
+  static constexpr uint32_t kInvalidIndex = 0xffffffffu;
+  uint32_t index = kInvalidIndex;
+  uint32_t gen = 0;
+};
+
+template <typename T>
+class Slab {
+ public:
+  // Returns a value-initialized slot and the handle that resolves to it.
+  // Determinism note: slots are reused in LIFO order, so allocation order is a
+  // pure function of the alloc/free history.
+  std::pair<T*, SlabHandle> Allocate() {
+    if (free_.empty()) {
+      const uint32_t base = capacity_;
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      capacity_ += kChunkSize;
+      // Reversed so the new chunk's slots are handed out in ascending order.
+      for (uint32_t i = 0; i < kChunkSize; ++i) {
+        free_.push_back(base + kChunkSize - 1 - i);
+      }
+    }
+    const uint32_t index = free_.back();
+    free_.pop_back();
+    Slot& s = slot(index);
+    s.value = T{};
+    s.alive = true;
+    ++alive_;
+    return {&s.value, SlabHandle{index, s.gen}};
+  }
+
+  // Frees the slot and invalidates every outstanding handle to it.
+  void Free(SlabHandle h) {
+    COLDSTART_CHECK_LT(h.index, capacity_);
+    Slot& s = slot(h.index);
+    COLDSTART_CHECK(s.alive);
+    COLDSTART_CHECK_EQ(s.gen, h.gen);
+    s.alive = false;
+    ++s.gen;
+    --alive_;
+    free_.push_back(h.index);
+  }
+
+  // The live object for `h`, or nullptr when the slot was freed or recycled.
+  T* Resolve(SlabHandle h) {
+    if (h.index >= capacity_) {
+      return nullptr;
+    }
+    Slot& s = slot(h.index);
+    return (s.alive && s.gen == h.gen) ? &s.value : nullptr;
+  }
+
+  size_t alive_count() const { return alive_; }
+  size_t capacity() const { return capacity_; }
+
+  // Visits every alive slot in index order (deterministic; used for final flush).
+  template <typename Fn>
+  void ForEachAlive(Fn&& fn) {
+    for (uint32_t i = 0; i < capacity_; ++i) {
+      Slot& s = slot(i);
+      if (s.alive) {
+        fn(s.value);
+      }
+    }
+  }
+
+ private:
+  static constexpr uint32_t kChunkBits = 9;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  struct Slot {
+    T value{};
+    uint32_t gen = 0;
+    bool alive = false;
+  };
+
+  Slot& slot(uint32_t index) {
+    return chunks_[index >> kChunkBits][index & (kChunkSize - 1)];
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  // Stable storage.
+  std::vector<uint32_t> free_;                   // Dense LIFO freelist.
+  uint32_t capacity_ = 0;
+  size_t alive_ = 0;
+};
+
+}  // namespace coldstart::platform
+
+#endif  // COLDSTART_PLATFORM_POD_SLAB_H_

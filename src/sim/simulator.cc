@@ -1,50 +1,64 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 
 namespace coldstart::sim {
 
-void Simulator::ScheduleAt(SimTime t, Handler fn) {
-  COLDSTART_CHECK_GE(t, now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+uint64_t Simulator::RunLoop(SimTime until) {
+  uint64_t processed = 0;
+  while (!stop_requested_) {
+    SimTime source_time = 0;
+    uint64_t source_seq = 0;
+    const bool have_source =
+        source_ != nullptr && source_->Head(&source_time, &source_seq);
+    // Cap the wheel's cursor scouting at the source head (and the run boundary):
+    // everything a source-driven handler schedules lands at or after that time,
+    // so it stays on the fast wheel path instead of the pre-cursor heap.
+    const SimTime horizon =
+        have_source ? std::min(source_time, until) : until;
+    SimTime queue_time = 0;
+    uint64_t queue_seq = 0;
+    const bool have_queued = wheel_.Peek(&queue_time, &queue_seq, horizon);
+    bool source_first = false;
+    if (have_queued) {
+      // queue_time <= horizon <= until here; ties break on reserved seq.
+      source_first = have_source && (source_time < queue_time ||
+                                     (source_time == queue_time &&
+                                      source_seq < queue_seq));
+    } else if (have_source && source_time <= until) {
+      source_first = true;
+    } else {
+      break;
+    }
+    now_ = source_first ? source_time : queue_time;
+    if (source_first) {
+      source_->RunHead();
+    } else {
+      wheel_.RunNext();
+    }
+    ++processed;
+    ++events_processed_;
+  }
+  return processed;
 }
 
 uint64_t Simulator::RunUntil(SimTime until) {
   stop_requested_ = false;
-  uint64_t processed = 0;
-  while (!queue_.empty() && !stop_requested_) {
-    const Event& top = queue_.top();
-    if (top.time > until) {
-      break;
-    }
-    // Move the handler out before popping: the handler may schedule new events, which
-    // mutates the queue.
-    Handler fn = std::move(const_cast<Event&>(top).fn);
-    now_ = top.time;
-    queue_.pop();
-    fn();
-    ++processed;
-    ++events_processed_;
-  }
-  if (queue_.empty() || (!stop_requested_ && now_ < until)) {
+  const uint64_t processed = RunLoop(until);
+  // A stopped run leaves the clock at the last processed event; otherwise the clock
+  // advances to the requested horizon even when the queue drained early.
+  if (!stop_requested_ && now_ < until) {
     now_ = until;
+    wheel_.AdvanceTo(until);
   }
   return processed;
 }
 
 uint64_t Simulator::RunToCompletion() {
   stop_requested_ = false;
-  uint64_t processed = 0;
-  while (!queue_.empty() && !stop_requested_) {
-    const Event& top = queue_.top();
-    Handler fn = std::move(const_cast<Event&>(top).fn);
-    now_ = top.time;
-    queue_.pop();
-    fn();
-    ++processed;
-    ++events_processed_;
-  }
-  return processed;
+  return RunLoop(std::numeric_limits<SimTime>::max());
 }
 
 void SchedulePeriodic(Simulator& sim, SimTime start, SimDuration period, SimTime end,
@@ -62,7 +76,8 @@ void SchedulePeriodic(Simulator& sim, SimTime start, SimDuration period, SimTime
     std::function<void(int64_t)> fn;
   };
   auto state = std::make_shared<State>(State{&sim, period, end, 0, std::move(fn)});
-  // Self-rescheduling functor (a recursive lambda in struct form).
+  // Self-rescheduling functor (a recursive lambda in struct form); the shared_ptr
+  // fits the handler's inline buffer.
   struct Recur {
     std::shared_ptr<State> s;
     void operator()() const {

@@ -2,24 +2,45 @@
 //
 // A single-threaded event loop with a deterministic total order: events fire by
 // (time, insertion sequence), so two events at the same timestamp run in the order
-// they were scheduled. Handlers are arbitrary callables; components that need
-// cancellation use generation counters rather than queue surgery (cheaper, and it
-// keeps the queue a plain binary heap).
+// they were scheduled. The queue is a hierarchical timer wheel (timer_wheel.h) and
+// handlers are small-buffer-optimized InlineHandlers: scheduling a handler whose
+// captures fit 48 bytes (every call site in src/sim and src/platform) performs no
+// heap allocation. Components that need cancellation use generation counters rather
+// than queue surgery.
+//
+// Besides the queue, the loop can merge one attached EventSource: a pull-based,
+// time-ordered stream whose entries carry (time, seq) keys but are never
+// materialized as queue entries. The platform's arrival injector uses this to
+// stream a month of arrivals with one live cursor instead of one closure each.
 #ifndef COLDSTART_SIM_SIMULATOR_H_
 #define COLDSTART_SIM_SIMULATOR_H_
 
 #include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/check.h"
+#include "common/inline_handler.h"
 #include "common/sim_time.h"
+#include "sim/timer_wheel.h"
 
 namespace coldstart::sim {
 
+// A pull-based stream of time-ordered events merged into the run loop. Head()
+// exposes the next entry's (time, seq) key; the simulator runs whichever of the
+// queue minimum and the source head orders first. Sequence numbers come from
+// Simulator::ReserveSeqRange so stream entries interleave with queued events
+// exactly as if they had been scheduled individually.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  // Returns true and fills (time, seq) when a head event is available.
+  virtual bool Head(SimTime* time, uint64_t* seq) = 0;
+  // Runs and consumes the head event.
+  virtual void RunHead() = 0;
+};
+
 class Simulator {
  public:
-  using Handler = std::function<void()>;
+  using Handler = InlineHandler;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -27,14 +48,34 @@ class Simulator {
 
   SimTime now() const { return now_; }
   uint64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return queue_.size(); }
+  // Queued events only; an attached EventSource's pending entries are not counted.
+  size_t pending_events() const { return wheel_.size(); }
 
   // Schedules `fn` at absolute time `t` (>= now).
-  void ScheduleAt(SimTime t, Handler fn);
+  void ScheduleAt(SimTime t, Handler fn) {
+    COLDSTART_CHECK_GE(t, now_);
+    wheel_.Push(t, next_seq_++, std::move(fn));
+  }
   // Schedules `fn` after `dt` (>= 0) from now.
   void ScheduleAfter(SimDuration dt, Handler fn) {
     COLDSTART_CHECK_GE(dt, 0);
     ScheduleAt(now_ + dt, std::move(fn));
+  }
+
+  // Reserves `count` consecutive sequence numbers and returns the first, exactly
+  // as if `count` events had been scheduled now. EventSource implementations use
+  // this to give stream entries the same total-order keys that individually
+  // scheduled closures would have received.
+  uint64_t ReserveSeqRange(uint64_t count) {
+    const uint64_t base = next_seq_;
+    next_seq_ += count;
+    return base;
+  }
+
+  // Attaches (or, with nullptr, detaches) the merged event source. One at a time.
+  void AttachSource(EventSource* source) {
+    COLDSTART_CHECK(source == nullptr || source_ == nullptr);
+    source_ = source;
   }
 
   // Runs until the queue empties or the clock would pass `until`. Events scheduled
@@ -45,25 +86,15 @@ class Simulator {
   uint64_t RunToCompletion();
 
   // Requests that the current RunUntil/RunToCompletion stop after the in-flight
-  // handler returns (pending events remain queued).
+  // handler returns (pending events remain queued; the clock stays at the last
+  // processed event).
   void Stop() { stop_requested_ = true; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    Handler fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
-  };
+  uint64_t RunLoop(SimTime until);
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  TimerWheel wheel_;
+  EventSource* source_ = nullptr;  // Not owned; may be null.
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;

@@ -1,0 +1,265 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/check.h"
+
+namespace coldstart::sim {
+namespace {
+
+// Min-heap comparator for far events: "a fires after b".
+struct FarAfter {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+// Descending key order: latest first, so the bucket minimum sits at the back.
+struct KeyDescending {
+  template <typename K>
+  bool operator()(const K& a, const K& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+int TimerWheel::ScanBits(const uint64_t* words, int nbits, int from) {
+  const int nwords = nbits >> 6;
+  int w = from >> 6;
+  uint64_t cur = words[w] & (~0ull << (from & 63));
+  // One masked partial word, then a full wrap-around (the revisit of the first word
+  // only contributes bits below `from`, which map to wrapped distances).
+  for (int i = 0; i <= nwords; ++i) {
+    if (cur != 0) {
+      const int bit = (w << 6) + std::countr_zero(cur);
+      int dist = bit - from;
+      if (dist < 0) {
+        dist += nbits;
+      }
+      return dist;
+    }
+    w = (w + 1) & (nwords - 1);
+    cur = words[w];
+  }
+  return -1;
+}
+
+TimerWheel::PayloadChunk* TimerWheel::AcquireChunk() {
+  if (!chunk_pool_.empty()) {
+    PayloadChunk* chunk = chunk_pool_.back();
+    chunk_pool_.pop_back();
+    return chunk;
+  }
+  chunk_storage_.push_back(std::make_unique<PayloadChunk>());
+  return chunk_storage_.back().get();
+}
+
+void TimerWheel::ReleaseBucketStorage(Bucket& b) {
+  // Slots hold moved-from shells by now; chunks go back to the pool intact.
+  chunk_pool_.insert(chunk_pool_.end(), b.chunks.begin(), b.chunks.end());
+  b.chunks.clear();
+  b.payload_count = 0;
+  b.sorted = false;
+}
+
+void TimerWheel::PushL0(SimTime t, uint64_t seq, InlineHandler&& fn) {
+  const int slot = static_cast<int>(t >> kL0GranularityBits) & (kL0Slots - 1);
+  Bucket& b = l0_[static_cast<size_t>(slot)];
+  const uint32_t index = b.payload_count++;
+  if ((index & (kChunkSize - 1)) == 0) {
+    b.chunks.push_back(AcquireChunk());
+  }
+  b.slot(index) = std::move(fn);
+  const EventKey key{t, seq, index};
+  if (slot == ready_slot_) {
+    // The ready bucket is sorted; keep it sorted so its back stays the minimum.
+    b.keys.insert(
+        std::lower_bound(b.keys.begin(), b.keys.end(), key, KeyDescending{}), key);
+  } else {
+    if (ready_slot_ >= 0 &&
+        t < l0_[static_cast<size_t>(ready_slot_)].keys.back().time) {
+      ready_slot_ = -1;  // The new event preempts the cached minimum.
+    }
+    b.keys.push_back(key);
+    b.sorted = false;
+  }
+  l0_bits_[slot >> 6] |= 1ull << (slot & 63);
+}
+
+void TimerWheel::Place(SimTime t, uint64_t seq, InlineHandler&& fn) {
+  const uint64_t d0 = static_cast<uint64_t>(t >> kL0GranularityBits) -
+                      static_cast<uint64_t>(cursor_ >> kL0GranularityBits);
+  if (d0 < kL0Slots) {
+    PushL0(t, seq, std::move(fn));
+    return;
+  }
+  const uint64_t d1 = static_cast<uint64_t>(t >> kL1GranularityBits) -
+                      static_cast<uint64_t>(cursor_ >> kL1GranularityBits);
+  if (d1 < kL1Slots) {
+    const int slot = static_cast<int>(t >> kL1GranularityBits) & (kL1Slots - 1);
+    // Frames are scattered wholesale into L0 on cascade; no per-frame order needed.
+    l1_[static_cast<size_t>(slot)].push_back(FarEvent{t, seq, std::move(fn)});
+    l1_bits_[slot >> 6] |= 1ull << (slot & 63);
+    return;
+  }
+  overflow_.push_back(FarEvent{t, seq, std::move(fn)});
+  std::push_heap(overflow_.begin(), overflow_.end(), FarAfter{});
+}
+
+void TimerWheel::Push(SimTime t, uint64_t seq, InlineHandler&& fn) {
+  ++size_;
+  if (t < cursor_) {
+    // The cursor scouted ahead of the clock (idle peek); keep the event in the
+    // pre-cursor heap, which is strictly earlier than all wheel content.
+    pre_.push_back(FarEvent{t, seq, std::move(fn)});
+    std::push_heap(pre_.begin(), pre_.end(), FarAfter{});
+    return;
+  }
+  Place(t, seq, std::move(fn));
+}
+
+bool TimerWheel::PrepareReady(SimTime horizon) {
+  for (;;) {
+    // Pull overflow events that fit the near window (they may now precede or share
+    // a bucket window with wheel content).
+    while (!overflow_.empty() &&
+           static_cast<uint64_t>(overflow_.front().time >> kL0GranularityBits) -
+                   static_cast<uint64_t>(cursor_ >> kL0GranularityBits) <
+               kL0Slots) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), FarAfter{});
+      FarEvent e = std::move(overflow_.back());
+      overflow_.pop_back();
+      PushL0(e.time, e.seq, std::move(e.fn));
+    }
+    const int base0 = static_cast<int>(cursor_ >> kL0GranularityBits) & (kL0Slots - 1);
+    const int d0 = ScanBits(l0_bits_, kL0Slots, base0);
+    const int base1 = static_cast<int>(cursor_ >> kL1GranularityBits) & (kL1Slots - 1);
+    const int d1 = ScanBits(l1_bits_, kL1Slots, base1);
+    const SimTime s0 =
+        d0 >= 0 ? ((cursor_ >> kL0GranularityBits) + d0) << kL0GranularityBits : 0;
+    const SimTime s1 =
+        d1 >= 0 ? ((cursor_ >> kL1GranularityBits) + d1) << kL1GranularityBits : 0;
+    if (d0 >= 0 && (d1 < 0 || s0 < s1)) {
+      // L1 frames are L0-bucket aligned, so s1 > s0 implies every L1 event lands
+      // at or after this bucket's end; post-drain overflow lies beyond the L0
+      // window. The bucket minimum is therefore the global minimum.
+      if (s0 > horizon) {
+        cursor_ = std::max(cursor_, horizon);
+        return false;
+      }
+      cursor_ = std::max(cursor_, s0);
+      ready_slot_ = (base0 + d0) & (kL0Slots - 1);
+      Bucket& b = l0_[static_cast<size_t>(ready_slot_)];
+      if (!b.sorted) {
+        std::sort(b.keys.begin(), b.keys.end(), KeyDescending{});
+        b.sorted = true;
+      }
+      return true;
+    }
+    if (d1 >= 0 && (overflow_.empty() || s1 <= overflow_.front().time)) {
+      // Cascade the earliest frame into the near wheel. No queued event precedes
+      // the frame start, so the cursor may advance to it.
+      if (s1 > horizon) {
+        cursor_ = std::max(cursor_, horizon);
+        return false;
+      }
+      cursor_ = std::max(cursor_, s1);
+      const int slot = (base1 + d1) & (kL1Slots - 1);
+      std::vector<FarEvent> frame = std::move(l1_[static_cast<size_t>(slot)]);
+      l1_[static_cast<size_t>(slot)].clear();
+      l1_bits_[slot >> 6] &= ~(1ull << (slot & 63));
+      for (FarEvent& e : frame) {
+        PushL0(e.time, e.seq, std::move(e.fn));
+      }
+      continue;
+    }
+    // Overflow leads (or is all that remains): jump to it and re-place.
+    COLDSTART_CHECK(!overflow_.empty());
+    if (overflow_.front().time > horizon) {
+      cursor_ = std::max(cursor_, horizon);
+      return false;
+    }
+    cursor_ = overflow_.front().time;
+  }
+}
+
+bool TimerWheel::Peek(SimTime* time, uint64_t* seq, SimTime horizon) {
+  if (!pre_.empty()) {
+    if (pre_.front().time > horizon) {
+      return false;
+    }
+    *time = pre_.front().time;
+    *seq = pre_.front().seq;
+    return true;
+  }
+  if (size_ == 0) {
+    return false;
+  }
+  if (ready_slot_ < 0 && !PrepareReady(horizon)) {
+    return false;
+  }
+  const EventKey& key = l0_[static_cast<size_t>(ready_slot_)].keys.back();
+  if (key.time > horizon) {
+    return false;  // The ready cache stays valid for later, wider peeks.
+  }
+  *time = key.time;
+  *seq = key.seq;
+  return true;
+}
+
+void TimerWheel::RunNext() {
+  if (!pre_.empty()) {
+    std::pop_heap(pre_.begin(), pre_.end(), FarAfter{});
+    // Move out before running: the handler may push into pre_, reallocating it.
+    InlineHandler fn = std::move(pre_.back().fn);
+    pre_.pop_back();
+    --size_;
+    fn();
+    return;
+  }
+  COLDSTART_CHECK_GT(size_, 0u);
+  if (ready_slot_ < 0) {
+    COLDSTART_CHECK(PrepareReady(std::numeric_limits<SimTime>::max()));
+  }
+  const int slot_index = ready_slot_;
+  Bucket& b = l0_[static_cast<size_t>(slot_index)];
+  const EventKey key = b.keys.back();
+  b.keys.pop_back();
+  cursor_ = std::max(cursor_, key.time);
+  --size_;
+  if (b.keys.empty()) {
+    // Drop the ready cache before running: the handler may schedule, and the
+    // preemption check must never peek at an empty ready bucket.
+    ready_slot_ = -1;
+  }
+  // Chunk slots are stable, so the handler runs in place even if it schedules
+  // into this same bucket (appends to fresh slots, never relocates).
+  InlineHandler& slot = b.slot(key.payload);
+  slot();
+  slot = InlineHandler();
+  if (b.keys.empty()) {
+    ReleaseBucketStorage(b);
+    l0_bits_[slot_index >> 6] &= ~(1ull << (slot_index & 63));
+    if (ready_slot_ == slot_index) {
+      ready_slot_ = -1;
+    }
+  }
+}
+
+void TimerWheel::AdvanceTo(SimTime t) {
+  if (pre_.empty() || t <= pre_.front().time) {
+    cursor_ = std::max(cursor_, t);
+  }
+}
+
+}  // namespace coldstart::sim

@@ -1,0 +1,136 @@
+// Hierarchical timer wheel: the simulator's event queue.
+//
+// Two wheels plus an overflow heap, all ordered by the same deterministic
+// (time, insertion sequence) key the old binary heap used:
+//
+//   L0: 1024 buckets x 1.024 ms  (~1.05 s window)  - request completions, arrivals
+//   L1:  256 frames  x ~1.05 s   (~268 s window)   - keep-alives, minute ticks
+//   overflow: sorted heap        (beyond ~268 s)   - day-batch cursors, far timers
+//
+// An L0 bucket separates ordering keys from handler payloads: keys are 24-byte
+// PODs appended in O(1) and sorted once when the bucket becomes the ready bucket,
+// so a handler is moved exactly twice (on Push, on Pop) and every comparison/swap
+// on the hot path touches only flat key arrays. Cross-structure ordering is exact
+// because a ready bucket's time window never overlaps another structure's earliest
+// content: L1 frames are L0-bucket aligned, and overflow is drained into L0 before
+// a bucket is declared ready. Scheduling and popping cost O(log bucket-size) on
+// cache-resident vectors instead of O(log total-pending) on a global heap.
+//
+// The cursor is a lower bound on every queued event's time. Peek() takes an
+// explicit horizon and never scouts the cursor past it, so in the integrated
+// run loop handlers always schedule at or after the cursor. The tiny `pre_`
+// heap is the defensive fallback for direct wheel users that push behind a
+// scouted cursor; it always holds strictly earlier times than the wheels and
+// is therefore checked first.
+#ifndef COLDSTART_SIM_TIMER_WHEEL_H_
+#define COLDSTART_SIM_TIMER_WHEEL_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/inline_handler.h"
+#include "common/sim_time.h"
+
+namespace coldstart::sim {
+
+class TimerWheel {
+ public:
+  static constexpr int kL0GranularityBits = 10;  // 1024 us buckets.
+  static constexpr int kL0SlotBits = 10;
+  static constexpr int kL0Slots = 1 << kL0SlotBits;
+  static constexpr int kL1GranularityBits = kL0GranularityBits + kL0SlotBits;
+  static constexpr int kL1SlotBits = 8;
+  static constexpr int kL1Slots = 1 << kL1SlotBits;
+
+  TimerWheel() = default;
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // `t` must be >= the time of the last popped event (the simulator clock), and
+  // `seq` strictly greater than every previously pushed seq.
+  void Push(SimTime t, uint64_t seq, InlineHandler&& fn);
+
+  // Fills (time, seq) of the earliest event when its time is <= `horizon`;
+  // returns false when the wheel is empty or its earliest event lies beyond the
+  // horizon. May cascade frames / drain overflow internally (the total order is
+  // unaffected), but never scouts the cursor past the horizon — the run loop
+  // passes the merged source head (or the run boundary) so that events scheduled
+  // by source-driven handlers still land on the fast wheel path.
+  bool Peek(SimTime* time, uint64_t* seq, SimTime horizon);
+
+  // Removes the earliest event (the one Peek describes) and invokes its handler
+  // in place — payload slots are stable, so the handler is never copied out even
+  // if it schedules new events into the same bucket. The wheel must not be empty.
+  void RunNext();
+
+  // Informs the wheel that the clock advanced to `t` with no pending event before
+  // it (e.g. after RunUntil jumps the clock to its horizon). Keeps future pushes
+  // on the fast wheel path instead of the pre-cursor heap.
+  void AdvanceTo(SimTime t);
+
+ private:
+  // Ordering key, kept separate from the handler so sorting moves PODs only.
+  struct EventKey {
+    SimTime time;
+    uint64_t seq;
+    uint32_t payload;  // Index into the bucket's chunked payload storage.
+  };
+  // Handlers live in fixed-size chunks drawn from a wheel-wide pool: a placed
+  // handler never moves again (vector growth would otherwise relocate every
+  // element through an indirect call — the old queue's dominant cost).
+  static constexpr int kChunkBits = 6;
+  static constexpr int kChunkSize = 1 << kChunkBits;
+  struct PayloadChunk {
+    InlineHandler slots[kChunkSize];
+  };
+  struct Bucket {
+    std::vector<EventKey> keys;  // Descending (time, seq) once sorted; pop at back.
+    std::vector<PayloadChunk*> chunks;
+    uint32_t payload_count = 0;
+    bool sorted = false;
+
+    InlineHandler& slot(uint32_t index) {
+      return chunks[index >> kChunkBits]->slots[index & (kChunkSize - 1)];
+    }
+  };
+  // Far events (L1 frames, overflow, pre-cursor) keep key and handler together;
+  // they are touched once per event, not per comparison.
+  struct FarEvent {
+    SimTime time;
+    uint64_t seq;
+    InlineHandler fn;
+  };
+
+  PayloadChunk* AcquireChunk();
+  void ReleaseBucketStorage(Bucket& b);
+  void PushL0(SimTime t, uint64_t seq, InlineHandler&& fn);
+  void Place(SimTime t, uint64_t seq, InlineHandler&& fn);
+  // Positions ready_slot_ at the bucket holding the earliest wheel event, or
+  // returns false (advancing the cursor at most to `horizon`) when that event's
+  // bucket starts beyond the horizon.
+  bool PrepareReady(SimTime horizon);
+  // Circular scan for the first set bit at or after `from`; returns the circular
+  // distance in slots, or -1 when the bitmap is empty.
+  static int ScanBits(const uint64_t* words, int nbits, int from);
+
+  std::array<Bucket, kL0Slots> l0_;
+  std::array<std::vector<FarEvent>, kL1Slots> l1_;
+  uint64_t l0_bits_[kL0Slots / 64] = {};
+  uint64_t l1_bits_[kL1Slots / 64] = {};
+  std::vector<FarEvent> overflow_;  // Min-heap by (time, seq).
+  std::vector<FarEvent> pre_;       // Min-heap; events scheduled behind the cursor.
+  std::vector<std::unique_ptr<PayloadChunk>> chunk_storage_;
+  std::vector<PayloadChunk*> chunk_pool_;
+  SimTime cursor_ = 0;              // Lower bound on all wheel/overflow events.
+  size_t size_ = 0;
+  int ready_slot_ = -1;  // L0 slot whose sorted back is the proven minimum, or -1.
+};
+
+}  // namespace coldstart::sim
+
+#endif  // COLDSTART_SIM_TIMER_WHEEL_H_

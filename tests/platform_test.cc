@@ -468,5 +468,103 @@ TEST(PlatformTest, DeterministicAcrossRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(PlatformTest, ArrivalAtTimeZeroHandled) {
+  // Regression: the day-batch starter wakes at first_arrival - 1, which is -1 for
+  // an arrival at t=0 and must be clamped to a valid schedule time.
+  TinyWorld world({BasicSpec()});
+  world.Run({{0, 0}, {kSecond, 0}});
+  EXPECT_EQ(world.store.requests().size(), 2u);
+  EXPECT_EQ(world.store.cold_starts().size(), 1u);
+  EXPECT_EQ(world.store.cold_starts()[0].timestamp, 0);
+}
+
+TEST(PlatformTest, CountersBitIdenticalAcrossRuns) {
+  // Same seed => bit-identical aggregate counters, request stream, and event
+  // count across two full runs (burstier workload than DeterministicAcrossRuns:
+  // concurrency overflow, keep-alive expiry, and workflow fan-out all engage).
+  auto run_once = [] {
+    FunctionSpec parent = BasicSpec();
+    parent.exec_sigma = 0.8;
+    parent.exec_median_us = 5e6;
+    parent.pod_concurrency = 2;
+    FunctionSpec child = BasicSpec();
+    child.id = 1;
+    child.kind = ArrivalKind::kWorkflowChild;
+    child.primary_trigger = Trigger::kWorkflowSync;
+    child.exec_sigma = 0.5;
+    parent.children.push_back({1, 0.5});
+    TinyWorld world({parent, child});
+    std::vector<workload::ArrivalEvent> arrivals;
+    for (int i = 0; i < 200; ++i) {
+      arrivals.push_back({kHour + i * 7 * kSecond, 0});
+    }
+    world.Run(arrivals);
+    return std::tuple{world.platform->total_cold_starts(),
+                      world.platform->pods_created(),
+                      world.sim.events_processed(),
+                      world.store.requests().size(),
+                      world.store.pods().back().death_time};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --- Pod slab. ---
+
+TEST(PodSlabTest, AllocateResolveFreeCycle) {
+  Slab<Pod> slab;
+  auto [pod, handle] = slab.Allocate();
+  ASSERT_NE(pod, nullptr);
+  pod->id = 42;
+  EXPECT_EQ(slab.Resolve(handle), pod);
+  EXPECT_EQ(slab.alive_count(), 1u);
+  slab.Free(handle);
+  EXPECT_EQ(slab.alive_count(), 0u);
+  EXPECT_EQ(slab.Resolve(handle), nullptr);  // Stale handle detected.
+}
+
+TEST(PodSlabTest, RecycledSlotInvalidatesOldHandle) {
+  Slab<Pod> slab;
+  auto [pod1, h1] = slab.Allocate();
+  pod1->id = 1;
+  slab.Free(h1);
+  auto [pod2, h2] = slab.Allocate();  // LIFO freelist: same slot, new generation.
+  EXPECT_EQ(pod1, pod2);
+  EXPECT_EQ(h1.index, h2.index);
+  EXPECT_NE(h1.gen, h2.gen);
+  EXPECT_EQ(slab.Resolve(h1), nullptr);
+  EXPECT_EQ(slab.Resolve(h2), pod2);
+  EXPECT_EQ(pod2->id, 0u);  // Slot is value-reset on reuse.
+}
+
+TEST(PodSlabTest, PointersStableAcrossGrowth) {
+  Slab<Pod> slab;
+  std::vector<std::pair<Pod*, SlabHandle>> all;
+  for (int i = 0; i < 5000; ++i) {
+    all.push_back(slab.Allocate());
+    all.back().first->id = static_cast<trace::PodId>(i);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(slab.Resolve(all[static_cast<size_t>(i)].second),
+              all[static_cast<size_t>(i)].first);
+    EXPECT_EQ(all[static_cast<size_t>(i)].first->id,
+              static_cast<trace::PodId>(i));
+  }
+}
+
+TEST(PodSlabTest, ForEachAliveVisitsInIndexOrder) {
+  Slab<Pod> slab;
+  std::vector<SlabHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    auto [pod, h] = slab.Allocate();
+    pod->id = static_cast<trace::PodId>(i);
+    handles.push_back(h);
+  }
+  slab.Free(handles[3]);
+  slab.Free(handles[7]);
+  std::vector<trace::PodId> seen;
+  slab.ForEachAlive([&seen](Pod& pod) { seen.push_back(pod.id); });
+  EXPECT_EQ(seen, (std::vector<trace::PodId>{0, 1, 2, 4, 5, 6, 8, 9}));
+}
+
 }  // namespace
 }  // namespace coldstart::platform

@@ -1,8 +1,13 @@
-// Tests for the discrete-event simulator core.
+// Tests for the discrete-event simulator core: time/FIFO ordering under the
+// timer wheel (near buckets, cascaded frames, overflow heap), clock semantics,
+// and the merged EventSource stream.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/simulator.h"
 
 namespace coldstart::sim {
@@ -115,6 +120,184 @@ TEST(SchedulePeriodicTest, EmptyRangeNoFiring) {
   SchedulePeriodic(sim, 10, 5, 10, [&](int64_t) { ++fired; });
   sim.RunToCompletion();
   EXPECT_EQ(fired, 0);
+}
+
+// --- Timer-wheel-specific ordering. ---
+
+TEST(SimulatorTest, StoppedRunLeavesClockAtLastEvent) {
+  Simulator sim;
+  sim.ScheduleAt(10, [&] { sim.Stop(); });
+  sim.RunUntil(1000);
+  // The queue is empty and Stop() was honored: the clock must not jump to 1000.
+  EXPECT_EQ(sim.now(), 10);
+  // A fresh run without Stop() does advance to the horizon.
+  EXPECT_EQ(sim.RunUntil(1000), 0u);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(SimulatorTest, SameTimeFifoAcrossWheelLevels) {
+  // Events at one far timestamp enter through different structures over time
+  // (overflow at schedule, L1 after a partial run, L0 near the end); FIFO by
+  // insertion must survive every migration.
+  Simulator sim;
+  const SimTime t = 10 * kMinute;
+  std::vector<int> order;
+  sim.ScheduleAt(t, [&] { order.push_back(0); });        // Overflow at schedule.
+  sim.RunUntil(8 * kMinute);                             // Now within the L1 window.
+  sim.ScheduleAt(t, [&] { order.push_back(1); });
+  sim.RunUntil(t - 100 * kMillisecond);                  // Now within the L0 window.
+  sim.ScheduleAt(t, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTest, MixedHorizonsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<SimTime> fire_times;
+  const std::vector<SimTime> times = {
+      3 * kHour,  500,  kDay, 2 * kMinute, 90 * kSecond, 1,
+      5 * kHour,  kDay, 999,  kMinute,     kSecond,      kHour + 1,
+  };
+  for (const SimTime t : times) {
+    sim.ScheduleAt(t, [&fire_times, &sim] { fire_times.push_back(sim.now()); });
+  }
+  sim.RunToCompletion();
+  std::vector<SimTime> expected = times;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(fire_times, expected);
+}
+
+TEST(SimulatorTest, ScheduleIntoCursorGapPreservesOrder) {
+  // RunUntil may scout the wheel cursor past its horizon while peeking at a far
+  // event; a later schedule into that gap must still fire first.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(kHour, [&] { order.push_back(1); });  // Far event, peeked at.
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.now(), 1000);
+  sim.ScheduleAt(2000, [&] { order.push_back(0); });  // Behind the scouted cursor.
+  sim.ScheduleAt(2000, [&] { order.push_back(10); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 1}));
+  EXPECT_EQ(sim.now(), kHour);
+}
+
+TEST(SimulatorTest, RandomScheduleMatchesStableSortOrder) {
+  // The wheel must reproduce exactly the (time, insertion seq) total order of a
+  // stable sort, across bucket/frame/overflow migrations and handler reentrancy.
+  Simulator sim;
+  Rng rng(2024);
+  std::vector<std::pair<SimTime, int>> scheduled;
+  std::vector<int> fired;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    // Spread over ~6 minutes so all three structures participate.
+    const SimTime t = static_cast<SimTime>(rng.NextBounded(6 * kMinute));
+    scheduled.push_back({t, i});
+    sim.ScheduleAt(t, [&fired, i] { fired.push_back(i); });
+  }
+  sim.RunToCompletion();
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(fired.size(), scheduled.size());
+  for (size_t i = 0; i < scheduled.size(); ++i) {
+    EXPECT_EQ(fired[i], scheduled[i].second) << "position " << i;
+  }
+}
+
+TEST(SimulatorTest, HandlersSchedulingAtNowRunThisSweep) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] {
+    order.push_back(0);
+    sim.ScheduleAt(100, [&] { order.push_back(2); });  // Same timestamp, later seq.
+  });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+// --- EventSource merging. ---
+
+// A stream of `count` events at fixed `stride` spacing, opened with a reserved
+// seq range like the platform's arrival cursor.
+class TestSource : public EventSource {
+ public:
+  TestSource(Simulator& sim, SimTime start, SimTime stride, int count,
+             std::vector<int>* log)
+      : sim_(sim), start_(start), stride_(stride), count_(count), log_(log) {}
+
+  void Reserve() { seq_base_ = sim_.ReserveSeqRange(static_cast<uint64_t>(count_)); }
+
+  bool Head(SimTime* time, uint64_t* seq) override {
+    if (next_ == count_) {
+      return false;
+    }
+    *time = start_ + stride_ * next_;
+    *seq = seq_base_ + static_cast<uint64_t>(next_);
+    return true;
+  }
+
+  void RunHead() override {
+    log_->push_back(1000 + next_);
+    ++next_;
+  }
+
+ private:
+  Simulator& sim_;
+  SimTime start_;
+  SimTime stride_;
+  int count_;
+  std::vector<int>* log_;
+  uint64_t seq_base_ = 0;
+  int next_ = 0;
+};
+
+TEST(EventSourceTest, StreamInterleavesWithQueueByTime) {
+  Simulator sim;
+  std::vector<int> log;
+  TestSource source(sim, 10, 20, 3, &log);  // Heads at 10, 30, 50.
+  source.Reserve();
+  sim.AttachSource(&source);
+  sim.ScheduleAt(5, [&] { log.push_back(0); });
+  sim.ScheduleAt(20, [&] { log.push_back(1); });
+  sim.ScheduleAt(40, [&] { log.push_back(2); });
+  sim.ScheduleAt(60, [&] { log.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(log, (std::vector<int>{0, 1000, 1, 1001, 2, 1002, 3}));
+  EXPECT_EQ(sim.events_processed(), 7u);
+  sim.AttachSource(nullptr);
+}
+
+TEST(EventSourceTest, SameTimeTieBreaksBySeq) {
+  // A queued event scheduled before the stream reserves its range outranks the
+  // stream head at the same timestamp; one scheduled after does not.
+  Simulator sim;
+  std::vector<int> log;
+  sim.ScheduleAt(10, [&] { log.push_back(0); });  // seq 0 < stream seqs.
+  TestSource source(sim, 10, 10, 2, &log);        // Heads at 10, 20.
+  source.Reserve();                               // seqs 1, 2.
+  sim.AttachSource(&source);
+  sim.ScheduleAt(10, [&] { log.push_back(1); });  // seq 3 > stream head seq.
+  sim.ScheduleAt(20, [&] { log.push_back(2); });  // seq 4 > second head.
+  sim.RunToCompletion();
+  EXPECT_EQ(log, (std::vector<int>{0, 1000, 1, 1001, 2}));
+  sim.AttachSource(nullptr);
+}
+
+TEST(EventSourceTest, RunUntilHonorsStreamBoundary) {
+  Simulator sim;
+  std::vector<int> log;
+  TestSource source(sim, 100, 100, 3, &log);  // Heads at 100, 200, 300.
+  source.Reserve();
+  sim.AttachSource(&source);
+  EXPECT_EQ(sim.RunUntil(200), 2u);  // Heads at 100 and 200 fire; 300 waits.
+  EXPECT_EQ(sim.now(), 200);
+  EXPECT_EQ(log, (std::vector<int>{1000, 1001}));
+  sim.RunToCompletion();
+  EXPECT_EQ(log, (std::vector<int>{1000, 1001, 1002}));
+  sim.AttachSource(nullptr);
 }
 
 }  // namespace
