@@ -3,7 +3,8 @@
 // The paper (§4.3, §5) argues that timer-triggered functions -- which cold-start on
 // every fire when their period exceeds the keep-alive -- and periodically popular
 // functions can be prewarmed. This harness quantifies how many user-visible cold
-// starts each policy removes and what it costs in extra pods.
+// starts each policy removes and what it costs in extra pods. All four scenario
+// evaluations run concurrently on the ParallelSweep work queue.
 #include "bench/abl_util.h"
 
 using namespace coldstart;
@@ -13,29 +14,23 @@ int main() {
                      "pre-warming pods for timer functions could alleviate their cold "
                      "starts (timers cause ~30% of R2 cold starts)");
   const core::ScenarioConfig config = bench::AblationScenario();
-  std::vector<bench::AblationRow> rows;
 
-  {
-    core::Experiment experiment(config);
-    rows.push_back(bench::Summarize("baseline (no prewarm)", experiment.Run()));
-  }
-  {
-    policy::TimerAwarePrewarmPolicy prewarm;
-    core::Experiment experiment(config);
-    rows.push_back(bench::Summarize("timer-aware prewarm", experiment.Run(&prewarm)));
-  }
-  {
-    policy::ProfilePrewarmPolicy prewarm;
-    core::Experiment experiment(config);
-    rows.push_back(bench::Summarize("profile prewarm", experiment.Run(&prewarm)));
-  }
-  {
-    policy::CompositePolicy combo;
-    combo.Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
-        .Add(std::make_unique<policy::ProfilePrewarmPolicy>());
-    core::Experiment experiment(config);
-    rows.push_back(bench::Summarize("timer + profile", experiment.Run(&combo)));
-  }
+  const std::vector<bench::AblationJob> jobs = {
+      {"baseline (no prewarm)", nullptr, nullptr},
+      {"timer-aware prewarm",
+       [] { return std::make_unique<policy::TimerAwarePrewarmPolicy>(); }, nullptr},
+      {"profile prewarm",
+       [] { return std::make_unique<policy::ProfilePrewarmPolicy>(); }, nullptr},
+      {"timer + profile",
+       []() -> std::unique_ptr<platform::PlatformPolicy> {
+         auto combo = std::make_unique<policy::CompositePolicy>();
+         combo->Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
+             .Add(std::make_unique<policy::ProfilePrewarmPolicy>());
+         return combo;
+       },
+       nullptr},
+  };
+  const std::vector<bench::AblationRow> rows = bench::RunAblationSweep(config, jobs);
 
   bench::PrintRows(rows);
   const double reduction =

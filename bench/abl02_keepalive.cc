@@ -2,7 +2,8 @@
 //
 // §5: "for functions running on timers less frequent than 1 minute, a keep alive time
 // of 1 minute is unnecessary and wasteful. Cloud providers may consider a dynamic
-// keep-alive time". The trade is cold starts vs pod-hours.
+// keep-alive time". The trade is cold starts vs pod-hours. The three scenario
+// evaluations run concurrently on the ParallelSweep work queue.
 #include "bench/abl_util.h"
 
 using namespace coldstart;
@@ -12,25 +13,21 @@ int main() {
                      "extend keep-alive for functions returning just outside 60s; "
                      "release pods early for functions with much longer gaps");
   const core::ScenarioConfig config = bench::AblationScenario();
-  std::vector<bench::AblationRow> rows;
 
-  {
-    core::Experiment experiment(config);
-    rows.push_back(bench::Summarize("fixed 60s keep-alive", experiment.Run()));
-  }
-  {
-    policy::DynamicKeepAlivePolicy dynamic;
-    core::Experiment experiment(config);
-    rows.push_back(bench::Summarize("dynamic keep-alive", experiment.Run(&dynamic)));
-  }
-  {
-    policy::DynamicKeepAlivePolicy::Options aggressive;
-    aggressive.max_keep_alive = 3 * kMinute;
-    aggressive.headroom = 1.1;
-    policy::DynamicKeepAlivePolicy dynamic(aggressive);
-    core::Experiment experiment(config);
-    rows.push_back(bench::Summarize("dynamic (tight cap 3min)", experiment.Run(&dynamic)));
-  }
+  const std::vector<bench::AblationJob> jobs = {
+      {"fixed 60s keep-alive", nullptr, nullptr},
+      {"dynamic keep-alive",
+       [] { return std::make_unique<policy::DynamicKeepAlivePolicy>(); }, nullptr},
+      {"dynamic (tight cap 3min)",
+       [] {
+         policy::DynamicKeepAlivePolicy::Options aggressive;
+         aggressive.max_keep_alive = 3 * kMinute;
+         aggressive.headroom = 1.1;
+         return std::make_unique<policy::DynamicKeepAlivePolicy>(aggressive);
+       },
+       nullptr},
+  };
+  const std::vector<bench::AblationRow> rows = bench::RunAblationSweep(config, jobs);
 
   bench::PrintRows(rows);
   const double cs_delta = 1.0 - static_cast<double>(rows[1].cold_starts) /

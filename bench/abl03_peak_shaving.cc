@@ -2,7 +2,8 @@
 //
 // §3.3: "Given the narrow peak widths, even a short delay could significantly reduce
 // peak pod allocations." Metric: the peak of the per-minute cold-start series (the
-// paper's pod-allocation peak), against the number of delayed admissions.
+// paper's pod-allocation peak), against the number of delayed admissions. The three
+// scenario evaluations run concurrently on the ParallelSweep work queue.
 #include <algorithm>
 
 #include "bench/abl_util.h"
@@ -24,27 +25,32 @@ int main() {
                      "delaying non-latency-critical async allocations flattens the "
                      "peak without touching synchronous traffic");
   const core::ScenarioConfig config = bench::AblationScenario();
-  std::vector<bench::AblationRow> rows;
-  std::vector<double> peaks;
+  const SimDuration delays[] = {30 * kSecond, 2 * kMinute};
 
-  {
-    core::Experiment experiment(config);
-    auto result = experiment.Run();
-    peaks.push_back(PeakPerMinuteColdStarts(result.store));
-    rows.push_back(bench::Summarize("baseline", std::move(result)));
-  }
-  for (const SimDuration max_delay : {30 * kSecond, 2 * kMinute}) {
-    policy::PeakShavingPolicy::Options opts;
-    opts.max_delay = max_delay;
-    policy::PeakShavingPolicy shaving(opts);
-    core::Experiment experiment(config);
-    auto result = experiment.Run(&shaving);
-    peaks.push_back(PeakPerMinuteColdStarts(result.store));
+  std::vector<double> peaks(3, 0.0);
+  std::vector<bench::AblationJob> jobs;
+  jobs.push_back({"baseline", nullptr,
+                  [&peaks](const core::ExperimentResult& result,
+                           platform::PlatformPolicy*) {
+                    peaks[0] = PeakPerMinuteColdStarts(result.store);
+                  }});
+  for (size_t i = 0; i < 2; ++i) {
+    const SimDuration max_delay = delays[i];
     char name[64];
     std::snprintf(name, sizeof(name), "peak shaving (max %llds)",
                   static_cast<long long>(max_delay / kSecond));
-    rows.push_back(bench::Summarize(name, std::move(result)));
+    jobs.push_back({name,
+                    [max_delay] {
+                      policy::PeakShavingPolicy::Options opts;
+                      opts.max_delay = max_delay;
+                      return std::make_unique<policy::PeakShavingPolicy>(opts);
+                    },
+                    [&peaks, i](const core::ExperimentResult& result,
+                                platform::PlatformPolicy*) {
+                      peaks[i + 1] = PeakPerMinuteColdStarts(result.store);
+                    }});
   }
+  const std::vector<bench::AblationRow> rows = bench::RunAblationSweep(config, jobs);
 
   bench::PrintRows(rows);
   std::printf("\npeak cold starts per minute: baseline %.0f", peaks[0]);

@@ -3,7 +3,9 @@
 // §5: the most popular regions have the longest cold starts while inter-region RTT is
 // tens of milliseconds; offloading congested cold starts to quiet regions trades RTT
 // for queueing. Metric: mean cold-start latency in the congested region (R1) and
-// fleet-wide, plus the number of offloads.
+// fleet-wide, plus the number of offloads. Both scenario evaluations run concurrently
+// on the ParallelSweep work queue (the cross-region run itself stays serial inside —
+// the policy is not region-local, so the sharded runner declines it).
 #include "bench/abl_util.h"
 
 using namespace coldstart;
@@ -20,25 +22,25 @@ int main() {
                  : 0.0;
   };
 
-  std::vector<bench::AblationRow> rows;
-  std::vector<double> r1_means;
+  std::vector<double> r1_means(2, 0.0);
   int64_t offloads = 0;
-  {
-    core::Experiment experiment(config);
-    auto result = experiment.Run();
-    r1_means.push_back(r1_mean(result));
-    rows.push_back(bench::Summarize("baseline (home region only)", std::move(result)));
-  }
-  {
-    policy::CrossRegionPolicy::Options opts;
-    opts.home_pressure_threshold = 8;
-    policy::CrossRegionPolicy cross(opts);
-    core::Experiment experiment(config);
-    auto result = experiment.Run(&cross);
-    r1_means.push_back(r1_mean(result));
-    offloads = cross.offloads();
-    rows.push_back(bench::Summarize("cross-region (async offload)", std::move(result)));
-  }
+  const std::vector<bench::AblationJob> jobs = {
+      {"baseline (home region only)", nullptr,
+       [&](const core::ExperimentResult& result, platform::PlatformPolicy*) {
+         r1_means[0] = r1_mean(result);
+       }},
+      {"cross-region (async offload)",
+       [] {
+         policy::CrossRegionPolicy::Options opts;
+         opts.home_pressure_threshold = 8;
+         return std::make_unique<policy::CrossRegionPolicy>(opts);
+       },
+       [&](const core::ExperimentResult& result, platform::PlatformPolicy* policy) {
+         r1_means[1] = r1_mean(result);
+         offloads = static_cast<policy::CrossRegionPolicy*>(policy)->offloads();
+       }},
+  };
+  const std::vector<bench::AblationRow> rows = bench::RunAblationSweep(config, jobs);
 
   bench::PrintRows(rows);
   std::printf("\nR1 mean cold start: baseline %.2fs vs cross-region %.2fs; offloads: %lld\n",

@@ -2,7 +2,8 @@
 //
 // §5 "Resource pool prediction": pools too small force from-scratch creations (slow);
 // pools too large waste reserved capacity. Compare the static baseline against the
-// three forecasters on pool misses and allocation latency.
+// three forecasters on pool misses and allocation latency. The four scenario
+// evaluations run concurrently on the ParallelSweep work queue.
 #include "bench/abl_util.h"
 
 using namespace coldstart;
@@ -26,24 +27,29 @@ int main() {
                      "predictable per-config pod demand allows maintaining just enough "
                      "reserved pods without overallocation");
   const core::ScenarioConfig config = bench::AblationScenario();
+  const char* kinds[] = {"moving-average", "seasonal-naive", "holt-winters"};
 
-  std::vector<bench::AblationRow> rows;
-  std::vector<double> alloc_means;
-  {
-    core::Experiment experiment(config);
-    auto result = experiment.Run();
-    alloc_means.push_back(MeanAllocSeconds(result.store));
-    rows.push_back(bench::Summarize("static pools (baseline)", std::move(result)));
+  std::vector<double> alloc_means(4, 0.0);
+  std::vector<bench::AblationJob> jobs;
+  jobs.push_back({"static pools (baseline)", nullptr,
+                  [&alloc_means](const core::ExperimentResult& result,
+                                 platform::PlatformPolicy*) {
+                    alloc_means[0] = MeanAllocSeconds(result.store);
+                  }});
+  for (size_t i = 0; i < 3; ++i) {
+    const char* kind = kinds[i];
+    jobs.push_back({kind,
+                    [kind] {
+                      policy::PoolPredictionPolicy::Options opts;
+                      opts.predictor = kind;
+                      return std::make_unique<policy::PoolPredictionPolicy>(opts);
+                    },
+                    [&alloc_means, i](const core::ExperimentResult& result,
+                                      platform::PlatformPolicy*) {
+                      alloc_means[i + 1] = MeanAllocSeconds(result.store);
+                    }});
   }
-  for (const char* kind : {"moving-average", "seasonal-naive", "holt-winters"}) {
-    policy::PoolPredictionPolicy::Options opts;
-    opts.predictor = kind;
-    policy::PoolPredictionPolicy predictor(opts);
-    core::Experiment experiment(config);
-    auto result = experiment.Run(&predictor);
-    alloc_means.push_back(MeanAllocSeconds(result.store));
-    rows.push_back(bench::Summarize(kind, std::move(result)));
-  }
+  const std::vector<bench::AblationRow> rows = bench::RunAblationSweep(config, jobs);
 
   bench::PrintRows(rows);
   std::printf("\nmean pod allocation time (s):");

@@ -2,7 +2,8 @@
 //
 // §5: "Workflow function calls can be predicted using previous function calls...
 // workflows account for 20% of cold starts" and are synchronous with strict SLOs.
-// Metric: workflow-triggered cold starts and their latency.
+// Metric: workflow-triggered cold starts and their latency. Both scenario
+// evaluations run concurrently on the ParallelSweep work queue.
 #include "bench/abl_util.h"
 
 using namespace coldstart;
@@ -32,21 +33,19 @@ int main() {
                      "hiding the child's cold start behind the parent's execution");
   const core::ScenarioConfig config = bench::AblationScenario();
 
-  std::vector<bench::AblationRow> rows;
-  std::vector<std::pair<int64_t, double>> wf;
-  {
-    core::Experiment experiment(config);
-    auto result = experiment.Run();
-    wf.push_back(WorkflowColdStarts(result.store));
-    rows.push_back(bench::Summarize("baseline", std::move(result)));
-  }
-  {
-    policy::WorkflowPrewarmPolicy prewarm;
-    core::Experiment experiment(config);
-    auto result = experiment.Run(&prewarm);
-    wf.push_back(WorkflowColdStarts(result.store));
-    rows.push_back(bench::Summarize("workflow prewarm", std::move(result)));
-  }
+  std::vector<std::pair<int64_t, double>> wf(2);
+  const std::vector<bench::AblationJob> jobs = {
+      {"baseline", nullptr,
+       [&wf](const core::ExperimentResult& result, platform::PlatformPolicy*) {
+         wf[0] = WorkflowColdStarts(result.store);
+       }},
+      {"workflow prewarm",
+       [] { return std::make_unique<policy::WorkflowPrewarmPolicy>(); },
+       [&wf](const core::ExperimentResult& result, platform::PlatformPolicy*) {
+         wf[1] = WorkflowColdStarts(result.store);
+       }},
+  };
+  const std::vector<bench::AblationRow> rows = bench::RunAblationSweep(config, jobs);
 
   bench::PrintRows(rows);
   std::printf("\nworkflow-triggered cold starts: baseline %lld (median %.2fs) vs "

@@ -1,7 +1,10 @@
-// Shared reporting for the policy ablation benches.
+// Shared reporting + parallel execution for the policy ablation benches.
 #ifndef COLDSTART_BENCH_ABL_UTIL_H_
 #define COLDSTART_BENCH_ABL_UTIL_H_
 
+#include <algorithm>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <string>
 
@@ -37,6 +40,45 @@ inline AblationRow Summarize(const std::string& name,
   row.p99_cold_start_s = cdfs.back().Quantile(0.99);
   row.pod_hours = PodSeconds(result.store, -1) / 3600.0;
   return row;
+}
+
+// One scenario evaluation of an ablation sweep: the job builds its own policy (so
+// each runs isolated on its worker thread), and `inspect` — called on the worker
+// after the run — extracts any extra metric from the result or the policy's
+// counters before the row is summarized.
+struct AblationJob {
+  std::string name;
+  // nullptr-returning (or empty) factory = baseline run without a policy.
+  std::function<std::unique_ptr<platform::PlatformPolicy>()> make_policy;
+  std::function<void(const core::ExperimentResult&, platform::PlatformPolicy*)> inspect;
+};
+
+// Runs every job on one ParallelSweep work queue: idle workers claim the next
+// unclaimed scenario, and each experiment is handed a fixed thread budget
+// (pool size / job count, computed up front) for its own region shards. The
+// split is static — threads freed by early-finishing jobs are not redistributed
+// to still-running experiments.
+inline std::vector<AblationRow> RunAblationSweep(const core::ScenarioConfig& config,
+                                                 const std::vector<AblationJob>& jobs) {
+  std::vector<AblationRow> rows(jobs.size());
+  core::ParallelSweep sweep;
+  const int inner_threads =
+      std::max(1, sweep.num_threads() / static_cast<int>(jobs.size()));
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    sweep.Add([&config, &jobs, &rows, inner_threads, i] {
+      const AblationJob& job = jobs[i];
+      std::unique_ptr<platform::PlatformPolicy> policy =
+          job.make_policy ? job.make_policy() : nullptr;
+      core::Experiment experiment(config);
+      const core::ExperimentResult result = experiment.Run(policy.get(), inner_threads);
+      if (job.inspect) {
+        job.inspect(result, policy.get());
+      }
+      rows[i] = Summarize(job.name, result);
+    });
+  }
+  sweep.Run();
+  return rows;
 }
 
 inline void PrintRows(const std::vector<AblationRow>& rows) {

@@ -1,7 +1,8 @@
 // Micro-benchmarks of the simulator hot paths (google-benchmark): event queue
 // throughput (timer wheel vs. the seed's priority-queue baseline), mixed-horizon
 // scheduling, streaming arrival injection, pod slab churn, staged pool
-// acquisition, and the cold-start pipeline.
+// acquisition, the cold-start pipeline, and the end-to-end sharded-vs-serial
+// experiment runner.
 #include <benchmark/benchmark.h>
 
 #include <functional>
@@ -10,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/experiment.h"
+#include "core/scenario.h"
 #include "platform/coldstart_pipeline.h"
 #include "platform/platform.h"
 #include "platform/pod_slab.h"
@@ -303,5 +306,31 @@ static void BM_PopulationGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PopulationGeneration);
+
+// End-to-end experiment wall clock, serial vs region-sharded. The argument is the
+// worker-thread cap handed to Experiment::Run (1 = the serial path); results are
+// bit-identical across arguments, so this measures pure scheduling gain. On a
+// >=4-core host the 5-region scenario shards to ~the slowest region's share, giving
+// the >=2x speedup the BENCH_simcore.json trajectory tracks; on fewer cores the
+// sharded entries degenerate gracefully toward serial.
+static void BM_ShardedExperiment(benchmark::State& state) {
+  core::ScenarioConfig config = core::SmallScenario();
+  config.days = 3;
+  config.record_requests = false;  // Wall clock should measure simulation, not logging.
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::Experiment experiment(config);
+    const auto result = experiment.Run(nullptr, threads);
+    benchmark::DoNotOptimize(result.store.cold_starts().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardedExperiment)
+    ->Arg(1)   // Serial baseline.
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 BENCHMARK_MAIN();

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Runs the simulator-core microbenchmarks and records BENCH_simcore.json for the
-# perf trajectory (timer wheel vs. heap baseline, arrival injection, slab churn).
+# perf trajectory (timer wheel vs. heap baseline, arrival injection, slab churn,
+# and the sharded-vs-serial experiment runner: compare BM_ShardedExperiment/1 —
+# the serial path — against /2 and /4).
 #
 # Usage: bench/run_bench.sh [build_dir] [output_json]
 set -euo pipefail
@@ -13,6 +15,11 @@ if [ ! -x "$BUILD_DIR/bench_micro_simcore" ]; then
   cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCOLDSTART_BUILD_BENCH=ON
   cmake --build "$BUILD_DIR" -j --target bench_micro_simcore
 fi
+
+# The sharded-experiment benchmark sizes its own worker pools per argument; a
+# stray COLDSTART_THREADS would not change results (runs are bit-identical at any
+# thread count) but would distort the serial-vs-sharded wall-clock comparison.
+unset COLDSTART_THREADS
 
 "$BUILD_DIR/bench_micro_simcore" \
   --benchmark_out="$OUT" \

@@ -1,8 +1,13 @@
 // Mitigation comparison: evaluates the paper's §5 optimization directions against the
 // production baseline on one scenario, combining several policies via CompositePolicy.
+// The five policy evaluations run concurrently on the ParallelSweep work queue, and
+// each experiment additionally shards its regions across its share of the pool
+// (COLDSTART_THREADS overrides the pool size).
 //
 // Usage: mitigation_comparison [days] [scale]
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <numeric>
 
@@ -21,9 +26,9 @@ struct Row {
 };
 
 Row Evaluate(const std::string& name, const core::ScenarioConfig& config,
-             platform::PlatformPolicy* policy) {
+             platform::PlatformPolicy* policy, int num_threads) {
   core::Experiment experiment(config);
-  const auto result = experiment.Run(policy);
+  const auto result = experiment.Run(policy, num_threads);
   Row row;
   row.name = name;
   row.cold_starts = std::accumulate(result.visible_cold_starts.begin(),
@@ -46,31 +51,43 @@ int main(int argc, char** argv) {
   config.days = argc > 1 ? std::atoi(argv[1]) : 7;
   config.scale = argc > 2 ? std::atof(argv[2]) : 0.4;
   config.record_requests = false;
-  std::printf("Comparing mitigation policies on %d days at %.2fx scale...\n\n",
-              config.days, config.scale);
+  std::printf("Comparing mitigation policies on %d days at %.2fx scale (%d threads)...\n\n",
+              config.days, config.scale, core::ParallelSweep::DefaultThreads());
 
-  std::vector<Row> rows;
-  rows.push_back(Evaluate("baseline (production defaults)", config, nullptr));
-  {
-    policy::TimerAwarePrewarmPolicy p;
-    rows.push_back(Evaluate("timer-aware prewarm", config, &p));
+  // Policy factories rather than policy objects: each sweep job builds its own
+  // instance on its worker thread, so the evaluations are fully independent.
+  using PolicyFactory = std::function<std::unique_ptr<platform::PlatformPolicy>()>;
+  const std::pair<std::string, PolicyFactory> cases[] = {
+      {"baseline (production defaults)", nullptr},
+      {"timer-aware prewarm",
+       [] { return std::make_unique<policy::TimerAwarePrewarmPolicy>(); }},
+      {"dynamic keep-alive",
+       [] { return std::make_unique<policy::DynamicKeepAlivePolicy>(); }},
+      {"pool prediction (seasonal)",
+       [] { return std::make_unique<policy::PoolPredictionPolicy>(); }},
+      {"composite (all of the above)",
+       []() -> std::unique_ptr<platform::PlatformPolicy> {
+         auto combo = std::make_unique<policy::CompositePolicy>();
+         combo->Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
+             .Add(std::make_unique<policy::DynamicKeepAlivePolicy>())
+             .Add(std::make_unique<policy::WorkflowPrewarmPolicy>())
+             .Add(std::make_unique<policy::PeakShavingPolicy>());
+         return combo;
+       }},
+  };
+  constexpr size_t kNumCases = std::size(cases);
+
+  std::vector<Row> rows(kNumCases);
+  core::ParallelSweep sweep;
+  const int inner_threads =
+      std::max(1, sweep.num_threads() / static_cast<int>(kNumCases));
+  for (size_t i = 0; i < kNumCases; ++i) {
+    sweep.Add([&, i] {
+      const auto policy = cases[i].second ? cases[i].second() : nullptr;
+      rows[i] = Evaluate(cases[i].first, config, policy.get(), inner_threads);
+    });
   }
-  {
-    policy::DynamicKeepAlivePolicy p;
-    rows.push_back(Evaluate("dynamic keep-alive", config, &p));
-  }
-  {
-    policy::PoolPredictionPolicy p;
-    rows.push_back(Evaluate("pool prediction (seasonal)", config, &p));
-  }
-  {
-    policy::CompositePolicy combo;
-    combo.Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
-        .Add(std::make_unique<policy::DynamicKeepAlivePolicy>())
-        .Add(std::make_unique<policy::WorkflowPrewarmPolicy>())
-        .Add(std::make_unique<policy::PeakShavingPolicy>());
-    rows.push_back(Evaluate("composite (all of the above)", config, &combo));
-  }
+  sweep.Run();
 
   TextTable t({"policy", "cold starts", "p50 (s)", "p99 (s)", "prewarms", "pod-hours",
                "cold starts vs baseline"});

@@ -1,15 +1,31 @@
 // Multi-region cold-start study: the paper's §4 analysis pipeline end to end.
 //
-// Runs the full 5-region scenario (cached), then walks through the cross-region
+// Runs the full 5-region scenario (cached; a cache miss simulates the regions in
+// parallel on the sharded experiment runner), then walks through the cross-region
 // comparison: cold-start distributions, dominant components, component correlations,
-// and the small/large pool contrast.
+// and the small/large pool contrast. The per-region analysis passes themselves run
+// concurrently on the ParallelSweep work queue — regions are independent for every
+// statistic below, the same property the sharded simulator exploits.
 //
 // Usage: multi_region_study [cache_dir]
+#include <array>
 #include <cstdio>
 
 #include "core/coldstart_lab.h"
 
 using namespace coldstart;
+
+namespace {
+
+struct RegionAnalysis {
+  double component_means[4] = {0, 0, 0, 0};  // alloc, code, dep, sched.
+  size_t cold_start_count = 0;
+  int strongest_coupling_var = 1;
+  double strongest_coupling_rho = 0;
+  double pool_ratio = 0;  // Large/small median cold-start ratio.
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::string cache_dir =
@@ -21,9 +37,48 @@ int main(int argc, char** argv) {
               store.cold_starts().size(), trace::kNumRegions,
               result.from_cache ? " (cached)" : "");
 
+  // Each region's full analysis block is independent: compute all of them
+  // concurrently, then print in region order.
+  std::array<RegionAnalysis, trace::kNumRegions> regions;
+  const auto cdfs = analysis::ColdStartTimeCdfs(store);
+  core::ParallelFor(trace::kNumRegions, [&store, &regions](size_t ri) {
+    const int r = static_cast<int>(ri);
+    RegionAnalysis& out = regions[ri];
+    for (const auto& c : store.cold_starts()) {
+      if (c.region != r) {
+        continue;
+      }
+      out.component_means[0] += ToSeconds(c.pod_alloc_us);
+      out.component_means[1] += ToSeconds(c.deploy_code_us);
+      out.component_means[2] += ToSeconds(c.deploy_dep_us);
+      out.component_means[3] += ToSeconds(c.scheduling_us);
+      ++out.cold_start_count;
+    }
+    for (double& m : out.component_means) {
+      m = out.cold_start_count > 0 ? m / static_cast<double>(out.cold_start_count) : 0;
+    }
+    const auto m = analysis::ComponentCorrelationMatrix(store, r);
+    for (int j = 2; j <= 4; ++j) {
+      if (m[0][static_cast<size_t>(j)].rho >
+          m[0][static_cast<size_t>(out.strongest_coupling_var)].rho) {
+        out.strongest_coupling_var = j;
+      }
+    }
+    out.strongest_coupling_rho =
+        m[0][static_cast<size_t>(out.strongest_coupling_var)].rho;
+    const double small = analysis::PoolSizeDistribution(
+                             store, r, trace::PoolSizeClass::kSmall,
+                             analysis::ColdStartComponent::kTotal)
+                             .Quantile(0.5);
+    const double large = analysis::PoolSizeDistribution(
+                             store, r, trace::PoolSizeClass::kLarge,
+                             analysis::ColdStartComponent::kTotal)
+                             .Quantile(0.5);
+    out.pool_ratio = small > 0 ? large / small : 0.0;
+  });
+
   // 1. Cold-start time distributions by region (Fig. 10a).
   TextTable dist(analysis::QuantileHeaders("cold start (s)"));
-  const auto cdfs = analysis::ColdStartTimeCdfs(store);
   for (int r = 0; r < trace::kNumRegions; ++r) {
     analysis::AddQuantileRow(dist, trace::RegionName(static_cast<trace::RegionId>(r)),
                              cdfs[static_cast<size_t>(r)]);
@@ -34,36 +89,24 @@ int main(int argc, char** argv) {
   TextTable comp({"region", "mean alloc (s)", "mean code", "mean dep", "mean sched",
                   "dominant component"});
   for (int r = 0; r < trace::kNumRegions; ++r) {
-    double alloc = 0, code = 0, dep = 0, sched = 0;
-    size_t n = 0;
-    for (const auto& c : store.cold_starts()) {
-      if (c.region != r) {
-        continue;
-      }
-      alloc += ToSeconds(c.pod_alloc_us);
-      code += ToSeconds(c.deploy_code_us);
-      dep += ToSeconds(c.deploy_dep_us);
-      sched += ToSeconds(c.scheduling_us);
-      ++n;
-    }
-    if (n == 0) {
+    const RegionAnalysis& a = regions[static_cast<size_t>(r)];
+    if (a.cold_start_count == 0) {
       continue;
     }
-    const double vals[4] = {alloc / n, code / n, dep / n, sched / n};
     const char* names[4] = {"pod allocation", "code deploy", "dependency deploy",
                             "scheduling"};
     int best = 0;
     for (int i = 1; i < 4; ++i) {
-      if (vals[i] > vals[best]) {
+      if (a.component_means[i] > a.component_means[best]) {
         best = i;
       }
     }
     comp.Row()
         .Cell(trace::RegionName(static_cast<trace::RegionId>(r)))
-        .Cell(vals[0], 3)
-        .Cell(vals[1], 3)
-        .Cell(vals[2], 3)
-        .Cell(vals[3], 3)
+        .Cell(a.component_means[0], 3)
+        .Cell(a.component_means[1], 3)
+        .Cell(a.component_means[2], 3)
+        .Cell(a.component_means[3], 3)
         .Cell(std::string(names[best]));
   }
   std::printf("Component means by region:\n%s\n", comp.Render().c_str());
@@ -72,32 +115,18 @@ int main(int argc, char** argv) {
   std::printf("Strongest total<->component coupling per region (Spearman):\n");
   const auto& names = analysis::CorrelationVarNames();
   for (int r = 0; r < trace::kNumRegions; ++r) {
-    const auto m = analysis::ComponentCorrelationMatrix(store, r);
-    int best = 1;
-    for (int j = 2; j <= 4; ++j) {
-      if (m[0][static_cast<size_t>(j)].rho > m[0][static_cast<size_t>(best)].rho) {
-        best = j;
-      }
-    }
+    const RegionAnalysis& a = regions[static_cast<size_t>(r)];
     std::printf("  %s: %s (rho=%.2f)\n",
                 trace::RegionName(static_cast<trace::RegionId>(r)).c_str(),
-                names[static_cast<size_t>(best)].c_str(),
-                m[0][static_cast<size_t>(best)].rho);
+                names[static_cast<size_t>(a.strongest_coupling_var)].c_str(),
+                a.strongest_coupling_rho);
   }
 
   // 4. Small vs large pools (Fig. 13).
   std::printf("\nLarge/small median cold-start ratio per region:\n");
   for (int r = 0; r < trace::kNumRegions; ++r) {
-    const double small = analysis::PoolSizeDistribution(
-                             store, r, trace::PoolSizeClass::kSmall,
-                             analysis::ColdStartComponent::kTotal)
-                             .Quantile(0.5);
-    const double large = analysis::PoolSizeDistribution(
-                             store, r, trace::PoolSizeClass::kLarge,
-                             analysis::ColdStartComponent::kTotal)
-                             .Quantile(0.5);
     std::printf("  %s: %.2f\n", trace::RegionName(static_cast<trace::RegionId>(r)).c_str(),
-                small > 0 ? large / small : 0.0);
+                regions[static_cast<size_t>(r)].pool_ratio);
   }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "analysis/utility.h"
 #include "core/experiment.h"
 #include "core/scenario.h"
+#include "core/sweep.h"
 #include "policy/composite.h"
 #include "policy/cross_region.h"
 #include "policy/keepalive.h"

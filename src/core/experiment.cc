@@ -5,13 +5,72 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
+#include <utility>
 
+#include "common/check.h"
+#include "core/sweep.h"
 #include "trace/binary_io.h"
 #include "workload/arrivals.h"
 
 namespace coldstart::core {
 
-ExperimentResult Experiment::Run(platform::PlatformPolicy* policy) const {
+namespace {
+
+platform::Platform::Options PlatformOptions(const ScenarioConfig& config) {
+  platform::Platform::Options options;
+  options.seed = config.seed;
+  options.record_requests = config.record_requests;
+  options.default_keep_alive = config.default_keep_alive;
+  return options;
+}
+
+void CollectRegionStats(const platform::Platform& platform, trace::RegionId region,
+                        ExperimentResult& result) {
+  result.visible_cold_starts[region] = platform.cold_starts(region);
+  result.prewarm_spawns[region] = platform.load(region).prewarm_spawns;
+  result.delayed_allocations[region] = platform.load(region).delayed_allocations;
+  result.scratch_allocations[region] = platform.scratch_allocations(region);
+  result.cold_start_latency_sum_us[region] = platform.cold_start_latency_sum_us(region);
+}
+
+void ResizeStats(ExperimentResult& result, size_t regions) {
+  result.visible_cold_starts.assign(regions, 0);
+  result.prewarm_spawns.assign(regions, 0);
+  result.delayed_allocations.assign(regions, 0);
+  result.scratch_allocations.assign(regions, 0);
+  result.cold_start_latency_sum_us.assign(regions, 0);
+}
+
+}  // namespace
+
+bool Experiment::CanShard(platform::PlatformPolicy* policy) const {
+  if (config_.profiles.size() < 2) {
+    return false;
+  }
+  if (policy == nullptr) {
+    return true;
+  }
+  if (!policy->is_region_local()) {
+    return false;
+  }
+  return policy->CloneForShard() != nullptr;
+}
+
+ExperimentResult Experiment::Run(platform::PlatformPolicy* policy,
+                                 int num_threads) const {
+  const int threads =
+      num_threads > 0 ? num_threads : ParallelSweep::DefaultThreads();
+  // Clonability is probed inside RunSharded (cloning is the probe), so the hot
+  // path never builds a throwaway clone tree.
+  if (threads > 1 && config_.profiles.size() > 1 &&
+      (policy == nullptr || policy->is_region_local())) {
+    return RunSharded(policy, threads);
+  }
+  return RunSerial(policy);
+}
+
+ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
   const auto wall_start = std::chrono::steady_clock::now();
 
   ExperimentResult result;
@@ -23,28 +82,116 @@ ExperimentResult Experiment::Run(platform::PlatformPolicy* policy) const {
       workload::GenerateArrivals(result.population, profiles, calendar, config_.seed);
 
   sim::Simulator sim;
-  platform::Platform::Options options;
-  options.seed = config_.seed;
-  options.record_requests = config_.record_requests;
   platform::Platform platform(result.population, profiles, calendar, sim, result.store,
-                              options, policy);
+                              PlatformOptions(config_), policy);
   platform.InjectArrivals(std::move(arrivals));
   sim.RunUntil(calendar.horizon());
   platform.Finalize();
   result.store.Seal();
 
-  result.visible_cold_starts.reserve(profiles.size());
-  result.prewarm_spawns.reserve(profiles.size());
-  result.delayed_allocations.reserve(profiles.size());
+  ResizeStats(result, profiles.size());
   for (size_t r = 0; r < profiles.size(); ++r) {
-    const auto region = static_cast<trace::RegionId>(r);
-    result.visible_cold_starts.push_back(platform.cold_starts(region));
-    result.prewarm_spawns.push_back(platform.load(region).prewarm_spawns);
-    result.delayed_allocations.push_back(platform.load(region).delayed_allocations);
-    result.scratch_allocations.push_back(platform.scratch_allocations(region));
-    result.cold_start_latency_sum_us.push_back(platform.cold_start_latency_sum_us(region));
+    CollectRegionStats(platform, static_cast<trace::RegionId>(r), result);
   }
   result.events_processed = sim.events_processed();
+  result.sim_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return result;
+}
+
+ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
+                                        int num_threads) const {
+  // Region-local policies run as one independent clone per shard (the caller's
+  // instance is only the configuration prototype). A policy that cannot clone
+  // falls back to the serial path — same results, one thread.
+  std::vector<std::unique_ptr<platform::PlatformPolicy>> clones(
+      config_.profiles.size());
+  if (policy != nullptr) {
+    for (auto& clone : clones) {
+      clone = policy->CloneForShard();
+      if (clone == nullptr) {
+        return RunSerial(policy);
+      }
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  ExperimentResult result;
+  const workload::Calendar calendar = config_.MakeCalendar();
+  const std::vector<workload::RegionProfile> profiles = config_.ScaledProfiles();
+  const size_t regions = profiles.size();
+
+  // Workload generation is shared: every shard simulates against the same
+  // population (read-only) and the arrival stream is partitioned by home region
+  // with relative order preserved.
+  result.population = workload::GeneratePopulation(profiles, config_.seed);
+  std::vector<workload::ArrivalEvent> arrivals =
+      workload::GenerateArrivals(result.population, profiles, calendar, config_.seed);
+  std::vector<std::vector<workload::ArrivalEvent>> shard_arrivals(regions);
+  {
+    std::vector<size_t> counts(regions, 0);
+    for (const auto& a : arrivals) {
+      ++counts[result.population.functions[a.function].region];
+    }
+    for (size_t r = 0; r < regions; ++r) {
+      shard_arrivals[r].reserve(counts[r]);
+    }
+    for (const auto& a : arrivals) {
+      shard_arrivals[result.population.functions[a.function].region].push_back(a);
+    }
+    arrivals.clear();
+    arrivals.shrink_to_fit();
+  }
+
+  // One shard per region: own simulator, own platform, own store. Shards share
+  // only immutable inputs, so they are free of data races by construction; the
+  // TSan job pins that.
+  struct ShardOutcome {
+    trace::TraceStore store;
+    uint64_t events = 0;
+  };
+  std::vector<ShardOutcome> shards(regions);
+  ResizeStats(result, regions);
+  const ScenarioConfig& config = config_;
+  const workload::Population& population = result.population;
+
+  ParallelSweep sweep(num_threads);
+  for (size_t r = 0; r < regions; ++r) {
+    sweep.Add([&, r] {
+      sim::Simulator sim;
+      platform::Platform platform(population, profiles, calendar, sim,
+                                  shards[r].store, PlatformOptions(config),
+                                  clones[r].get());
+      platform.InjectArrivals(std::move(shard_arrivals[r]));
+      sim.RunUntil(calendar.horizon());
+      platform.Finalize();
+      shards[r].events = sim.events_processed();
+      CollectRegionStats(platform, static_cast<trace::RegionId>(r), result);
+    });
+  }
+  sweep.Run();
+
+  // Fold shard counters back into the caller's prototype so policy statistics
+  // (prewarms_issued() and friends) read the same whether the run sharded or not.
+  if (policy != nullptr) {
+    for (const auto& clone : clones) {
+      policy->AbsorbShardStats(*clone);
+    }
+  }
+
+  // Deterministic merge: every shard emitted the identical function table, and
+  // Seal() orders the event tables by the canonical (time, region, id) key, so the
+  // merged store is byte-identical to the serial run's regardless of shard
+  // scheduling.
+  result.store = std::move(shards[0].store);
+  for (size_t r = 1; r < regions; ++r) {
+    result.store.AppendFrom(std::move(shards[r].store));
+    result.events_processed += shards[r].events;
+  }
+  result.events_processed += shards[0].events;
+  result.store.Seal();
+
   result.sim_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return result;
@@ -59,16 +206,28 @@ std::string Experiment::DefaultCacheDir() {
 
 ExperimentResult Experiment::RunCached(const std::string& cache_dir) const {
   namespace fs = std::filesystem;
+  // v2 filename scheme: fingerprints now cover every generation-relevant field, so
+  // files written under the old under-hashed scheme are never picked up.
   char name[64];
-  std::snprintf(name, sizeof(name), "scenario_%016" PRIx64 ".bin", config_.Fingerprint());
+  std::snprintf(name, sizeof(name), "scenario_v2_%016" PRIx64 ".bin",
+                config_.Fingerprint());
   const std::string path = (fs::path(cache_dir) / name).string();
 
   std::error_code ec;
   if (fs::exists(path, ec)) {
     ExperimentResult result;
-    if (trace::ReadBinaryTrace(path, result.store)) {
+    trace::TraceAggregates aggregates;
+    if (trace::ReadBinaryTrace(path, result.store, &aggregates) &&
+        aggregates.visible_cold_starts.size() == config_.profiles.size()) {
       result.store.Seal();
       result.from_cache = true;
+      result.visible_cold_starts = std::move(aggregates.visible_cold_starts);
+      result.prewarm_spawns = std::move(aggregates.prewarm_spawns);
+      result.delayed_allocations = std::move(aggregates.delayed_allocations);
+      result.scratch_allocations = std::move(aggregates.scratch_allocations);
+      result.cold_start_latency_sum_us =
+          std::move(aggregates.cold_start_latency_sum_us);
+      result.events_processed = aggregates.events_processed;
       return result;
     }
     // Corrupt or stale-format cache: fall through to a fresh run and rewrite.
@@ -76,7 +235,14 @@ ExperimentResult Experiment::RunCached(const std::string& cache_dir) const {
 
   ExperimentResult result = Run(nullptr);
   fs::create_directories(cache_dir, ec);
-  if (!trace::WriteBinaryTrace(result.store, path)) {
+  trace::TraceAggregates aggregates;
+  aggregates.visible_cold_starts = result.visible_cold_starts;
+  aggregates.prewarm_spawns = result.prewarm_spawns;
+  aggregates.delayed_allocations = result.delayed_allocations;
+  aggregates.scratch_allocations = result.scratch_allocations;
+  aggregates.cold_start_latency_sum_us = result.cold_start_latency_sum_us;
+  aggregates.events_processed = result.events_processed;
+  if (!trace::WriteBinaryTrace(result.store, path, &aggregates)) {
     std::fprintf(stderr, "warning: failed to write trace cache at %s\n", path.c_str());
   }
   return result;

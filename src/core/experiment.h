@@ -1,8 +1,18 @@
 // Experiment runner: generate workload -> simulate platform -> hand back traces.
 //
-// Run() executes the full pipeline. RunCached() additionally persists the baseline
-// (policy-free) trace as CSV keyed by the scenario fingerprint, so the many bench
-// binaries that analyze the same scenario simulate it only once.
+// Run() executes the full pipeline. When the scenario has several regions and the
+// policy is region-local (the baseline always is), the run is sharded: one
+// Simulator + Platform per region on worker threads, with per-region RNG substreams
+// and id namespaces, merged back into a single sealed TraceStore that is
+// bit-identical to the serial run. Cross-region policies (and policies that cannot
+// clone per-shard state) fall back to the serial path automatically. Thread count:
+// $COLDSTART_THREADS, else hardware_concurrency; pass num_threads = 1 to force the
+// serial path.
+//
+// RunCached() additionally persists the baseline (policy-free) trace — including the
+// per-region platform aggregates — keyed by the scenario fingerprint, so the many
+// bench binaries that analyze the same scenario simulate it only once and a cache
+// hit is indistinguishable from a fresh run.
 #ifndef COLDSTART_CORE_EXPERIMENT_H_
 #define COLDSTART_CORE_EXPERIMENT_H_
 
@@ -19,13 +29,16 @@ struct ExperimentResult {
   workload::Population population;    // Empty when loaded from cache.
   bool from_cache = false;
 
-  // Platform statistics (zero when loaded from cache; the trace itself carries
-  // everything the analyses need).
-  std::vector<int64_t> visible_cold_starts;   // Per region.
-  std::vector<int64_t> prewarm_spawns;        // Per region.
-  std::vector<int64_t> delayed_allocations;   // Per region.
-  std::vector<int64_t> scratch_allocations;   // Per region (pool misses).
-  std::vector<int64_t> cold_start_latency_sum_us;  // Per region.
+  // Platform statistics, one entry per region. Restored from the cache file on
+  // cache hits, so cached and fresh results are interchangeable.
+  std::vector<int64_t> visible_cold_starts;
+  std::vector<int64_t> prewarm_spawns;
+  std::vector<int64_t> delayed_allocations;
+  std::vector<int64_t> scratch_allocations;   // Pool misses.
+  std::vector<int64_t> cold_start_latency_sum_us;
+  // Total simulator events. Note: a sharded run processes a handful more events
+  // than a serial one (per-shard day starters and policy ticks); the traces and the
+  // per-region aggregates above are nevertheless identical.
   uint64_t events_processed = 0;
   double sim_wall_seconds = 0;
 };
@@ -36,8 +49,16 @@ class Experiment {
 
   const ScenarioConfig& config() const { return config_; }
 
-  // Runs the scenario (optionally under a policy). Deterministic in the config.
-  ExperimentResult Run(platform::PlatformPolicy* policy = nullptr) const;
+  // Runs the scenario (optionally under a policy). Deterministic in the config:
+  // serial and sharded execution produce bit-identical sealed traces, so the
+  // thread count never changes results. num_threads: 0 = default
+  // ($COLDSTART_THREADS, else hardware_concurrency), 1 = serial, n = cap.
+  ExperimentResult Run(platform::PlatformPolicy* policy = nullptr,
+                       int num_threads = 0) const;
+
+  // True when Run(policy) may take the sharded path: multiple regions and a policy
+  // that is region-local and shard-clonable (or no policy at all).
+  bool CanShard(platform::PlatformPolicy* policy) const;
 
   // Baseline run with trace caching under `cache_dir`. Policy runs must use Run()
   // (policies change the trace, which would poison the cache).
@@ -47,6 +68,9 @@ class Experiment {
   static std::string DefaultCacheDir();
 
  private:
+  ExperimentResult RunSerial(platform::PlatformPolicy* policy) const;
+  ExperimentResult RunSharded(platform::PlatformPolicy* policy, int num_threads) const;
+
   ScenarioConfig config_;
 };
 

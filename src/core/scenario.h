@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "workload/calendar.h"
 #include "workload/region_profile.h"
 
@@ -15,6 +16,8 @@ struct ScenarioConfig {
   int days = 31;       // Trace length; the paper's dataset covers 31 days.
   double scale = 1.0;  // Scales function counts and pool sizes (for quick runs).
   bool record_requests = true;
+  // Baseline keep-alive granted to idle pods when no policy overrides it (§2.2).
+  SimDuration default_keep_alive = kMinute;
   // Regions to simulate; defaults to the five calibrated profiles.
   std::vector<workload::RegionProfile> profiles;
 
@@ -24,7 +27,10 @@ struct ScenarioConfig {
   // Profiles after applying `scale`.
   std::vector<workload::RegionProfile> ScaledProfiles() const;
 
-  // Stable hash of all generation-relevant fields; keys the trace cache.
+  // Stable hash of *every* field that affects the generated trace — the scenario
+  // scalars (including keep-alive) and the full per-region profile down to each
+  // architecture coefficient, diurnal bump, and timer-period weight. Keys the trace
+  // cache: two configs that could produce different traces must not collide here.
   uint64_t Fingerprint() const;
 };
 

@@ -1,0 +1,86 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace coldstart::core {
+
+int ParallelSweep::DefaultThreads() {
+  if (const char* env = std::getenv("COLDSTART_THREADS"); env != nullptr && *env != '\0') {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ParallelSweep::ParallelSweep(int num_threads)
+    : num_threads_(num_threads > 0 ? num_threads : DefaultThreads()) {}
+
+size_t ParallelSweep::Add(std::function<void()> job) {
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+void ParallelSweep::Run() {
+  std::vector<std::function<void()>> jobs = std::move(jobs_);
+  jobs_.clear();
+  if (jobs.empty()) {
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) {
+        return;
+      }
+      try {
+        jobs[i]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const size_t workers =
+      std::min(jobs.size(), static_cast<size_t>(num_threads_));
+  if (workers <= 1) {
+    worker();  // Serial fast path: no thread spawned.
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w) {
+      threads.emplace_back(worker);
+    }
+    worker();  // The calling thread is worker 0.
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn, int num_threads) {
+  ParallelSweep sweep(num_threads);
+  for (size_t i = 0; i < n; ++i) {
+    sweep.Add([&fn, i] { fn(i); });
+  }
+  sweep.Run();
+}
+
+}  // namespace coldstart::core

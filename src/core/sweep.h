@@ -1,0 +1,54 @@
+// Parallel execution of independent experiment jobs over one shared work queue.
+//
+// ParallelSweep runs N closures — typically "construct a policy, run an Experiment,
+// summarize" — concurrently on std::threads. Jobs sit in a single shared queue
+// (an atomic cursor over the job list) and idle workers greedily claim the next
+// unclaimed job, so a sweep whose scenarios have wildly different costs (a 31-day
+// baseline next to a 2-day ablation) keeps every worker busy until the queue
+// drains. There is no per-worker deque or cross-sweep pool: each Run() spawns its
+// own worker group and joins it. The thread count is bounded by
+// hardware_concurrency and overridable with $COLDSTART_THREADS or an explicit
+// constructor argument; with one thread (or one job) the sweep degenerates to a
+// plain serial loop with no thread spawned.
+//
+// Jobs must be independent: they run on different threads with no ordering between
+// them. Each job's writes are visible to the caller after Run() returns (Run joins
+// all workers). The first exception a job throws is rethrown from Run().
+#ifndef COLDSTART_CORE_SWEEP_H_
+#define COLDSTART_CORE_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+namespace coldstart::core {
+
+class ParallelSweep {
+ public:
+  // num_threads: 0 = default ($COLDSTART_THREADS, else hardware_concurrency).
+  explicit ParallelSweep(int num_threads = 0);
+
+  // Enqueues a job; returns its index. Not thread-safe against a running sweep.
+  size_t Add(std::function<void()> job);
+
+  // Runs every queued job and blocks until all finish (or the first exception,
+  // which is rethrown after all workers have stopped). The queue is left empty, so
+  // a sweep object can be refilled and rerun.
+  void Run();
+
+  int num_threads() const { return num_threads_; }
+
+  // $COLDSTART_THREADS when set to a positive integer, else hardware_concurrency
+  // (at least 1).
+  static int DefaultThreads();
+
+ private:
+  int num_threads_;
+  std::vector<std::function<void()>> jobs_;
+};
+
+// Convenience: run fn(i) for i in [0, n) across the default worker pool.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn, int num_threads = 0);
+
+}  // namespace coldstart::core
+
+#endif  // COLDSTART_CORE_SWEEP_H_

@@ -24,9 +24,22 @@ Platform::Platform(const workload::Population& population,
       store_(store),
       options_(options),
       policy_(policy),
-      arrival_cursor_(this),
-      rng_(MixHash(options.seed, HashString("platform"))) {
+      arrival_cursor_(this) {
   COLDSTART_CHECK(!profiles_.empty());
+  // One independent substream, pod-id namespace, and request-id namespace per
+  // region: a region's draw sequence must not depend on what other regions do, or
+  // a per-region sharded run could not reproduce the serial run.
+  // The pod-id region field holds indices 0 .. 2^(32-shift) - 1, so exactly
+  // 2^(32-shift) regions fit.
+  COLDSTART_CHECK_LE(profiles_.size(),
+                     static_cast<size_t>(1) << (32 - kPodIdRegionShift));
+  const uint64_t rng_base = MixHash(options.seed, HashString("platform"));
+  rngs_.reserve(profiles_.size());
+  for (size_t r = 0; r < profiles_.size(); ++r) {
+    rngs_.emplace_back(MixHash(rng_base, r));
+  }
+  next_pod_seq_.assign(profiles_.size(), 0);
+  next_request_seq_.assign(profiles_.size(), 0);
   pipelines_.reserve(profiles_.size());
   pools_.reserve(profiles_.size());
   for (const auto& profile : profiles_) {
@@ -117,11 +130,12 @@ void Platform::InjectArrivals(std::vector<workload::ArrivalEvent> arrivals) {
     if (end == begin) {
       continue;
     }
-    // Wake just before the day's first arrival. The explicit 0 clamp documents
-    // the t=0 boundary (where "just before" is -1): day_start already keeps the
-    // first day non-negative, and the regression test pins the behavior.
-    const SimTime wake =
-        std::max<SimTime>(0, std::max(day_start, arrivals_[begin].time - 1));
+    // Wake exactly at the day boundary (covers the t=0 first arrival: day_start is
+    // never negative). Anchoring the batch's seq reservation at day_start — rather
+    // than at "first arrival - 1", which depends on which regions the stream
+    // contains — keeps the (time, seq) interleaving of arrivals and handler-
+    // scheduled events identical between the serial run and per-region shards.
+    const SimTime wake = day_start;
     sim_.ScheduleAt(wake, [this, begin, end] {
       arrival_cursor_.Open(begin, end, sim_.ReserveSeqRange(end - begin));
     });
@@ -173,6 +187,21 @@ int64_t Platform::cold_start_latency_sum_us(RegionId region) const {
   return cold_start_latency_sum_us_.at(region);
 }
 
+uint64_t Platform::pods_created() const {
+  uint64_t total = 0;
+  for (const trace::PodId seq : next_pod_seq_) {
+    total += seq;
+  }
+  return total;
+}
+
+trace::PodId Platform::NewPodId(RegionId region) {
+  const trace::PodId seq = next_pod_seq_[region]++;
+  // Strict: the last (region, seq) combination would collide with kInvalidPod.
+  COLDSTART_CHECK_LT(seq, kPodIdSeqMask);
+  return (static_cast<trace::PodId>(region) << kPodIdRegionShift) | seq;
+}
+
 int64_t Platform::scratch_allocations(RegionId region) const {
   int64_t total = 0;
   for (const auto& pool : pools_.at(region)) {
@@ -210,7 +239,7 @@ trace::ClusterId Platform::PickCluster(const FunctionSpec& spec,
   // random alternative and place the pod where this function has fewer pods (§2.1's
   // "balance traffic between clusters, starting pods in a new cluster").
   const trace::ClusterId alt = static_cast<trace::ClusterId>(
-      (spec.home_cluster + 1 + rng_.NextBounded(trace::kClustersPerRegion - 1)) %
+      (spec.home_cluster + 1 + rng(region).NextBounded(trace::kClustersPerRegion - 1)) %
       trace::kClustersPerRegion);
   int home_count = 0;
   int alt_count = 0;
@@ -236,12 +265,12 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
   ResourcePool& pool = pools_[region][static_cast<size_t>(spec.config)];
   load.ObserveColdStart(now);  // The event contributes to its own congestion window.
   ColdStartComponents comp =
-      pipelines_[region].Compute(spec, pool, load, now, rng_);
+      pipelines_[region].Compute(spec, pool, load, now, rng(region));
   comp.scheduling += extra_sched_us;
 
   auto [pod, handle] = pod_slab_.Allocate();
   pod->self = handle;
-  pod->id = next_pod_id_++;
+  pod->id = NewPodId(region);
   pod->function = spec.id;
   pod->region = region;
   pod->cluster = PickCluster(spec, state, region);
@@ -304,7 +333,7 @@ void Platform::AssignRequest(Pod* pod, const FunctionSpec& spec, SimTime arrival
 
   const SimTime exec_start = std::max(arrival, pod->ready_time);
   double exec_us = std::exp(std::log(spec.exec_median_us) +
-                            spec.exec_sigma * rng_.NextGaussian());
+                            spec.exec_sigma * rng(pod->region).NextGaussian());
   exec_us = std::clamp(exec_us, 100.0, 600e6);
   const uint32_t exec = static_cast<uint32_t>(exec_us);
   const SimTime exec_end = exec_start + exec;
@@ -328,18 +357,21 @@ void Platform::OnRequestComplete(SlabHandle handle, SimTime exec_start,
   if (options_.record_requests) {
     trace::RequestRecord rec;
     rec.timestamp = exec_start;
-    rec.request_id = MixHash(0x9e3779b9, next_request_id_++);
+    // Request ids mix a per-region counter under a per-region salt, so the id stream
+    // is identical whether the region ran alone (sharded) or alongside the others.
+    rec.request_id = MixHash(MixHash(0x9e3779b9, pod->region),
+                             next_request_seq_[pod->region]++);
     rec.pod_id = pod->id;
     rec.function_id = spec.id;
     rec.user_id = spec.user;
     rec.region = pod->region;
     rec.cluster = pod->cluster;
     rec.execution_time_us = exec_us;
-    double cpu = spec.cpu_mean_cores * std::exp(0.3 * rng_.NextGaussian());
+    double cpu = spec.cpu_mean_cores * std::exp(0.3 * rng(pod->region).NextGaussian());
     cpu = std::clamp(cpu, 0.005,
                      static_cast<double>(CpuMillicoresOf(spec.config)) / 1000.0);
     rec.cpu_millicores = static_cast<uint16_t>(cpu * 1000.0);
-    double mem_kb = spec.mem_mean_kb * std::exp(0.25 * rng_.NextGaussian());
+    double mem_kb = spec.mem_mean_kb * std::exp(0.25 * rng(pod->region).NextGaussian());
     mem_kb = std::clamp(mem_kb, 1024.0,
                         1024.0 * static_cast<double>(MemoryMbOf(spec.config)));
     rec.memory_kb = static_cast<uint32_t>(mem_kb);
@@ -348,9 +380,12 @@ void Platform::OnRequestComplete(SlabHandle handle, SimTime exec_start,
   ++loads_[pod->region].total_requests;
 
   // Workflow fan-out: downstream functions are invoked when the parent finishes.
+  // Draws come from the parent's home-region stream (children are wired within the
+  // region, so sharded runs replay exactly this sequence).
   for (const auto& edge : spec.children) {
-    if (rng_.NextBool(edge.probability)) {
-      const SimDuration delay = FromSeconds(rng_.Uniform(0.005, 0.05));
+    Rng& region_rng = rng(spec.region);
+    if (region_rng.NextBool(edge.probability)) {
+      const SimDuration delay = FromSeconds(region_rng.Uniform(0.005, 0.05));
       sim_.ScheduleAt(exec_end + delay,
                       [this, child = edge.child] { HandleArrival(child, false); });
     }

@@ -9,6 +9,12 @@
 // otherwise cold start: draw a pod through the staged pool search, run the 4-component
 // pipeline, and bind the request to the pod's ready time. Completions update
 // keep-alive state and fan out workflow children.
+//
+// Region independence: all randomness flows through per-region RNG substreams (forked
+// from the seed by region index) and pod/request ids are drawn from per-region
+// namespaces. A platform that only ever sees one region's arrivals therefore emits
+// exactly the records the full serial platform emits for that region — the invariant
+// core::Experiment's sharded runner is built on.
 #ifndef COLDSTART_PLATFORM_PLATFORM_H_
 #define COLDSTART_PLATFORM_PLATFORM_H_
 
@@ -93,7 +99,7 @@ class Platform {
   // User-visible cold starts per region (excludes prewarm spawns).
   int64_t cold_starts(trace::RegionId region) const;
   int64_t total_cold_starts() const;
-  uint64_t pods_created() const { return next_pod_id_; }
+  uint64_t pods_created() const;
   // Sum over user-visible cold starts of total cold-start latency, per region (µs).
   int64_t cold_start_latency_sum_us(trace::RegionId region) const;
   // From-scratch pod creations (pool misses) across the region's pools.
@@ -123,6 +129,11 @@ class Platform {
     uint64_t seq_base_ = 0;
     SimTime last_time_ = 0;  // Guards the sorted-arrivals stream contract.
   };
+
+  // The per-region RNG substream; every draw the platform makes is attributed to a
+  // region so that sharded and serial runs consume identical sequences.
+  Rng& rng(trace::RegionId region) { return rngs_[region]; }
+  trace::PodId NewPodId(trace::RegionId region);
 
   void HandleArrival(trace::FunctionId fid, bool delay_exempt);
   Pod* FindPodWithSlot(FunctionState& state, SimTime now) const;
@@ -155,10 +166,15 @@ class Platform {
   bool source_attached_ = false;
   Slab<Pod> pod_slab_;                                        // All alive pods.
 
-  Rng rng_;
-  trace::PodId next_pod_id_ = 0;
-  uint64_t next_request_id_ = 0;
+  std::vector<Rng> rngs_;                 // Per region; forked from the seed.
+  std::vector<trace::PodId> next_pod_seq_;      // Per region pod-id namespace.
+  std::vector<uint64_t> next_request_seq_;      // Per region request-id namespace.
 };
+
+// Pod ids carry their region in the high bits so per-region id streams never collide
+// and a sharded run mints exactly the ids the serial run would have minted.
+inline constexpr int kPodIdRegionShift = 28;
+inline constexpr trace::PodId kPodIdSeqMask = (trace::PodId{1} << kPodIdRegionShift) - 1;
 
 }  // namespace coldstart::platform
 

@@ -6,6 +6,8 @@
 #ifndef COLDSTART_PLATFORM_POLICY_HOOKS_H_
 #define COLDSTART_PLATFORM_POLICY_HOOKS_H_
 
+#include <memory>
+
 #include "common/sim_time.h"
 #include "platform/load_state.h"
 #include "workload/function_model.h"
@@ -17,6 +19,26 @@ class Platform;
 class PlatformPolicy {
  public:
   virtual ~PlatformPolicy() = default;
+
+  // --- Parallel-execution traits (core::Experiment's region sharding). ---
+  // True when the policy's decisions for a function depend only on that function's
+  // home region: no cross-region observation or routing. Region-local policies can
+  // run one independent instance per region shard; CrossRegionPolicy is the one
+  // built-in policy that must return false.
+  virtual bool is_region_local() const { return true; }
+
+  // A fresh instance with this policy's configuration (but none of its learned
+  // state) for one region shard of a parallel run. Returning nullptr (the default)
+  // declares the policy non-shardable and forces the serial path. Implementations
+  // must be safe to call before the run starts.
+  virtual std::unique_ptr<PlatformPolicy> CloneForShard() const { return nullptr; }
+
+  // Folds a finished shard's observable statistics (prewarm/delay counters and the
+  // like) back into this prototype after a sharded run, so `policy.xxx_issued()`
+  // reads the same totals whether the run was sharded or serial. `shard` is always
+  // an instance this policy's CloneForShard() produced. Learned state stays with
+  // the shard — it is per-region by construction and dies with the run.
+  virtual void AbsorbShardStats(const PlatformPolicy& shard) { (void)shard; }
 
   // Called once when the platform is constructed; policies keep the pointer to spawn
   // prewarmed pods or adjust pool targets.

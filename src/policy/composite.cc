@@ -9,6 +9,31 @@ CompositePolicy& CompositePolicy::Add(std::unique_ptr<platform::PlatformPolicy> 
   return *this;
 }
 
+bool CompositePolicy::is_region_local() const {
+  return std::all_of(policies_.begin(), policies_.end(),
+                     [](const auto& p) { return p->is_region_local(); });
+}
+
+std::unique_ptr<platform::PlatformPolicy> CompositePolicy::CloneForShard() const {
+  auto clone = std::make_unique<CompositePolicy>();
+  for (const auto& p : policies_) {
+    auto sub = p->CloneForShard();
+    if (sub == nullptr) {
+      return nullptr;
+    }
+    clone->Add(std::move(sub));
+  }
+  return clone;
+}
+
+void CompositePolicy::AbsorbShardStats(const platform::PlatformPolicy& shard) {
+  // CloneForShard produced the shard, so its sub-policy list mirrors ours.
+  const auto& other = static_cast<const CompositePolicy&>(shard);
+  for (size_t i = 0; i < policies_.size(); ++i) {
+    policies_[i]->AbsorbShardStats(*other.policies_[i]);
+  }
+}
+
 void CompositePolicy::OnAttach(platform::Platform& platform) {
   for (auto& p : policies_) {
     p->OnAttach(platform);

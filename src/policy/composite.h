@@ -24,6 +24,13 @@ class CompositePolicy : public platform::PlatformPolicy {
   // Takes ownership. Returns *this for chaining.
   CompositePolicy& Add(std::unique_ptr<platform::PlatformPolicy> policy);
 
+  // Shardable exactly when every sub-policy is: region-locality is the conjunction,
+  // and a shard clone is a composite of the sub-policies' clones (nullptr if any
+  // sub-policy cannot clone).
+  bool is_region_local() const override;
+  std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override;
+  void AbsorbShardStats(const platform::PlatformPolicy& shard) override;
+
   void OnAttach(platform::Platform& platform) override;
   SimDuration AdmissionDelay(const workload::FunctionSpec& spec, SimTime now,
                              const platform::RegionLoadState& load) override;

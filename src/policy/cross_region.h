@@ -29,6 +29,10 @@ class CrossRegionPolicy : public platform::PlatformPolicy {
   void OnAttach(platform::Platform& platform) override { platform_ = &platform; }
   trace::RegionId RouteColdStart(const workload::FunctionSpec& spec, SimTime now) override;
 
+  // Routing decisions read every region's load and move pods across regions, so the
+  // sharded runner must fall back to the serial path for this policy.
+  bool is_region_local() const override { return false; }
+
   int64_t offloads() const { return offloads_; }
 
  private:

@@ -7,6 +7,7 @@
 #ifndef COLDSTART_POLICY_KEEPALIVE_H_
 #define COLDSTART_POLICY_KEEPALIVE_H_
 
+#include <memory>
 #include <unordered_map>
 
 #include "platform/policy_hooks.h"
@@ -29,6 +30,11 @@ class DynamicKeepAlivePolicy : public platform::PlatformPolicy {
 
   void OnArrival(const workload::FunctionSpec& spec, SimTime now) override;
   SimDuration KeepAliveFor(const workload::FunctionSpec& spec, SimTime now) override;
+
+  // Per-function IAT state only: shards cleanly by region.
+  std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
+    return std::make_unique<DynamicKeepAlivePolicy>(options_);
+  }
 
  private:
   struct History {

@@ -25,6 +25,13 @@ bool PeakShavingPolicy::Delayable(trace::Trigger t) const {
   }
 }
 
+uint64_t& PeakShavingPolicy::MixFor(trace::RegionId region) {
+  while (mix_.size() <= region) {
+    mix_.push_back(MixHash(0x9E3779B97F4A7C15ull, mix_.size()));
+  }
+  return mix_[region];
+}
+
 SimDuration PeakShavingPolicy::AdmissionDelay(const workload::FunctionSpec& spec,
                                               SimTime,
                                               const platform::RegionLoadState& load) {
@@ -36,8 +43,9 @@ SimDuration PeakShavingPolicy::AdmissionDelay(const workload::FunctionSpec& spec
   }
   ++delays_issued_;
   // Spread admissions uniformly over (0, max_delay] so the shaved peak does not simply
-  // reappear max_delay later.
-  const double u = static_cast<double>(SplitMix64(mix_) >> 11) * 0x1.0p-53;
+  // reappear max_delay later. One jitter stream per region keeps the sequence a
+  // region observes independent of the other regions' traffic.
+  const double u = static_cast<double>(SplitMix64(MixFor(spec.region)) >> 11) * 0x1.0p-53;
   return 1 + static_cast<SimDuration>(u * static_cast<double>(options_.max_delay));
 }
 

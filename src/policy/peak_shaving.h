@@ -7,6 +7,9 @@
 #ifndef COLDSTART_POLICY_PEAK_SHAVING_H_
 #define COLDSTART_POLICY_PEAK_SHAVING_H_
 
+#include <memory>
+#include <vector>
+
 #include "platform/policy_hooks.h"
 
 namespace coldstart::policy {
@@ -28,14 +31,25 @@ class PeakShavingPolicy : public platform::PlatformPolicy {
   SimDuration AdmissionDelay(const workload::FunctionSpec& spec, SimTime now,
                              const platform::RegionLoadState& load) override;
 
+  // Reads only the home region's load; jitter state is kept per region so sharded
+  // runs replay the exact serial delay sequence.
+  std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
+    return std::make_unique<PeakShavingPolicy>(options_);
+  }
+  void AbsorbShardStats(const platform::PlatformPolicy& shard) override {
+    delays_issued_ += static_cast<const PeakShavingPolicy&>(shard).delays_issued_;
+  }
+
   int64_t delays_issued() const { return delays_issued_; }
 
  private:
   bool Delayable(trace::Trigger t) const;
+  // Cheap deterministic jitter state for `region`, seeded per region.
+  uint64_t& MixFor(trace::RegionId region);
 
   Options options_;
   int64_t delays_issued_ = 0;
-  uint64_t mix_ = 0x9E3779B97F4A7C15ull;  // Cheap deterministic jitter state.
+  std::vector<uint64_t> mix_;  // Per region.
 };
 
 }  // namespace coldstart::policy

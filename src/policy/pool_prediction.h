@@ -32,6 +32,11 @@ class PoolPredictionPolicy : public platform::PlatformPolicy {
                    SimDuration total) override;
   void OnMinuteTick(SimTime now) override;
 
+  // One predictor per (region, config) with no cross-region coupling: shards cleanly.
+  std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
+    return std::make_unique<PoolPredictionPolicy>(options_);
+  }
+
  private:
   int IndexOf(trace::RegionId region, trace::ResourceConfig config) const {
     return static_cast<int>(region) * trace::kNumResourceConfigs + static_cast<int>(config);

@@ -12,6 +12,7 @@
 #ifndef COLDSTART_POLICY_PREWARM_H_
 #define COLDSTART_POLICY_PREWARM_H_
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -33,6 +34,15 @@ class TimerAwarePrewarmPolicy : public platform::PlatformPolicy {
 
   void OnAttach(platform::Platform& platform) override { platform_ = &platform; }
   void OnArrival(const workload::FunctionSpec& spec, SimTime now) override;
+
+  // Per-function period estimates only: shards cleanly by region.
+  std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
+    return std::make_unique<TimerAwarePrewarmPolicy>(options_);
+  }
+  void AbsorbShardStats(const platform::PlatformPolicy& shard) override {
+    prewarms_issued_ +=
+        static_cast<const TimerAwarePrewarmPolicy&>(shard).prewarms_issued_;
+  }
 
   int64_t prewarms_issued() const { return prewarms_issued_; }
 
@@ -65,6 +75,15 @@ class ProfilePrewarmPolicy : public platform::PlatformPolicy {
   void OnColdStart(const workload::FunctionSpec& spec, SimTime now,
                    SimDuration total) override;
   void OnMinuteTick(SimTime now) override;
+
+  // Per-function minute-of-day profiles only: shards cleanly by region.
+  std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
+    return std::make_unique<ProfilePrewarmPolicy>(options_);
+  }
+  void AbsorbShardStats(const platform::PlatformPolicy& shard) override {
+    prewarms_issued_ +=
+        static_cast<const ProfilePrewarmPolicy&>(shard).prewarms_issued_;
+  }
 
   int64_t prewarms_issued() const { return prewarms_issued_; }
 

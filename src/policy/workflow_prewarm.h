@@ -7,6 +7,7 @@
 #ifndef COLDSTART_POLICY_WORKFLOW_PREWARM_H_
 #define COLDSTART_POLICY_WORKFLOW_PREWARM_H_
 
+#include <memory>
 #include <unordered_map>
 
 #include "platform/platform.h"
@@ -26,6 +27,16 @@ class WorkflowPrewarmPolicy : public platform::PlatformPolicy {
 
   void OnAttach(platform::Platform& platform) override { platform_ = &platform; }
   void OnParentRequestStart(const workload::FunctionSpec& parent, SimTime now) override;
+
+  // Workflow edges are wired within a region, so per-child cooldown state shards
+  // cleanly.
+  std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
+    return std::make_unique<WorkflowPrewarmPolicy>(options_);
+  }
+  void AbsorbShardStats(const platform::PlatformPolicy& shard) override {
+    prewarms_issued_ +=
+        static_cast<const WorkflowPrewarmPolicy&>(shard).prewarms_issued_;
+  }
 
   int64_t prewarms_issued() const { return prewarms_issued_; }
 

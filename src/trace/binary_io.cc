@@ -2,13 +2,16 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
+#include <system_error>
 
 namespace coldstart::trace {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x434C5342'00000003ull;  // "CSLB" + format version.
+// v4: adds the per-region aggregate block and whole-file size validation.
+constexpr uint64_t kMagic = 0x434C5342'00000004ull;  // "CSLB" + format version.
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -26,11 +29,58 @@ struct Header {
   uint64_t cold_start_count = 0;
   uint64_t function_count = 0;
   uint64_t pod_count = 0;
+  // Regions covered by the aggregate block; 0 = no block present.
+  uint64_t aggregate_region_count = 0;
   uint32_t request_size = sizeof(RequestRecord);
   uint32_t cold_start_size = sizeof(ColdStartRecord);
   uint32_t function_size = sizeof(FunctionRecord);
   uint32_t pod_size = sizeof(PodLifetimeRecord);
+  // Two reserved words keep sizeof(Header) == 80 with no trailing padding, so
+  // fwrite of the whole struct never emits indeterminate bytes.
+  uint32_t reserved0 = 0;
+  uint32_t reserved1 = 0;
 };
+static_assert(sizeof(Header) == 7 * sizeof(uint64_t) + 6 * sizeof(uint32_t),
+              "Header must be padding-free: it is written raw to disk");
+
+// The aggregate block is kNumAggregateSeries int64 arrays of aggregate_region_count
+// entries each, followed by the uint64 event count.
+constexpr uint64_t kNumAggregateSeries = 5;
+
+// total += count * size, rejecting any intermediate uint64 overflow (a corrupt
+// header must fail the size check, not wrap around it).
+bool AccumulateArrayBytes(uint64_t* total, uint64_t count, uint64_t size) {
+  if (count != 0 && size > UINT64_MAX / count) {
+    return false;
+  }
+  const uint64_t part = count * size;
+  if (part > UINT64_MAX - *total) {
+    return false;
+  }
+  *total += part;
+  return true;
+}
+
+// Exact on-disk size implied by a header; used to reject truncated or corrupt files
+// before any table count is turned into an allocation.
+bool ExpectedFileSize(const Header& h, uint64_t* size) {
+  uint64_t total = sizeof(Header);
+  if (!AccumulateArrayBytes(&total, h.request_count, sizeof(RequestRecord)) ||
+      !AccumulateArrayBytes(&total, h.cold_start_count, sizeof(ColdStartRecord)) ||
+      !AccumulateArrayBytes(&total, h.function_count, sizeof(FunctionRecord)) ||
+      !AccumulateArrayBytes(&total, h.pod_count, sizeof(PodLifetimeRecord))) {
+    return false;
+  }
+  if (h.aggregate_region_count > 0) {
+    if (!AccumulateArrayBytes(&total, h.aggregate_region_count,
+                              kNumAggregateSeries * sizeof(int64_t)) ||
+        !AccumulateArrayBytes(&total, 1, sizeof(uint64_t))) {
+      return false;
+    }
+  }
+  *size = total;
+  return true;
+}
 
 template <typename T>
 bool WriteArray(std::FILE* f, const std::vector<T>& v) {
@@ -51,7 +101,8 @@ bool ReadArray(std::FILE* f, uint64_t count, std::vector<T>& v) {
 
 }  // namespace
 
-bool WriteBinaryTrace(const TraceStore& store, const std::string& path) {
+bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
+                      const TraceAggregates* aggregates) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (f == nullptr) {
     return false;
@@ -62,14 +113,39 @@ bool WriteBinaryTrace(const TraceStore& store, const std::string& path) {
   h.cold_start_count = store.cold_starts().size();
   h.function_count = store.functions().size();
   h.pod_count = store.pods().size();
+  h.aggregate_region_count =
+      aggregates != nullptr ? aggregates->visible_cold_starts.size() : 0;
   if (std::fwrite(&h, sizeof(h), 1, f.get()) != 1) {
     return false;
   }
-  return WriteArray(f.get(), store.requests()) && WriteArray(f.get(), store.cold_starts()) &&
-         WriteArray(f.get(), store.functions()) && WriteArray(f.get(), store.pods());
+  if (!WriteArray(f.get(), store.requests()) || !WriteArray(f.get(), store.cold_starts()) ||
+      !WriteArray(f.get(), store.functions()) || !WriteArray(f.get(), store.pods())) {
+    return false;
+  }
+  if (h.aggregate_region_count > 0) {
+    const size_t n = aggregates->visible_cold_starts.size();
+    if (aggregates->prewarm_spawns.size() != n ||
+        aggregates->delayed_allocations.size() != n ||
+        aggregates->scratch_allocations.size() != n ||
+        aggregates->cold_start_latency_sum_us.size() != n) {
+      return false;
+    }
+    if (!WriteArray(f.get(), aggregates->visible_cold_starts) ||
+        !WriteArray(f.get(), aggregates->prewarm_spawns) ||
+        !WriteArray(f.get(), aggregates->delayed_allocations) ||
+        !WriteArray(f.get(), aggregates->scratch_allocations) ||
+        !WriteArray(f.get(), aggregates->cold_start_latency_sum_us)) {
+      return false;
+    }
+    if (std::fwrite(&aggregates->events_processed, sizeof(uint64_t), 1, f.get()) != 1) {
+      return false;
+    }
+  }
+  return true;
 }
 
-bool ReadBinaryTrace(const std::string& path, TraceStore& store) {
+bool ReadBinaryTrace(const std::string& path, TraceStore& store,
+                     TraceAggregates* aggregates) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
     return false;
@@ -80,6 +156,20 @@ bool ReadBinaryTrace(const std::string& path, TraceStore& store) {
       h.function_size != sizeof(FunctionRecord) || h.pod_size != sizeof(PodLifetimeRecord)) {
     return false;
   }
+  // Validate the header-supplied counts against the actual file size before sizing
+  // a single allocation from them: a corrupt count would otherwise demand a
+  // multi-gigabyte resize, and a truncated file would fail only mid-read.
+  uint64_t expected = 0;
+  if (!ExpectedFileSize(h, &expected)) {
+    return false;
+  }
+  // std::filesystem::file_size rather than ftell: long is 32-bit on some ABIs and
+  // a full-scale request table easily exceeds 2 GiB.
+  std::error_code ec;
+  const uint64_t actual = std::filesystem::file_size(path, ec);
+  if (ec || actual != expected) {
+    return false;  // Truncated, or trailing bytes the header does not account for.
+  }
   std::vector<RequestRecord> requests;
   std::vector<ColdStartRecord> cold_starts;
   std::vector<FunctionRecord> functions;
@@ -88,6 +178,23 @@ bool ReadBinaryTrace(const std::string& path, TraceStore& store) {
       !ReadArray(f.get(), h.cold_start_count, cold_starts) ||
       !ReadArray(f.get(), h.function_count, functions) ||
       !ReadArray(f.get(), h.pod_count, pods)) {
+    return false;
+  }
+  TraceAggregates agg;
+  if (h.aggregate_region_count > 0) {
+    const uint64_t n = h.aggregate_region_count;
+    if (!ReadArray(f.get(), n, agg.visible_cold_starts) ||
+        !ReadArray(f.get(), n, agg.prewarm_spawns) ||
+        !ReadArray(f.get(), n, agg.delayed_allocations) ||
+        !ReadArray(f.get(), n, agg.scratch_allocations) ||
+        !ReadArray(f.get(), n, agg.cold_start_latency_sum_us) ||
+        std::fread(&agg.events_processed, sizeof(uint64_t), 1, f.get()) != 1) {
+      return false;
+    }
+  }
+  // The size check above already pinned the payload length; confirm we are exactly
+  // at EOF so a short read cannot slip through.
+  if (std::fgetc(f.get()) != EOF) {
     return false;
   }
   for (const auto& fn : functions) {
@@ -103,6 +210,9 @@ bool ReadBinaryTrace(const std::string& path, TraceStore& store) {
     store.AddPodLifetime(p);
   }
   store.set_horizon(static_cast<SimTime>(h.horizon));
+  if (aggregates != nullptr) {
+    *aggregates = std::move(agg);
+  }
   return true;
 }
 

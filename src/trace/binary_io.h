@@ -1,23 +1,44 @@
 // Binary trace serialization: the fast path for the scenario cache.
 //
-// One file holds all four tables as length-prefixed arrays of packed records. The
+// One file holds all four tables as length-prefixed arrays of packed records, plus an
+// optional per-region aggregate block (the platform counters an ExperimentResult
+// carries) so a cache hit restores exactly what a fresh run would have produced. The
 // format is local to a build (records are written with memcpy semantics and guarded
 // by size fields in the header); cross-toolchain interchange should use csv.h.
 #ifndef COLDSTART_TRACE_BINARY_IO_H_
 #define COLDSTART_TRACE_BINARY_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "trace/trace_store.h"
 
 namespace coldstart::trace {
 
-// Writes the whole store; returns false on I/O failure.
-bool WriteBinaryTrace(const TraceStore& store, const std::string& path);
+// Per-region platform counters persisted alongside the trace. All five vectors have
+// one entry per region; `events_processed` is the simulator's total event count.
+struct TraceAggregates {
+  std::vector<int64_t> visible_cold_starts;
+  std::vector<int64_t> prewarm_spawns;
+  std::vector<int64_t> delayed_allocations;
+  std::vector<int64_t> scratch_allocations;
+  std::vector<int64_t> cold_start_latency_sum_us;
+  uint64_t events_processed = 0;
+};
 
-// Reads into an empty store; returns false on I/O failure, bad magic, or a record
-// layout mismatch (e.g. cache written by a different build).
-bool ReadBinaryTrace(const std::string& path, TraceStore& store);
+// Writes the whole store (and, when given, the aggregate block); returns false on
+// I/O failure.
+bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
+                      const TraceAggregates* aggregates = nullptr);
+
+// Reads into an empty store; returns false on I/O failure, bad magic, a record layout
+// mismatch (e.g. cache written by a different build), or a header whose table counts
+// do not match the actual file size (truncated or corrupt files are rejected before
+// any allocation is sized from them). When `aggregates` is non-null and the file
+// carries an aggregate block, it is filled in; a file without one leaves it empty.
+bool ReadBinaryTrace(const std::string& path, TraceStore& store,
+                     TraceAggregates* aggregates = nullptr);
 
 }  // namespace coldstart::trace
 

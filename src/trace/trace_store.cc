@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <tuple>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -25,21 +26,41 @@ void TraceStore::AddFunction(const FunctionRecord& r) {
   sealed_ = false;
 }
 
+void TraceStore::AppendFrom(TraceStore&& other) {
+  // Every shard of a scenario registers the identical dense function table, so the
+  // merged store keeps its own copy and only the event-like tables are appended.
+  COLDSTART_CHECK_EQ(functions_.size(), other.functions_.size());
+  requests_.insert(requests_.end(), other.requests_.begin(), other.requests_.end());
+  cold_starts_.insert(cold_starts_.end(), other.cold_starts_.begin(),
+                      other.cold_starts_.end());
+  pods_.insert(pods_.end(), other.pods_.begin(), other.pods_.end());
+  horizon_ = std::max(horizon_, other.horizon_);
+  sealed_ = false;
+  other = TraceStore();
+}
+
 void TraceStore::Seal() {
   if (sealed_) {
     return;
   }
+  // The keys form a total order: request ids are unique, and a pod id (which embeds
+  // its region) names at most one cold-start and one lifetime record. A total order
+  // is what guarantees that per-region shards merged in any order seal identically
+  // to the serial run.
   std::sort(requests_.begin(), requests_.end(),
             [](const RequestRecord& a, const RequestRecord& b) {
-              return a.timestamp < b.timestamp;
+              return std::tie(a.timestamp, a.region, a.request_id, a.pod_id) <
+                     std::tie(b.timestamp, b.region, b.request_id, b.pod_id);
             });
   std::sort(cold_starts_.begin(), cold_starts_.end(),
             [](const ColdStartRecord& a, const ColdStartRecord& b) {
-              return a.timestamp < b.timestamp;
+              return std::tie(a.timestamp, a.region, a.pod_id) <
+                     std::tie(b.timestamp, b.region, b.pod_id);
             });
   std::sort(pods_.begin(), pods_.end(),
             [](const PodLifetimeRecord& a, const PodLifetimeRecord& b) {
-              return a.cold_start_begin < b.cold_start_begin;
+              return std::tie(a.cold_start_begin, a.region, a.pod_id) <
+                     std::tie(b.cold_start_begin, b.region, b.pod_id);
             });
   sealed_ = true;
 }

@@ -2,7 +2,9 @@
 //
 // One TraceStore holds all five regions' tables, exactly as a month of the released
 // dataset would. Append during simulation, Seal() once, then run analyses. Records are
-// stored in flat vectors; Seal() sorts by timestamp so analyses can assume time order.
+// stored in flat vectors; Seal() sorts into a canonical (timestamp, region, id) total
+// order so analyses can assume time order and so a store assembled from per-region
+// shards (AppendFrom) seals to exactly the same byte sequence as a serial run.
 #ifndef COLDSTART_TRACE_TRACE_STORE_H_
 #define COLDSTART_TRACE_TRACE_STORE_H_
 
@@ -29,7 +31,16 @@ class TraceStore {
   // Registers a function; function_id must equal the current table size (dense ids).
   void AddFunction(const FunctionRecord& r);
 
-  // Sorts request/cold-start tables by timestamp. Idempotent.
+  // Merges another shard of the same scenario into this store: request, cold-start,
+  // and pod tables are appended (consumed from `other`); the function table — which
+  // every shard emits identically — must already match and is left untouched. The
+  // horizon becomes the max of the two. Seal() afterwards restores the canonical
+  // order, which is what makes a per-region sharded run byte-identical to serial.
+  void AppendFrom(TraceStore&& other);
+
+  // Sorts request/cold-start/pod tables into the canonical total order
+  // (timestamp, region, record id). Deterministic in the record *multiset* — the
+  // insertion order never shows through — and idempotent.
   void Seal();
   bool sealed() const { return sealed_; }
 

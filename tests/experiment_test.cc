@@ -1,0 +1,313 @@
+// Experiment-runner tests: sharded-vs-serial bit identity, cache-hit aggregate
+// fidelity, and fingerprint sensitivity — the contracts the parallel execution
+// layer and the trace cache are built on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "core/coldstart_lab.h"
+
+namespace coldstart {
+namespace {
+
+using core::Experiment;
+using core::ExperimentResult;
+using core::ScenarioConfig;
+
+// Field-wise equality for every record table (memcmp would also compare padding
+// bytes, whose values the language does not pin down).
+void ExpectStoresIdentical(const trace::TraceStore& a, const trace::TraceStore& b) {
+  EXPECT_EQ(a.horizon(), b.horizon());
+  ASSERT_EQ(a.functions().size(), b.functions().size());
+  for (size_t i = 0; i < a.functions().size(); ++i) {
+    const auto& x = a.functions()[i];
+    const auto& y = b.functions()[i];
+    ASSERT_TRUE(x.function_id == y.function_id && x.user_id == y.user_id &&
+                x.region == y.region && x.runtime == y.runtime &&
+                x.primary_trigger == y.primary_trigger &&
+                x.trigger_mask == y.trigger_mask && x.config == y.config)
+        << "function record " << i << " differs";
+  }
+  ASSERT_EQ(a.requests().size(), b.requests().size());
+  for (size_t i = 0; i < a.requests().size(); ++i) {
+    const auto& x = a.requests()[i];
+    const auto& y = b.requests()[i];
+    ASSERT_TRUE(x.timestamp == y.timestamp && x.request_id == y.request_id &&
+                x.pod_id == y.pod_id && x.function_id == y.function_id &&
+                x.user_id == y.user_id && x.region == y.region &&
+                x.cluster == y.cluster && x.cpu_millicores == y.cpu_millicores &&
+                x.execution_time_us == y.execution_time_us &&
+                x.memory_kb == y.memory_kb)
+        << "request record " << i << " differs";
+  }
+  ASSERT_EQ(a.cold_starts().size(), b.cold_starts().size());
+  for (size_t i = 0; i < a.cold_starts().size(); ++i) {
+    const auto& x = a.cold_starts()[i];
+    const auto& y = b.cold_starts()[i];
+    ASSERT_TRUE(x.timestamp == y.timestamp && x.pod_id == y.pod_id &&
+                x.function_id == y.function_id && x.user_id == y.user_id &&
+                x.region == y.region && x.cluster == y.cluster &&
+                x.cold_start_us == y.cold_start_us && x.pod_alloc_us == y.pod_alloc_us &&
+                x.deploy_code_us == y.deploy_code_us &&
+                x.deploy_dep_us == y.deploy_dep_us &&
+                x.scheduling_us == y.scheduling_us)
+        << "cold-start record " << i << " differs";
+  }
+  ASSERT_EQ(a.pods().size(), b.pods().size());
+  for (size_t i = 0; i < a.pods().size(); ++i) {
+    const auto& x = a.pods()[i];
+    const auto& y = b.pods()[i];
+    ASSERT_TRUE(x.pod_id == y.pod_id && x.function_id == y.function_id &&
+                x.region == y.region && x.cluster == y.cluster && x.config == y.config &&
+                x.cold_start_begin == y.cold_start_begin && x.ready_time == y.ready_time &&
+                x.last_busy_end == y.last_busy_end && x.death_time == y.death_time &&
+                x.cold_start_us == y.cold_start_us &&
+                x.requests_served == y.requests_served)
+        << "pod record " << i << " differs";
+  }
+}
+
+void ExpectAggregatesIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.visible_cold_starts, b.visible_cold_starts);
+  EXPECT_EQ(a.prewarm_spawns, b.prewarm_spawns);
+  EXPECT_EQ(a.delayed_allocations, b.delayed_allocations);
+  EXPECT_EQ(a.scratch_allocations, b.scratch_allocations);
+  EXPECT_EQ(a.cold_start_latency_sum_us, b.cold_start_latency_sum_us);
+}
+
+// --- Tentpole: the sharded runner reproduces the serial run bit for bit. ---
+
+TEST(ShardedExperimentTest, BaselineBitIdenticalToSerialOnSmallScenario) {
+  const Experiment experiment(core::SmallScenario());
+  ASSERT_TRUE(experiment.CanShard(nullptr));
+  const ExperimentResult serial = experiment.Run(nullptr, /*num_threads=*/1);
+  const ExperimentResult sharded = experiment.Run(nullptr, /*num_threads=*/4);
+  ASSERT_GT(serial.store.requests().size(), 10000u);
+  ExpectStoresIdentical(serial.store, sharded.store);
+  ExpectAggregatesIdentical(serial, sharded);
+}
+
+TEST(ShardedExperimentTest, RegionLocalPolicyBitIdenticalToSerial) {
+  ScenarioConfig config = core::SmallScenario();
+  config.days = 3;
+  config.record_requests = false;
+  const Experiment experiment(config);
+
+  auto make_policy = [] {
+    auto combo = std::make_unique<policy::CompositePolicy>();
+    combo->Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
+        .Add(std::make_unique<policy::DynamicKeepAlivePolicy>())
+        .Add(std::make_unique<policy::WorkflowPrewarmPolicy>())
+        .Add(std::make_unique<policy::PeakShavingPolicy>());
+    return combo;
+  };
+  auto serial_policy = make_policy();
+  ASSERT_TRUE(experiment.CanShard(serial_policy.get()));
+  const ExperimentResult serial = experiment.Run(serial_policy.get(), 1);
+  auto sharded_policy = make_policy();
+  const ExperimentResult sharded = experiment.Run(sharded_policy.get(), 4);
+
+  // The policies engaged (prewarms happened) and the runs still agree exactly.
+  int64_t prewarms = 0;
+  for (const int64_t p : sharded.prewarm_spawns) {
+    prewarms += p;
+  }
+  EXPECT_GT(prewarms, 0);
+  ExpectStoresIdentical(serial.store, sharded.store);
+  ExpectAggregatesIdentical(serial, sharded);
+}
+
+TEST(ShardedExperimentTest, ShardedRunFoldsPolicyCountersIntoPrototype) {
+  // policy.prewarms_issued() must read the same total whether the run sharded
+  // (counters accumulate in per-shard clones, folded back via AbsorbShardStats)
+  // or ran serially — results must never depend on the machine's core count.
+  ScenarioConfig config = core::SmallScenario();
+  config.days = 2;
+  config.scale = 0.2;
+  config.record_requests = false;
+  const Experiment experiment(config);
+  policy::TimerAwarePrewarmPolicy serial_policy;
+  experiment.Run(&serial_policy, 1);
+  policy::TimerAwarePrewarmPolicy sharded_policy;
+  experiment.Run(&sharded_policy, 4);
+  EXPECT_GT(serial_policy.prewarms_issued(), 0);
+  EXPECT_EQ(serial_policy.prewarms_issued(), sharded_policy.prewarms_issued());
+}
+
+TEST(ShardedExperimentTest, CrossRegionPolicyFallsBackToSerial) {
+  const Experiment experiment(core::SmallScenario());
+  policy::CrossRegionPolicy cross;
+  EXPECT_FALSE(cross.is_region_local());
+  EXPECT_FALSE(experiment.CanShard(&cross));
+  // Composites inherit non-shardability from any member.
+  policy::CompositePolicy combo;
+  combo.Add(std::make_unique<policy::CrossRegionPolicy>());
+  EXPECT_FALSE(combo.is_region_local());
+  EXPECT_FALSE(experiment.CanShard(&combo));
+}
+
+// --- Satellite: cache hits restore the per-region aggregates. ---
+
+TEST(ExperimentCacheTest, CachedAggregatesMatchFreshRun) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "coldstart_agg_cache_test";
+  fs::remove_all(dir);
+  ScenarioConfig config = core::SmallScenario();
+  config.days = 2;
+  config.scale = 0.2;
+  const Experiment experiment(config);
+  const ExperimentResult fresh = experiment.RunCached(dir.string());
+  ASSERT_FALSE(fresh.from_cache);
+  const ExperimentResult cached = experiment.RunCached(dir.string());
+  ASSERT_TRUE(cached.from_cache);
+
+  ExpectAggregatesIdentical(fresh, cached);
+  EXPECT_EQ(fresh.events_processed, cached.events_processed);
+  // The regression this pins: cache hits used to come back with all-zero counters.
+  int64_t visible = 0;
+  for (const int64_t v : cached.visible_cold_starts) {
+    visible += v;
+  }
+  EXPECT_GT(visible, 0);
+  EXPECT_GT(cached.events_processed, 0u);
+  EXPECT_EQ(static_cast<size_t>(visible), cached.store.cold_starts().size());
+  ExpectStoresIdentical(fresh.store, cached.store);
+  fs::remove_all(dir);
+}
+
+// --- Satellite: the fingerprint covers every generation-relevant field. ---
+
+TEST(ScenarioFingerprintTest, DistinguishesEveryFieldClass) {
+  const ScenarioConfig base;
+  std::set<uint64_t> seen{base.Fingerprint()};
+  // Each mutation must produce a fingerprint unseen so far (distinct from the base
+  // and from every other mutation).
+  auto expect_fresh = [&seen](const ScenarioConfig& config, const char* what) {
+    EXPECT_TRUE(seen.insert(config.Fingerprint()).second)
+        << "fingerprint collision after changing " << what;
+  };
+
+  ScenarioConfig c = base;
+  c.seed = 43;
+  expect_fresh(c, "seed");
+  c = base;
+  c.days = 30;
+  expect_fresh(c, "days");
+  c = base;
+  c.scale = 0.999;
+  expect_fresh(c, "scale");
+  c = base;
+  c.record_requests = false;
+  expect_fresh(c, "record_requests");
+  c = base;
+  c.default_keep_alive = 2 * kMinute;
+  expect_fresh(c, "default_keep_alive");
+  c = base;
+  c.profiles.pop_back();
+  expect_fresh(c, "profile count");
+
+  // Per-profile fields, including every architecture coefficient class the old
+  // fingerprint ignored.
+  c = base;
+  c.profiles[0].num_functions += 1;
+  expect_fresh(c, "num_functions");
+  c = base;
+  c.profiles[1].popularity_alpha += 1e-9;
+  expect_fresh(c, "popularity_alpha (sub-1e-6 change)");
+  c = base;
+  c.profiles[2].obs_hot_fraction += 0.01;
+  expect_fresh(c, "obs_hot_fraction");
+  c = base;
+  c.profiles[0].exec_median_s *= 1.01;
+  expect_fresh(c, "exec_median_s");
+  c = base;
+  c.profiles[3].diurnal.weekend_factor += 0.01;
+  expect_fresh(c, "diurnal.weekend_factor");
+  c = base;
+  c.profiles[0].runtime_weights[0] += 0.01;
+  expect_fresh(c, "runtime_weights");
+  c = base;
+  c.profiles[0].config_weights[1] += 0.01;
+  expect_fresh(c, "config_weights");
+  c = base;
+  ASSERT_FALSE(c.profiles[0].timer_period_weights.empty());
+  c.profiles[0].timer_period_weights[0].second += 0.01;
+  expect_fresh(c, "timer_period_weights");
+  c = base;
+  c.profiles[0].pool_base_size[0] += 1;
+  expect_fresh(c, "pool_base_size");
+  c = base;
+  c.profiles[0].pool_refill_per_min += 0.5;
+  expect_fresh(c, "pool_refill_per_min");
+  c = base;
+  c.profiles[4].inter_region_rtt_ms += 1.0;
+  expect_fresh(c, "inter_region_rtt_ms");
+  c = base;
+  c.profiles[0].single_cluster_fraction += 0.01;
+  expect_fresh(c, "single_cluster_fraction");
+
+  c = base;
+  c.profiles[0].arch.alloc_sigma += 0.01;
+  expect_fresh(c, "arch.alloc_sigma");
+  c = base;
+  c.profiles[0].arch.alloc_scratch_median_s += 0.1;
+  expect_fresh(c, "arch.alloc_scratch_median_s");
+  c = base;
+  c.profiles[0].arch.custom_scratch_median_s += 0.1;
+  expect_fresh(c, "arch.custom_scratch_median_s");
+  c = base;
+  c.profiles[0].arch.code_bandwidth_kb_per_s += 1.0;
+  expect_fresh(c, "arch.code_bandwidth_kb_per_s");
+  c = base;
+  c.profiles[0].arch.dep_congestion_coeff += 0.01;
+  expect_fresh(c, "arch.dep_congestion_coeff");
+  c = base;
+  c.profiles[0].arch.sched_queue_coeff_s += 0.001;
+  expect_fresh(c, "arch.sched_queue_coeff_s");
+  c = base;
+  c.profiles[0].arch.sched_rate_coeff += 0.001;
+  expect_fresh(c, "arch.sched_rate_coeff");
+  c = base;
+  c.profiles[0].arch.rate_saturation += 1.0;
+  expect_fresh(c, "arch.rate_saturation");
+  c = base;
+  c.profiles[0].arch.post_holiday_dep_penalty += 0.01;
+  expect_fresh(c, "arch.post_holiday_dep_penalty");
+}
+
+TEST(ScenarioFingerprintTest, StableAcrossCalls) {
+  const ScenarioConfig config = core::SmallScenario();
+  EXPECT_EQ(config.Fingerprint(), config.Fingerprint());
+}
+
+// --- ParallelSweep semantics. ---
+
+TEST(ParallelSweepTest, RunsEveryJobExactlyOnce) {
+  std::vector<int> hits(100, 0);
+  core::ParallelSweep sweep(4);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    sweep.Add([&hits, i] { hits[i] += 1; });
+  }
+  sweep.Run();
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelSweepTest, RethrowsJobException) {
+  core::ParallelSweep sweep(2);
+  sweep.Add([] { throw std::runtime_error("boom"); });
+  sweep.Add([] {});
+  EXPECT_THROW(sweep.Run(), std::runtime_error);
+}
+
+TEST(ParallelSweepTest, DefaultThreadsRespectsEnvOverride) {
+  ASSERT_EQ(setenv("COLDSTART_THREADS", "3", 1), 0);
+  EXPECT_EQ(core::ParallelSweep::DefaultThreads(), 3);
+  ASSERT_EQ(unsetenv("COLDSTART_THREADS"), 0);
+  EXPECT_GE(core::ParallelSweep::DefaultThreads(), 1);
+}
+
+}  // namespace
+}  // namespace coldstart

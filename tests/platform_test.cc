@@ -469,8 +469,9 @@ TEST(PlatformTest, DeterministicAcrossRuns) {
 }
 
 TEST(PlatformTest, ArrivalAtTimeZeroHandled) {
-  // Regression: the day-batch starter wakes at first_arrival - 1, which is -1 for
-  // an arrival at t=0 and must be clamped to a valid schedule time.
+  // Regression: the day-batch starter wakes at the day boundary (t=0 for day 0),
+  // so an arrival at exactly t=0 must still be opened and delivered by the
+  // cursor rather than lost to a starter scheduled in its past.
   TinyWorld world({BasicSpec()});
   world.Run({{0, 0}, {kSecond, 0}});
   EXPECT_EQ(world.store.requests().size(), 2u);

@@ -254,6 +254,29 @@ TEST_F(RoundTripTest, BinaryPreservesEverything) {
   EXPECT_EQ(loaded.pods()[0].ready_time, store.pods()[0].ready_time);
 }
 
+TEST_F(RoundTripTest, BinaryPreservesAggregates) {
+  const TraceStore store = MakeTinyStore();
+  const std::string path = (dir_ / "trace_agg.bin").string();
+  TraceAggregates agg;
+  agg.visible_cold_starts = {10, 20};
+  agg.prewarm_spawns = {1, 2};
+  agg.delayed_allocations = {0, 3};
+  agg.scratch_allocations = {4, 5};
+  agg.cold_start_latency_sum_us = {123456, 654321};
+  agg.events_processed = 987654321;
+  ASSERT_TRUE(WriteBinaryTrace(store, path, &agg));
+  TraceStore loaded;
+  TraceAggregates loaded_agg;
+  ASSERT_TRUE(ReadBinaryTrace(path, loaded, &loaded_agg));
+  EXPECT_EQ(loaded_agg.visible_cold_starts, agg.visible_cold_starts);
+  EXPECT_EQ(loaded_agg.prewarm_spawns, agg.prewarm_spawns);
+  EXPECT_EQ(loaded_agg.delayed_allocations, agg.delayed_allocations);
+  EXPECT_EQ(loaded_agg.scratch_allocations, agg.scratch_allocations);
+  EXPECT_EQ(loaded_agg.cold_start_latency_sum_us, agg.cold_start_latency_sum_us);
+  EXPECT_EQ(loaded_agg.events_processed, agg.events_processed);
+  EXPECT_EQ(loaded.requests().size(), store.requests().size());
+}
+
 TEST_F(RoundTripTest, BinaryRejectsGarbage) {
   const std::string path = (dir_ / "garbage.bin").string();
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -261,6 +284,109 @@ TEST_F(RoundTripTest, BinaryRejectsGarbage) {
   std::fclose(f);
   TraceStore loaded;
   EXPECT_FALSE(ReadBinaryTrace(path, loaded));
+}
+
+TEST_F(RoundTripTest, BinaryRejectsCorruptHeaderCounts) {
+  // A header whose counts promise far more data than the file holds must be
+  // rejected up front — the old reader would resize() straight off the bogus
+  // count (a multi-GB allocation for a hand-corrupted byte) and only then fail.
+  const TraceStore store = MakeTinyStore();
+  const std::string path = (dir_ / "corrupt_counts.bin").string();
+  ASSERT_TRUE(WriteBinaryTrace(store, path));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    // request_count sits after magic + horizon.
+    ASSERT_EQ(std::fseek(f, 2 * sizeof(uint64_t), SEEK_SET), 0);
+    const uint64_t absurd = uint64_t{1} << 40;  // ~5e13 records.
+    ASSERT_EQ(std::fwrite(&absurd, sizeof(absurd), 1, f), 1u);
+    std::fclose(f);
+  }
+  TraceStore loaded;
+  EXPECT_FALSE(ReadBinaryTrace(path, loaded));
+  EXPECT_TRUE(loaded.requests().empty());
+}
+
+TEST_F(RoundTripTest, BinaryRejectsOverflowingHeaderCounts) {
+  // Counts crafted so that count * record_size wraps mod 2^64 must be rejected by
+  // the overflow guard, not slip past the file-size comparison into resize().
+  const TraceStore store = MakeTinyStore();
+  const std::string path = (dir_ / "overflow_counts.bin").string();
+  ASSERT_TRUE(WriteBinaryTrace(store, path));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    // aggregate_region_count sits after magic + horizon + the four table counts.
+    ASSERT_EQ(std::fseek(f, 6 * sizeof(uint64_t), SEEK_SET), 0);
+    const uint64_t wrapping = uint64_t{1} << 61;  // * 40 bytes == 0 mod 2^64.
+    ASSERT_EQ(std::fwrite(&wrapping, sizeof(wrapping), 1, f), 1u);
+    std::fclose(f);
+  }
+  TraceStore loaded;
+  EXPECT_FALSE(ReadBinaryTrace(path, loaded));
+}
+
+TEST_F(RoundTripTest, BinaryRejectsTruncatedFile) {
+  const TraceStore store = MakeTinyStore();
+  const std::string path = (dir_ / "truncated.bin").string();
+  ASSERT_TRUE(WriteBinaryTrace(store, path));
+  const auto full_size = std::filesystem::file_size(path);
+  ASSERT_GT(full_size, 8u);
+  std::filesystem::resize_file(path, full_size - 8);
+  TraceStore loaded;
+  EXPECT_FALSE(ReadBinaryTrace(path, loaded));
+}
+
+TEST_F(RoundTripTest, BinaryRejectsTrailingBytes) {
+  const TraceStore store = MakeTinyStore();
+  const std::string path = (dir_ / "trailing.bin").string();
+  ASSERT_TRUE(WriteBinaryTrace(store, path));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("junk", f);
+    std::fclose(f);
+  }
+  TraceStore loaded;
+  EXPECT_FALSE(ReadBinaryTrace(path, loaded));
+}
+
+TEST(TraceStoreMergeTest, AppendFromThenSealMatchesInterleavedInsertion) {
+  // Two stores fed the same records in different groupings seal identically:
+  // the canonical Seal order is a function of the record multiset only.
+  auto request = [](SimTime t, uint64_t id, RegionId region) {
+    RequestRecord r;
+    r.timestamp = t;
+    r.request_id = id;
+    r.region = region;
+    return r;
+  };
+  TraceStore merged;  // Region-grouped, out of time order across groups.
+  merged.AddRequest(request(5, 1, 0));
+  merged.AddRequest(request(9, 2, 0));
+  TraceStore shard;
+  shard.AddRequest(request(5, 3, 1));
+  shard.AddRequest(request(7, 4, 1));
+  shard.set_horizon(100);
+  merged.AppendFrom(std::move(shard));
+  merged.Seal();
+
+  TraceStore serial;  // Same records, interleaved by time.
+  serial.AddRequest(request(5, 3, 1));
+  serial.AddRequest(request(5, 1, 0));
+  serial.AddRequest(request(7, 4, 1));
+  serial.AddRequest(request(9, 2, 0));
+  serial.set_horizon(100);
+  serial.Seal();
+
+  EXPECT_EQ(merged.horizon(), serial.horizon());
+  ASSERT_EQ(merged.requests().size(), serial.requests().size());
+  for (size_t i = 0; i < merged.requests().size(); ++i) {
+    EXPECT_EQ(merged.requests()[i].request_id, serial.requests()[i].request_id) << i;
+  }
+  // Ties sort region 0 before region 1 at t=5.
+  EXPECT_EQ(merged.requests()[0].region, 0);
+  EXPECT_EQ(merged.requests()[1].region, 1);
 }
 
 TEST_F(RoundTripTest, MissingFileFails) {
