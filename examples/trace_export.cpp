@@ -1,5 +1,7 @@
 // Dataset export: writes a simulated month in the released dataset's format (hashed
-// IDs, Table 1 column layout) so external analysis tooling can consume it.
+// IDs, Table 1 column layout) so external analysis tooling can consume it — plus
+// the run's arrival stream in numeric form (arrivals.csv), which trace_replay /
+// ReplaySource can stream back in to reproduce the run exactly.
 //
 // Usage: trace_export [output_dir] [days] [scale]
 #include <cstdio>
@@ -35,9 +37,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "export failed\n");
     return 1;
   }
-  std::printf("Wrote %s/{requests,cold_starts,functions,pods}.csv:\n", out_dir.c_str());
-  std::printf("  %zu requests, %zu cold starts, %zu functions, %zu pod lifetimes\n",
+  // The arrival stream is numeric (never hashed): it addresses this config's
+  // population directly, which is what makes the replay round trip exact.
+  const auto arrivals = core::SnapshotWorkload(config).arrivals;
+  if (!workload::WriteArrivalsCsv(arrivals, path("arrivals.csv"))) {
+    std::fprintf(stderr, "arrival export failed\n");
+    return 1;
+  }
+  std::printf("Wrote %s/{requests,cold_starts,functions,pods,arrivals}.csv:\n",
+              out_dir.c_str());
+  std::printf("  %zu requests, %zu cold starts, %zu functions, %zu pod lifetimes, "
+              "%zu arrivals\n",
               result.store.requests().size(), result.store.cold_starts().size(),
-              result.store.functions().size(), result.store.pods().size());
+              result.store.functions().size(), result.store.pods().size(),
+              arrivals.size());
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 #include "common/check.h"
@@ -106,6 +107,17 @@ uint64_t HashString(std::string_view s);
 inline uint64_t MixHash(uint64_t a, uint64_t b) {
   uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
   return SplitMix64(x);
+}
+
+// Mixes a double by bit pattern: any representable change to the value yields a
+// different hash. Shared by every fingerprint that covers floating-point
+// configuration (scenario scalars, replay options) so they can never diverge on
+// how doubles are canonicalized.
+inline uint64_t MixHashDouble(uint64_t h, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return MixHash(h, bits);
 }
 
 }  // namespace coldstart

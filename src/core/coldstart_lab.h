@@ -29,5 +29,7 @@
 #include "policy/pool_prediction.h"
 #include "policy/prewarm.h"
 #include "policy/workflow_prewarm.h"
+#include "workload/replay_source.h"
+#include "workload/workload_source.h"
 
 #endif  // COLDSTART_CORE_COLDSTART_LAB_H_

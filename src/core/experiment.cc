@@ -78,8 +78,8 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
   const std::vector<workload::RegionProfile> profiles = config_.ScaledProfiles();
 
   result.population = workload::GeneratePopulation(profiles, config_.seed);
-  std::vector<workload::ArrivalEvent> arrivals =
-      workload::GenerateArrivals(result.population, profiles, calendar, config_.seed);
+  std::vector<workload::ArrivalEvent> arrivals = config_.workload_source().Arrivals(
+      result.population, profiles, calendar, config_.seed);
 
   sim::Simulator sim;
   platform::Platform platform(result.population, profiles, calendar, sim, result.store,
@@ -123,11 +123,12 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   const size_t regions = profiles.size();
 
   // Workload generation is shared: every shard simulates against the same
-  // population (read-only) and the arrival stream is partitioned by home region
-  // with relative order preserved.
+  // population (read-only) and the arrival stream — synthetic or replayed, the
+  // runner does not care — is partitioned by home region with relative order
+  // preserved.
   result.population = workload::GeneratePopulation(profiles, config_.seed);
-  std::vector<workload::ArrivalEvent> arrivals =
-      workload::GenerateArrivals(result.population, profiles, calendar, config_.seed);
+  std::vector<workload::ArrivalEvent> arrivals = config_.workload_source().Arrivals(
+      result.population, profiles, calendar, config_.seed);
   std::vector<std::vector<workload::ArrivalEvent>> shard_arrivals(regions);
   {
     std::vector<size_t> counts(regions, 0);
@@ -197,6 +198,16 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   return result;
 }
 
+WorkloadSnapshot SnapshotWorkload(const ScenarioConfig& config) {
+  WorkloadSnapshot snap;
+  const workload::Calendar calendar = config.MakeCalendar();
+  const std::vector<workload::RegionProfile> profiles = config.ScaledProfiles();
+  snap.population = workload::GeneratePopulation(profiles, config.seed);
+  snap.arrivals = config.workload_source().Arrivals(snap.population, profiles,
+                                                    calendar, config.seed);
+  return snap;
+}
+
 std::string Experiment::DefaultCacheDir() {
   if (const char* env = std::getenv("COLDSTART_CACHE_DIR"); env != nullptr && *env != '\0') {
     return env;
@@ -206,10 +217,11 @@ std::string Experiment::DefaultCacheDir() {
 
 ExperimentResult Experiment::RunCached(const std::string& cache_dir) const {
   namespace fs = std::filesystem;
-  // v2 filename scheme: fingerprints now cover every generation-relevant field, so
-  // files written under the old under-hashed scheme are never picked up.
+  // v3 filename scheme: fingerprints now also cover the workload source, so files
+  // written under the old schemes (which could not tell a replay run from a
+  // synthetic one) are never picked up.
   char name[64];
-  std::snprintf(name, sizeof(name), "scenario_v2_%016" PRIx64 ".bin",
+  std::snprintf(name, sizeof(name), "scenario_v3_%016" PRIx64 ".bin",
                 config_.Fingerprint());
   const std::string path = (fs::path(cache_dir) / name).string();
 

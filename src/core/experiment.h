@@ -1,4 +1,8 @@
-// Experiment runner: generate workload -> simulate platform -> hand back traces.
+// Experiment runner: produce workload -> simulate platform -> hand back traces.
+//
+// Arrivals come from the scenario's WorkloadSource (synthetic generator by
+// default; a ReplaySource streams a recorded trace instead — the runner treats
+// both identically, including region sharding).
 //
 // Run() executes the full pipeline. When the scenario has several regions and the
 // policy is region-local (the baseline always is), the run is sharded: one
@@ -73,6 +77,16 @@ class Experiment {
 
   ScenarioConfig config_;
 };
+
+// The exact workload a Run() of `config` consumes: the population plus the full
+// sorted arrival stream, regenerated deterministically from the config. For the
+// export/replay drivers and tests that need the stream itself (Run() consumes
+// its copy feeding the platform and does not retain it).
+struct WorkloadSnapshot {
+  workload::Population population;
+  std::vector<workload::ArrivalEvent> arrivals;
+};
+WorkloadSnapshot SnapshotWorkload(const ScenarioConfig& config);
 
 }  // namespace coldstart::core
 

@@ -8,15 +8,10 @@ namespace coldstart::core {
 
 namespace {
 
-// Doubles are hashed by bit pattern: any representable change to a coefficient
-// yields a different fingerprint (the old scheme truncated through *1e6, which
-// collapsed distinct architectures onto one cache file).
-uint64_t MixDouble(uint64_t h, double v) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  return MixHash(h, bits);
-}
+// Doubles are hashed by bit pattern (common/rng.h): any representable change to
+// a coefficient yields a different fingerprint (the old scheme truncated through
+// *1e6, which collapsed distinct architectures onto one cache file).
+uint64_t MixDouble(uint64_t h, double v) { return MixHashDouble(h, v); }
 
 uint64_t MixDiurnal(uint64_t h, const workload::DiurnalParams& d) {
   h = MixDouble(h, d.floor);
@@ -129,14 +124,20 @@ std::vector<workload::RegionProfile> ScenarioConfig::ScaledProfiles() const {
   return scaled;
 }
 
+const workload::WorkloadSource& ScenarioConfig::workload_source() const {
+  return workload != nullptr ? *workload : workload::DefaultSyntheticSource();
+}
+
 uint64_t ScenarioConfig::Fingerprint() const {
   // Versioned salt: bumping it (together with the cache filename scheme) retires
-  // every cache file written under an older, under-hashed fingerprint.
-  uint64_t h = MixHash(HashString("scenario-fingerprint-v2"), seed);
+  // every cache file written under an older, under-hashed fingerprint. v3 adds
+  // the workload-source hash (synthetic vs replay, and the replayed events).
+  uint64_t h = MixHash(HashString("scenario-fingerprint-v3"), seed);
   h = MixHash(h, static_cast<uint64_t>(days));
   h = MixDouble(h, scale);
   h = MixHash(h, record_requests ? 1 : 0);
   h = MixHash(h, static_cast<uint64_t>(default_keep_alive));
+  h = MixHash(h, workload_source().Fingerprint());
   h = MixHash(h, profiles.size());
   for (const auto& p : profiles) {
     h = MixProfile(h, p);

@@ -3,11 +3,13 @@
 #define COLDSTART_CORE_SCENARIO_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/sim_time.h"
 #include "workload/calendar.h"
 #include "workload/region_profile.h"
+#include "workload/workload_source.h"
 
 namespace coldstart::core {
 
@@ -20,17 +22,25 @@ struct ScenarioConfig {
   SimDuration default_keep_alive = kMinute;
   // Regions to simulate; defaults to the five calibrated profiles.
   std::vector<workload::RegionProfile> profiles;
+  // Where arrivals come from: null = the built-in synthetic generator; set a
+  // workload::ReplaySource to drive the scenario from a recorded trace. Shared
+  // (sources are immutable) so configs stay cheaply copyable.
+  std::shared_ptr<const workload::WorkloadSource> workload;
 
   ScenarioConfig();
 
   workload::Calendar MakeCalendar() const;
   // Profiles after applying `scale`.
   std::vector<workload::RegionProfile> ScaledProfiles() const;
+  // The configured source, or the shared synthetic default when `workload` is null.
+  const workload::WorkloadSource& workload_source() const;
 
   // Stable hash of *every* field that affects the generated trace — the scenario
-  // scalars (including keep-alive) and the full per-region profile down to each
-  // architecture coefficient, diurnal bump, and timer-period weight. Keys the trace
-  // cache: two configs that could produce different traces must not collide here.
+  // scalars (including keep-alive), the workload source, and the full per-region
+  // profile down to each architecture coefficient, diurnal bump, and timer-period
+  // weight. Keys the trace cache: two configs that could produce different traces
+  // must not collide here (in particular, a replay run never reuses a synthetic
+  // run's cache entry).
   uint64_t Fingerprint() const;
 };
 

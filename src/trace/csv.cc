@@ -3,24 +3,23 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <memory>
+#include <string>
 #include <vector>
+
+#include "trace/csv_util.h"
 
 namespace coldstart::trace {
 
 namespace {
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) {
-      std::fclose(f);
-    }
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-FilePtr OpenWrite(const std::string& path) { return FilePtr(std::fopen(path.c_str(), "w")); }
-FilePtr OpenRead(const std::string& path) { return FilePtr(std::fopen(path.c_str(), "r")); }
+using csv_internal::FilePtr;
+using csv_internal::IsBlankLine;
+using csv_internal::OpenRead;
+using csv_internal::OpenWrite;
+using csv_internal::ParseI64;
+using csv_internal::ParseU64;
+using csv_internal::SetError;
+using csv_internal::SplitCsvLine;
 
 std::string IdField(uint64_t raw, bool hash) {
   if (hash) {
@@ -29,22 +28,6 @@ std::string IdField(uint64_t raw, bool hash) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%" PRIu64, raw);
   return buf;
-}
-
-// Splits one CSV line (no quoting in our files) into fields.
-std::vector<std::string> SplitCsvLine(const char* line) {
-  std::vector<std::string> fields;
-  std::string cur;
-  for (const char* p = line; *p != '\0' && *p != '\n' && *p != '\r'; ++p) {
-    if (*p == ',') {
-      fields.push_back(cur);
-      cur.clear();
-    } else {
-      cur += *p;
-    }
-  }
-  fields.push_back(cur);
-  return fields;
 }
 
 }  // namespace
@@ -129,189 +112,335 @@ bool WritePodsCsv(const TraceStore& store, const std::string& path,
 
 namespace {
 
-// Parses "R3-c2" into region/cluster. Returns false on malformed input.
-bool ParseCluster(const std::string& s, RegionId& region, ClusterId& cluster) {
-  int r = 0, c = 0;
-  if (std::sscanf(s.c_str(), "R%d-c%d", &r, &c) != 2) {
-    return false;
-  }
-  if (r < 1 || r > kNumRegions || c < 0 || c >= kClustersPerRegion) {
-    return false;
-  }
-  region = static_cast<RegionId>(r - 1);
-  cluster = static_cast<ClusterId>(c);
-  return true;
-}
+// Shared state for one reader pass: tracks the line number so every rejection
+// can say exactly where the input broke, and carries the (optional) function
+// table size for id validation.
+struct RowReader {
+  explicit RowReader(const TraceStore& store, CsvError* error)
+      : num_functions(store.functions().size()), error(error) {}
 
-bool ParseRegion(const std::string& s, RegionId& region) {
-  int r = 0;
-  if (std::sscanf(s.c_str(), "R%d", &r) != 1 || r < 1 || r > kNumRegions) {
+  size_t num_functions;
+  CsvError* error;
+  int64_t lineno = 0;
+  std::vector<std::string> fields;
+
+  bool Fail(const std::string& message) const {
+    SetError(error, lineno, message);
     return false;
   }
-  region = static_cast<RegionId>(r - 1);
-  return true;
-}
 
-Runtime RuntimeFromName(const std::string& s) {
+  // Row shape: exactly `expected` comma-separated fields.
+  bool Shape(size_t expected) const {
+    if (fields.size() == expected) {
+      return true;
+    }
+    return Fail("truncated row: expected " + std::to_string(expected) +
+                " fields, got " + std::to_string(fields.size()));
+  }
+
+  bool U64(size_t idx, const char* what, uint64_t max, uint64_t& out) const {
+    if (ParseU64(fields[idx], max, out)) {
+      return true;
+    }
+    return Fail(std::string(what) + " '" + fields[idx] +
+                "' is not an unsigned integer <= " + std::to_string(max));
+  }
+
+  bool I64(size_t idx, const char* what, int64_t& out) const {
+    if (ParseI64(fields[idx], out)) {
+      return true;
+    }
+    return Fail(std::string(what) + " '" + fields[idx] + "' is not an integer");
+  }
+
+  // Function ids must index the function table when one is loaded (readers
+  // append, so round trips read functions.csv first).
+  bool FunctionInRange(FunctionId id) const {
+    if (num_functions == 0 || id < num_functions) {
+      return true;
+    }
+    return Fail("function id " + std::to_string(id) + " out of range (table has " +
+                std::to_string(num_functions) + " functions)");
+  }
+
+  // Parses "R3-c2" into region/cluster, validating both ranges.
+  bool Cluster(size_t idx, RegionId& region, ClusterId& cluster) const {
+    int r = 0, c = 0;
+    char tail = '\0';
+    if (std::sscanf(fields[idx].c_str(), "R%d-c%d%c", &r, &c, &tail) != 2 || r < 1 ||
+        r > kNumRegions || c < 0 || c >= kClustersPerRegion) {
+      return Fail("cluster '" + fields[idx] + "' is not R<1.." +
+                  std::to_string(kNumRegions) + ">-c<0.." +
+                  std::to_string(kClustersPerRegion - 1) + ">");
+    }
+    region = static_cast<RegionId>(r - 1);
+    cluster = static_cast<ClusterId>(c);
+    return true;
+  }
+
+  bool Region(size_t idx, RegionId& region) const {
+    int r = 0;
+    char tail = '\0';
+    if (std::sscanf(fields[idx].c_str(), "R%d%c", &r, &tail) != 1 || r < 1 ||
+        r > kNumRegions) {
+      return Fail("region '" + fields[idx] + "' is not R<1.." +
+                  std::to_string(kNumRegions) + ">");
+    }
+    region = static_cast<RegionId>(r - 1);
+    return true;
+  }
+};
+
+bool RuntimeFromName(const std::string& s, Runtime& out) {
   for (int i = 0; i < kNumRuntimes; ++i) {
     if (s == RuntimeName(static_cast<Runtime>(i))) {
-      return static_cast<Runtime>(i);
+      out = static_cast<Runtime>(i);
+      return true;
     }
   }
-  return Runtime::kUnknown;
+  return false;
 }
 
-Trigger TriggerFromName(const std::string& s) {
+bool TriggerFromName(const std::string& s, Trigger& out) {
   for (int i = 0; i < kNumTriggers; ++i) {
     if (s == TriggerName(static_cast<Trigger>(i))) {
-      return static_cast<Trigger>(i);
+      out = static_cast<Trigger>(i);
+      return true;
     }
   }
-  return Trigger::kUnknown;
+  return false;
 }
 
-ResourceConfig ConfigFromName(const std::string& s) {
+bool ConfigFromName(const std::string& s, ResourceConfig& out) {
   for (int i = 0; i < kNumResourceConfigs; ++i) {
     if (s == ResourceConfigName(static_cast<ResourceConfig>(i))) {
-      return static_cast<ResourceConfig>(i);
+      out = static_cast<ResourceConfig>(i);
+      return true;
     }
   }
-  return ResourceConfig::k300m128;
+  return false;
 }
 
-}  // namespace
-
-bool ReadRequestsCsv(const std::string& path, TraceStore& store) {
+// Drives one reader pass: opens the file, skips the header, splits each
+// non-blank line into row.fields, and hands it to `parse_row`.
+template <typename ParseRow>
+bool ReadCsvRows(const std::string& path, RowReader& row, ParseRow parse_row) {
   FilePtr f = OpenRead(path);
   if (f == nullptr) {
+    SetError(row.error, 0, "cannot open '" + path + "'");
     return false;
   }
   char line[1024];
   bool first = true;
   while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++row.lineno;
     if (first) {  // Header.
       first = false;
       continue;
     }
-    const auto fields = SplitCsvLine(line);
-    if (fields.size() != 9) {
+    if (IsBlankLine(line)) {
+      continue;
+    }
+    if (std::strchr(line, '\n') == nullptr && !std::feof(f.get())) {
+      return row.Fail("line exceeds " + std::to_string(sizeof(line) - 2) +
+                      " characters");
+    }
+    row.fields = SplitCsvLine(line);
+    if (!parse_row(row)) {
       return false;
     }
-    RequestRecord r;
-    r.timestamp = std::strtoll(fields[0].c_str(), nullptr, 10);
-    r.pod_id = static_cast<PodId>(std::strtoul(fields[1].c_str(), nullptr, 10));
-    if (!ParseCluster(fields[2], r.region, r.cluster)) {
-      return false;
-    }
-    r.function_id = static_cast<FunctionId>(std::strtoul(fields[3].c_str(), nullptr, 10));
-    r.user_id = static_cast<UserId>(std::strtoul(fields[4].c_str(), nullptr, 10));
-    r.request_id = std::strtoull(fields[5].c_str(), nullptr, 10);
-    r.execution_time_us = static_cast<uint32_t>(std::strtoul(fields[6].c_str(), nullptr, 10));
-    r.cpu_millicores = static_cast<uint16_t>(std::strtoul(fields[7].c_str(), nullptr, 10));
-    r.memory_kb = static_cast<uint32_t>(std::strtoull(fields[8].c_str(), nullptr, 10) / 1024);
-    store.AddRequest(r);
+  }
+  if (std::ferror(f.get()) != 0) {
+    return row.Fail("read error");
   }
   return true;
 }
 
-bool ReadColdStartsCsv(const std::string& path, TraceStore& store) {
-  FilePtr f = OpenRead(path);
-  if (f == nullptr) {
-    return false;
-  }
-  char line[1024];
-  bool first = true;
-  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
-    if (first) {
-      first = false;
-      continue;
-    }
-    const auto fields = SplitCsvLine(line);
-    if (fields.size() != 10) {
+}  // namespace
+
+bool ReadRequestsCsv(const std::string& path, TraceStore& store, CsvError* error) {
+  RowReader row(store, error);
+  return ReadCsvRows(path, row, [&store](const RowReader& r) {
+    if (!r.Shape(9)) {
       return false;
     }
-    ColdStartRecord c;
-    c.timestamp = std::strtoll(fields[0].c_str(), nullptr, 10);
-    c.pod_id = static_cast<PodId>(std::strtoul(fields[1].c_str(), nullptr, 10));
-    if (!ParseCluster(fields[2], c.region, c.cluster)) {
+    RequestRecord rec;
+    uint64_t v = 0;
+    if (!r.I64(0, "timestamp_us", rec.timestamp)) {
       return false;
     }
-    c.function_id = static_cast<FunctionId>(std::strtoul(fields[3].c_str(), nullptr, 10));
-    c.user_id = static_cast<UserId>(std::strtoul(fields[4].c_str(), nullptr, 10));
-    c.cold_start_us = static_cast<uint32_t>(std::strtoul(fields[5].c_str(), nullptr, 10));
-    c.pod_alloc_us = static_cast<uint32_t>(std::strtoul(fields[6].c_str(), nullptr, 10));
-    c.deploy_code_us = static_cast<uint32_t>(std::strtoul(fields[7].c_str(), nullptr, 10));
-    c.deploy_dep_us = static_cast<uint32_t>(std::strtoul(fields[8].c_str(), nullptr, 10));
-    c.scheduling_us = static_cast<uint32_t>(std::strtoul(fields[9].c_str(), nullptr, 10));
-    store.AddColdStart(c);
-  }
-  return true;
+    if (!r.U64(1, "pod_id", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.pod_id = static_cast<PodId>(v);
+    if (!r.Cluster(2, rec.region, rec.cluster)) {
+      return false;
+    }
+    if (!r.U64(3, "function", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.function_id = static_cast<FunctionId>(v);
+    if (!r.FunctionInRange(rec.function_id)) {
+      return false;
+    }
+    if (!r.U64(4, "user", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.user_id = static_cast<UserId>(v);
+    if (!r.U64(5, "request_id", UINT64_MAX, rec.request_id)) {
+      return false;
+    }
+    if (!r.U64(6, "execution_time_us", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.execution_time_us = static_cast<uint32_t>(v);
+    if (!r.U64(7, "cpu_millicores", UINT16_MAX, v)) {
+      return false;
+    }
+    rec.cpu_millicores = static_cast<uint16_t>(v);
+    if (!r.U64(8, "memory_bytes", uint64_t{UINT32_MAX} * 1024, v)) {
+      return false;
+    }
+    rec.memory_kb = static_cast<uint32_t>(v / 1024);
+    store.AddRequest(rec);
+    return true;
+  });
 }
 
-bool ReadFunctionsCsv(const std::string& path, TraceStore& store) {
-  FilePtr f = OpenRead(path);
-  if (f == nullptr) {
-    return false;
-  }
-  char line[1024];
-  bool first = true;
-  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
-    if (first) {
-      first = false;
-      continue;
-    }
-    const auto fields = SplitCsvLine(line);
-    if (fields.size() != 7) {
+bool ReadColdStartsCsv(const std::string& path, TraceStore& store, CsvError* error) {
+  RowReader row(store, error);
+  return ReadCsvRows(path, row, [&store](const RowReader& r) {
+    if (!r.Shape(10)) {
       return false;
     }
-    FunctionRecord fn;
-    fn.function_id = static_cast<FunctionId>(std::strtoul(fields[0].c_str(), nullptr, 10));
-    fn.user_id = static_cast<UserId>(std::strtoul(fields[1].c_str(), nullptr, 10));
-    if (!ParseRegion(fields[2], fn.region)) {
+    ColdStartRecord rec;
+    uint64_t v = 0;
+    if (!r.I64(0, "timestamp_us", rec.timestamp)) {
       return false;
     }
-    fn.runtime = RuntimeFromName(fields[3]);
-    fn.primary_trigger = TriggerFromName(fields[4]);
-    fn.trigger_mask = static_cast<uint16_t>(std::strtoul(fields[5].c_str(), nullptr, 10));
-    fn.config = ConfigFromName(fields[6]);
-    store.AddFunction(fn);
-  }
-  return true;
+    if (!r.U64(1, "pod_id", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.pod_id = static_cast<PodId>(v);
+    if (!r.Cluster(2, rec.region, rec.cluster)) {
+      return false;
+    }
+    if (!r.U64(3, "function", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.function_id = static_cast<FunctionId>(v);
+    if (!r.FunctionInRange(rec.function_id)) {
+      return false;
+    }
+    if (!r.U64(4, "user", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.user_id = static_cast<UserId>(v);
+    static constexpr const char* kComponents[] = {
+        "cold_start_us", "pod_alloc_us", "deploy_code_us", "deploy_dep_us",
+        "scheduling_us"};
+    uint32_t* const fields[] = {&rec.cold_start_us, &rec.pod_alloc_us,
+                                &rec.deploy_code_us, &rec.deploy_dep_us,
+                                &rec.scheduling_us};
+    for (size_t i = 0; i < 5; ++i) {
+      if (!r.U64(5 + i, kComponents[i], UINT32_MAX, v)) {
+        return false;
+      }
+      *fields[i] = static_cast<uint32_t>(v);
+    }
+    store.AddColdStart(rec);
+    return true;
+  });
 }
 
-bool ReadPodsCsv(const std::string& path, TraceStore& store) {
-  FilePtr f = OpenRead(path);
-  if (f == nullptr) {
-    return false;
-  }
-  char line[1024];
-  bool first = true;
-  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
-    if (first) {
-      first = false;
-      continue;
-    }
-    const auto fields = SplitCsvLine(line);
-    if (fields.size() != 11) {
+bool ReadFunctionsCsv(const std::string& path, TraceStore& store, CsvError* error) {
+  RowReader row(store, error);
+  return ReadCsvRows(path, row, [&store](const RowReader& r) {
+    if (!r.Shape(7)) {
       return false;
     }
-    PodLifetimeRecord p;
-    p.pod_id = static_cast<PodId>(std::strtoul(fields[0].c_str(), nullptr, 10));
-    p.function_id = static_cast<FunctionId>(std::strtoul(fields[1].c_str(), nullptr, 10));
-    if (!ParseRegion(fields[2], p.region)) {
+    FunctionRecord rec;
+    uint64_t v = 0;
+    if (!r.U64(0, "function", UINT32_MAX, v)) {
       return false;
     }
-    p.cluster = static_cast<ClusterId>(std::strtoul(fields[3].c_str(), nullptr, 10));
-    p.config = ConfigFromName(fields[4]);
-    p.cold_start_begin = std::strtoll(fields[5].c_str(), nullptr, 10);
-    p.ready_time = std::strtoll(fields[6].c_str(), nullptr, 10);
-    p.last_busy_end = std::strtoll(fields[7].c_str(), nullptr, 10);
-    p.death_time = std::strtoll(fields[8].c_str(), nullptr, 10);
-    p.cold_start_us = static_cast<uint32_t>(std::strtoul(fields[9].c_str(), nullptr, 10));
-    p.requests_served = static_cast<uint32_t>(std::strtoul(fields[10].c_str(), nullptr, 10));
-    store.AddPodLifetime(p);
-  }
-  return true;
+    rec.function_id = static_cast<FunctionId>(v);
+    if (!r.U64(1, "user", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.user_id = static_cast<UserId>(v);
+    if (!r.Region(2, rec.region)) {
+      return false;
+    }
+    if (!RuntimeFromName(r.fields[3], rec.runtime)) {
+      return r.Fail("unknown runtime '" + r.fields[3] + "'");
+    }
+    if (!TriggerFromName(r.fields[4], rec.primary_trigger)) {
+      return r.Fail("unknown trigger '" + r.fields[4] + "'");
+    }
+    if (!r.U64(5, "trigger_mask", UINT16_MAX, v)) {
+      return false;
+    }
+    rec.trigger_mask = static_cast<uint16_t>(v);
+    if (!ConfigFromName(r.fields[6], rec.config)) {
+      return r.Fail("unknown cpu_mem config '" + r.fields[6] + "'");
+    }
+    if (rec.function_id != store.functions().size()) {
+      return r.Fail("function id " + std::to_string(rec.function_id) +
+                    " breaks the dense id sequence (expected " +
+                    std::to_string(store.functions().size()) + ")");
+    }
+    store.AddFunction(rec);
+    return true;
+  });
+}
+
+bool ReadPodsCsv(const std::string& path, TraceStore& store, CsvError* error) {
+  RowReader row(store, error);
+  return ReadCsvRows(path, row, [&store](const RowReader& r) {
+    if (!r.Shape(11)) {
+      return false;
+    }
+    PodLifetimeRecord rec;
+    uint64_t v = 0;
+    if (!r.U64(0, "pod_id", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.pod_id = static_cast<PodId>(v);
+    if (!r.U64(1, "function", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.function_id = static_cast<FunctionId>(v);
+    if (!r.FunctionInRange(rec.function_id)) {
+      return false;
+    }
+    if (!r.Region(2, rec.region)) {
+      return false;
+    }
+    if (!r.U64(3, "cluster", kClustersPerRegion - 1, v)) {
+      return false;
+    }
+    rec.cluster = static_cast<ClusterId>(v);
+    if (!ConfigFromName(r.fields[4], rec.config)) {
+      return r.Fail("unknown cpu_mem config '" + r.fields[4] + "'");
+    }
+    if (!r.I64(5, "cold_start_begin_us", rec.cold_start_begin) ||
+        !r.I64(6, "ready_us", rec.ready_time) ||
+        !r.I64(7, "last_busy_end_us", rec.last_busy_end) ||
+        !r.I64(8, "death_us", rec.death_time)) {
+      return false;
+    }
+    if (!r.U64(9, "cold_start_us", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.cold_start_us = static_cast<uint32_t>(v);
+    if (!r.U64(10, "requests_served", UINT32_MAX, v)) {
+      return false;
+    }
+    rec.requests_served = static_cast<uint32_t>(v);
+    store.AddPodLifetime(rec);
+    return true;
+  });
 }
 
 }  // namespace coldstart::trace

@@ -4,7 +4,7 @@
 //   * Release mode (hash_ids = true): column layout and hashed-ID form mirror the
 //     public dataset release, for interoperability with external analysis scripts.
 //   * Numeric mode (hash_ids = false): lossless round-trip of numeric ids, used for
-//     checkpointing simulated traces.
+//     checkpointing simulated traces and for trace replay (workload/replay_source.h).
 #ifndef COLDSTART_TRACE_CSV_H_
 #define COLDSTART_TRACE_CSV_H_
 
@@ -18,6 +18,14 @@ struct CsvExportOptions {
   bool hash_ids = false;
 };
 
+// Parse failure report: the 1-based line the reader rejected (0 for file-level
+// failures such as a missing file) and a human-readable cause. Replay makes the
+// parsers load-bearing, so failures must say *where* the input broke.
+struct CsvError {
+  int64_t line = 0;
+  std::string message;
+};
+
 // Each writer returns false on I/O failure.
 bool WriteRequestsCsv(const TraceStore& store, const std::string& path,
                       const CsvExportOptions& opts = {});
@@ -28,12 +36,19 @@ bool WriteFunctionsCsv(const TraceStore& store, const std::string& path,
 bool WritePodsCsv(const TraceStore& store, const std::string& path,
                   const CsvExportOptions& opts = {});
 
-// Readers parse numeric-mode files back into `store` (appending). They return false on
-// parse or I/O failure; hashed-id files are not readable (ids are one-way).
-bool ReadRequestsCsv(const std::string& path, TraceStore& store);
-bool ReadColdStartsCsv(const std::string& path, TraceStore& store);
-bool ReadFunctionsCsv(const std::string& path, TraceStore& store);
-bool ReadPodsCsv(const std::string& path, TraceStore& store);
+// Readers parse numeric-mode files back into `store` (appending). They return false
+// on I/O or parse failure — truncated rows, non-numeric or out-of-range fields —
+// and, when `error` is non-null, report the offending line. Hashed-id files are not
+// readable (ids are one-way). When the store already holds a function table, record
+// function ids are validated against it.
+bool ReadRequestsCsv(const std::string& path, TraceStore& store,
+                     CsvError* error = nullptr);
+bool ReadColdStartsCsv(const std::string& path, TraceStore& store,
+                       CsvError* error = nullptr);
+bool ReadFunctionsCsv(const std::string& path, TraceStore& store,
+                      CsvError* error = nullptr);
+bool ReadPodsCsv(const std::string& path, TraceStore& store,
+                 CsvError* error = nullptr);
 
 }  // namespace coldstart::trace
 

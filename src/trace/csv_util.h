@@ -1,0 +1,129 @@
+// Internal helpers shared by the CSV readers (trace/csv.cc and
+// workload/replay_source.cc): RAII file handles, line splitting, and strict
+// field parsers. Strict means the *whole* field must parse and fit the target
+// range — "12x", "", "-3" for an unsigned column, and overflowing values are all
+// rejected so a malformed trace fails with a line number instead of feeding
+// half-parsed garbage into a simulation.
+#ifndef COLDSTART_TRACE_CSV_UTIL_H_
+#define COLDSTART_TRACE_CSV_UTIL_H_
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/csv.h"
+
+namespace coldstart::trace::csv_internal {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+inline FilePtr OpenWrite(const std::string& path) {
+  return FilePtr(std::fopen(path.c_str(), "w"));
+}
+inline FilePtr OpenRead(const std::string& path) {
+  return FilePtr(std::fopen(path.c_str(), "r"));
+}
+
+// Splits one CSV line (no quoting in our files) into fields.
+inline std::vector<std::string> SplitCsvLine(const char* line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (const char* p = line; *p != '\0' && *p != '\n' && *p != '\r'; ++p) {
+    if (*p == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += *p;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+// True when the line holds nothing but a newline (tolerated between records).
+inline bool IsBlankLine(const char* line) {
+  for (const char* p = line; *p != '\0'; ++p) {
+    if (*p != '\n' && *p != '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline void SetError(CsvError* error, int64_t line, std::string message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = std::move(message);
+  }
+}
+
+// Unsigned decimal in [0, max]; digits only.
+inline bool ParseU64(const std::string& field, uint64_t max, uint64_t& out) {
+  if (field.empty()) {
+    return false;
+  }
+  for (const char c : field) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (errno == ERANGE || end != field.c_str() + field.size() || v > max) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+// Signed decimal (optional leading '-').
+inline bool ParseI64(const std::string& field, int64_t& out) {
+  const size_t digits_from = field.empty() ? 0 : (field[0] == '-' ? 1 : 0);
+  if (field.size() == digits_from) {
+    return false;
+  }
+  for (size_t i = digits_from; i < field.size(); ++i) {
+    if (field[i] < '0' || field[i] > '9') {
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (errno == ERANGE || end != field.c_str() + field.size()) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+// Finite floating-point number covering the whole field.
+inline bool ParseDouble(const std::string& field, double& out) {
+  if (field.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (errno == ERANGE || end != field.c_str() + field.size()) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace coldstart::trace::csv_internal
+
+#endif  // COLDSTART_TRACE_CSV_UTIL_H_

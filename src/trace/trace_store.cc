@@ -71,4 +71,63 @@ void TraceStore::Reserve(size_t requests, size_t cold_starts, size_t pods) {
   pods_.reserve(pods);
 }
 
+uint64_t Digest(const TraceStore& store) {
+  // Field-by-field (never memcmp over structs: padding bytes are unspecified).
+  uint64_t h = HashString("trace-digest-v1");
+  const auto mix = [&h](uint64_t v) { h = MixHash(h, v); };
+  mix(static_cast<uint64_t>(store.horizon()));
+  mix(store.functions().size());
+  for (const auto& f : store.functions()) {
+    mix(f.function_id);
+    mix(f.user_id);
+    mix(f.region);
+    mix(static_cast<uint64_t>(f.runtime));
+    mix(static_cast<uint64_t>(f.primary_trigger));
+    mix(f.trigger_mask);
+    mix(static_cast<uint64_t>(f.config));
+  }
+  mix(store.requests().size());
+  for (const auto& r : store.requests()) {
+    mix(static_cast<uint64_t>(r.timestamp));
+    mix(r.request_id);
+    mix(r.pod_id);
+    mix(r.function_id);
+    mix(r.user_id);
+    mix(r.region);
+    mix(r.cluster);
+    mix(r.cpu_millicores);
+    mix(r.execution_time_us);
+    mix(r.memory_kb);
+  }
+  mix(store.cold_starts().size());
+  for (const auto& c : store.cold_starts()) {
+    mix(static_cast<uint64_t>(c.timestamp));
+    mix(c.pod_id);
+    mix(c.function_id);
+    mix(c.user_id);
+    mix(c.region);
+    mix(c.cluster);
+    mix(c.cold_start_us);
+    mix(c.pod_alloc_us);
+    mix(c.deploy_code_us);
+    mix(c.deploy_dep_us);
+    mix(c.scheduling_us);
+  }
+  mix(store.pods().size());
+  for (const auto& p : store.pods()) {
+    mix(p.pod_id);
+    mix(p.function_id);
+    mix(p.region);
+    mix(p.cluster);
+    mix(static_cast<uint64_t>(p.config));
+    mix(static_cast<uint64_t>(p.cold_start_begin));
+    mix(static_cast<uint64_t>(p.ready_time));
+    mix(static_cast<uint64_t>(p.last_busy_end));
+    mix(static_cast<uint64_t>(p.death_time));
+    mix(p.cold_start_us);
+    mix(p.requests_served);
+  }
+  return h;
+}
+
 }  // namespace coldstart::trace

@@ -66,6 +66,12 @@ class TraceStore {
   bool sealed_ = false;
 };
 
+// Order-sensitive 64-bit digest over every field of every record table plus the
+// horizon. Two sealed stores digest equal iff they are field-wise identical, so a
+// single number pins a whole run: the golden-trace regression test and the replay
+// round-trip check both compare digests instead of multi-GB tables.
+uint64_t Digest(const TraceStore& store);
+
 }  // namespace coldstart::trace
 
 #endif  // COLDSTART_TRACE_TRACE_STORE_H_

@@ -1,0 +1,324 @@
+#include "workload/replay_source.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "trace/csv_util.h"
+
+namespace coldstart::workload {
+
+namespace {
+
+using trace::csv_internal::FilePtr;
+using trace::csv_internal::IsBlankLine;
+using trace::csv_internal::OpenRead;
+using trace::csv_internal::OpenWrite;
+using trace::csv_internal::ParseDouble;
+using trace::csv_internal::ParseI64;
+using trace::csv_internal::ParseU64;
+using trace::csv_internal::SetError;
+using trace::csv_internal::SplitCsvLine;
+
+double Hash01(uint64_t h) {
+  uint64_t s = h;
+  return static_cast<double>(SplitMix64(s) >> 11) * 0x1.0p-53;
+}
+
+// "R3" (1-based, as RegionName renders) -> 2. Anything else is an opaque key.
+bool ParseLiteralRegion(const std::string& s, uint64_t& out) {
+  unsigned r = 0;
+  char tail = '\0';
+  if (std::sscanf(s.c_str(), "R%u%c", &r, &tail) != 1 || r == 0) {
+    return false;
+  }
+  out = r - 1;
+  return true;
+}
+
+}  // namespace
+
+ReplaySource::ReplaySource(std::string name, std::vector<RawEvent> events,
+                           ReplayOptions options)
+    : name_(std::move(name)), events_(std::move(events)), options_(options) {
+  // Keep the recorded stream time-ordered so windowing can early-exit; the final
+  // canonical (time, function) order is established per-Arrivals() call, after
+  // remapping.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const RawEvent& a, const RawEvent& b) { return a.time < b.time; });
+}
+
+std::unique_ptr<ReplaySource> ReplaySource::FromArrivalsCsv(const std::string& path,
+                                                            ReplayOptions options,
+                                                            trace::CsvError* error) {
+  std::vector<ArrivalEvent> arrivals;
+  if (!ReadArrivalsCsv(path, arrivals, error)) {
+    return nullptr;
+  }
+  std::vector<RawEvent> events;
+  events.reserve(arrivals.size());
+  for (const ArrivalEvent& a : arrivals) {
+    events.push_back(RawEvent{a.time, a.function, kNoRegion, /*mapped=*/true});
+  }
+  return std::unique_ptr<ReplaySource>(
+      new ReplaySource("replay:arrivals", std::move(events), options));
+}
+
+std::unique_ptr<ReplaySource> ReplaySource::FromRequestsCsv(const std::string& path,
+                                                            ReplayOptions options,
+                                                            trace::CsvError* error) {
+  trace::TraceStore store;
+  if (!trace::ReadRequestsCsv(path, store, error)) {
+    return nullptr;
+  }
+  std::vector<RawEvent> events;
+  events.reserve(store.requests().size());
+  for (const trace::RequestRecord& r : store.requests()) {
+    events.push_back(RawEvent{r.timestamp, r.function_id, r.region, /*mapped=*/true});
+  }
+  return std::unique_ptr<ReplaySource>(
+      new ReplaySource("replay:requests", std::move(events), options));
+}
+
+std::unique_ptr<ReplaySource> ReplaySource::FromExternalCsv(const std::string& path,
+                                                            ReplayOptions options,
+                                                            trace::CsvError* error) {
+  FilePtr f = OpenRead(path);
+  if (f == nullptr) {
+    SetError(error, 0, "cannot open '" + path + "'");
+    return nullptr;
+  }
+  COLDSTART_CHECK_GT(options.timestamp_scale, 0.0);
+  std::vector<RawEvent> events;
+  char line[4096];
+  int64_t lineno = 0;
+  bool maybe_header = true;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    if (IsBlankLine(line)) {
+      continue;
+    }
+    // A physical line longer than the buffer would silently split into bogus
+    // extra rows; reject it instead.
+    if (std::strchr(line, '\n') == nullptr && !std::feof(f.get())) {
+      SetError(error, lineno,
+               "line exceeds " + std::to_string(sizeof(line) - 2) + " characters");
+      return nullptr;
+    }
+    const auto fields = SplitCsvLine(line);
+    double ts = 0;
+    if (maybe_header && !fields.empty() && !ParseDouble(fields[0], ts)) {
+      maybe_header = false;  // "timestamp,function,region,duration" title row.
+      continue;
+    }
+    maybe_header = false;
+    if (fields.size() < 2) {
+      SetError(error, lineno,
+               "expected at least 2 fields (timestamp,function), got " +
+                   std::to_string(fields.size()));
+      return nullptr;
+    }
+    if (!ParseDouble(fields[0], ts) || !std::isfinite(ts) || ts < 0) {
+      SetError(error, lineno,
+               "timestamp '" + fields[0] + "' is not a non-negative number");
+      return nullptr;
+    }
+    if (fields[1].empty()) {
+      SetError(error, lineno, "empty function field");
+      return nullptr;
+    }
+    // Guard the scaled clock against int64 overflow (llround on an
+    // out-of-range double is unspecified): a mis-set timestamp_scale must fail
+    // loudly, not replay as zero arrivals.
+    const double scaled_ts = ts * options.timestamp_scale;
+    if (scaled_ts >= 9.2e18) {
+      SetError(error, lineno, "timestamp '" + fields[0] + "' x timestamp_scale " +
+                                  std::to_string(options.timestamp_scale) +
+                                  " overflows the microsecond clock");
+      return nullptr;
+    }
+    RawEvent e;
+    e.time = static_cast<SimTime>(std::llround(scaled_ts));
+    e.function_key = HashString(fields[1]);
+    e.region_key = kNoRegion;
+    e.mapped = false;
+    if (fields.size() >= 3 && !fields[2].empty()) {
+      if (!ParseLiteralRegion(fields[2], e.region_key)) {
+        e.region_key = HashString(fields[2]);
+      }
+    }
+    // The optional duration column is ignored: execution profiles come from the
+    // population function the key is remapped onto.
+    events.push_back(e);
+  }
+  if (std::ferror(f.get()) != 0) {
+    SetError(error, lineno, "read error");
+    return nullptr;
+  }
+  return std::unique_ptr<ReplaySource>(
+      new ReplaySource("replay:external", std::move(events), options));
+}
+
+uint64_t ReplaySource::Fingerprint() const {
+  // Hashes the loaded events themselves (not the file path): two configs replaying
+  // different traces — or the same trace under different clip/scale options —
+  // must never share a trace-cache entry.
+  uint64_t h = HashString("workload-source:replay-v1");
+  h = MixHash(h, HashString(name_));
+  h = MixHash(h, static_cast<uint64_t>(options_.window_begin));
+  h = MixHash(h, static_cast<uint64_t>(options_.window_end));
+  h = MixHashDouble(h, options_.rate_scale);
+  h = MixHashDouble(h, options_.timestamp_scale);
+  h = MixHash(h, events_.size());
+  for (const RawEvent& e : events_) {
+    h = MixHash(h, static_cast<uint64_t>(e.time));
+    h = MixHash(h, e.function_key);
+    h = MixHash(h, e.region_key);
+    h = MixHash(h, e.mapped ? 1 : 0);
+  }
+  return h;
+}
+
+std::vector<ArrivalEvent> ReplaySource::Arrivals(
+    const Population& pop, const std::vector<RegionProfile>& profiles,
+    const Calendar& calendar, uint64_t seed) const {
+  COLDSTART_CHECK(!pop.functions.empty());
+  COLDSTART_CHECK_EQ(pop.region_begin.size(), profiles.size() + 1);
+  const SimTime horizon = calendar.horizon();
+  const size_t num_functions = pop.functions.size();
+  // Remapping is salted independently of the seed: the same trace replayed onto
+  // the same population hits the same functions across platform-seed sweeps.
+  const uint64_t remap_salt = HashString("replay-function-remap");
+  const uint64_t rate_salt = MixHash(seed, HashString("replay-rate-scale"));
+
+  COLDSTART_CHECK_GE(options_.rate_scale, 0.0);
+  const int whole_copies = static_cast<int>(options_.rate_scale);
+  const double extra_prob = options_.rate_scale - whole_copies;
+
+  std::vector<ArrivalEvent> out;
+  out.reserve(static_cast<size_t>(
+                  static_cast<double>(events_.size()) * options_.rate_scale) +
+              1);
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const RawEvent& e = events_[i];
+    if (e.time < options_.window_begin) {
+      continue;
+    }
+    if (options_.window_end > 0 && e.time >= options_.window_end) {
+      break;  // events_ is time-sorted.
+    }
+    const SimTime t = e.time - options_.window_begin;
+    if (t >= horizon) {
+      break;
+    }
+    trace::FunctionId fid;
+    if (e.mapped && e.function_key < num_functions) {
+      fid = static_cast<trace::FunctionId>(e.function_key);
+    } else {
+      // Remap the opaque key onto the population: region-pinned keys land in
+      // their region's id range, everything else spreads over all functions.
+      // (Also reached for `mapped` ids from a trace recorded under a larger
+      // population — degraded but total, rather than a crash.)
+      const uint64_t key = MixHash(remap_salt, e.function_key);
+      size_t lo = 0;
+      size_t span = num_functions;
+      if (e.region_key != kNoRegion) {
+        const size_t region =
+            e.region_key < profiles.size()
+                ? static_cast<size_t>(e.region_key)
+                : MixHash(remap_salt, e.region_key) % profiles.size();
+        lo = pop.region_begin[region];
+        span = pop.region_begin[region + 1] - lo;
+        if (span == 0) {  // Region has no functions at this scale.
+          lo = 0;
+          span = num_functions;
+        }
+      }
+      fid = static_cast<trace::FunctionId>(lo + key % span);
+    }
+    int copies = whole_copies;
+    if (extra_prob > 0 && Hash01(MixHash(rate_salt, i)) < extra_prob) {
+      ++copies;
+    }
+    for (int c = 0; c < copies; ++c) {
+      out.push_back(ArrivalEvent{t, fid});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ArrivalEvent& a, const ArrivalEvent& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.function < b.function;
+  });
+  return out;
+}
+
+bool WriteArrivalsCsv(const std::vector<ArrivalEvent>& arrivals,
+                      const std::string& path) {
+  FilePtr f = OpenWrite(path);
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(), "timestamp_us,function\n");
+  for (const ArrivalEvent& a : arrivals) {
+    std::fprintf(f.get(), "%" PRId64 ",%u\n", a.time, a.function);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool ReadArrivalsCsv(const std::string& path, std::vector<ArrivalEvent>& out,
+                     trace::CsvError* error) {
+  FilePtr f = OpenRead(path);
+  if (f == nullptr) {
+    SetError(error, 0, "cannot open '" + path + "'");
+    return false;
+  }
+  char line[256];
+  int64_t lineno = 0;
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    if (first) {  // Header.
+      first = false;
+      continue;
+    }
+    if (IsBlankLine(line)) {
+      continue;
+    }
+    if (std::strchr(line, '\n') == nullptr && !std::feof(f.get())) {
+      SetError(error, lineno,
+               "line exceeds " + std::to_string(sizeof(line) - 2) + " characters");
+      return false;
+    }
+    const auto fields = SplitCsvLine(line);
+    if (fields.size() != 2) {
+      SetError(error, lineno, "expected 2 fields (timestamp_us,function), got " +
+                                  std::to_string(fields.size()));
+      return false;
+    }
+    int64_t t = 0;
+    uint64_t fn = 0;
+    if (!ParseI64(fields[0], t) || t < 0) {
+      SetError(error, lineno,
+               "timestamp_us '" + fields[0] + "' is not a non-negative integer");
+      return false;
+    }
+    if (!ParseU64(fields[1], UINT32_MAX, fn)) {
+      SetError(error, lineno, "function '" + fields[1] + "' is not a valid id");
+      return false;
+    }
+    out.push_back(ArrivalEvent{t, static_cast<trace::FunctionId>(fn)});
+  }
+  if (std::ferror(f.get()) != 0) {
+    SetError(error, lineno, "read error");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace coldstart::workload

@@ -1,0 +1,57 @@
+// Pluggable workload sources.
+//
+// A WorkloadSource produces the exogenous arrival stream an Experiment drives its
+// platform with. Two families exist: the synthetic modulated-Poisson generator
+// (SyntheticSource, wrapping GenerateArrivals) and trace replay (ReplaySource in
+// replay_source.h), which streams arrivals recorded by an earlier run or by an
+// external platform. The Experiment runner is source-agnostic: any stream that is
+// sorted, in-horizon, and addressed to valid population function ids shards by
+// region and merges exactly like the synthetic one.
+#ifndef COLDSTART_WORKLOAD_WORKLOAD_SOURCE_H_
+#define COLDSTART_WORKLOAD_WORKLOAD_SOURCE_H_
+
+#include <vector>
+
+#include "workload/arrivals.h"
+#include "workload/calendar.h"
+#include "workload/population.h"
+
+namespace coldstart::workload {
+
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  // Short human-readable tag ("synthetic", "replay:arrivals", ...).
+  virtual const char* name() const = 0;
+
+  // Stable hash of everything that shapes the arrival stream *beyond*
+  // (pop, profiles, calendar, seed). Folded into ScenarioConfig::Fingerprint() so
+  // the trace cache can never serve a synthetic run for a replay run (or one
+  // replay file for another).
+  virtual uint64_t Fingerprint() const = 0;
+
+  // All exogenous arrivals in [0, calendar.horizon()), sorted by (time, function),
+  // every function id < pop.functions.size(). Deterministic in the arguments.
+  virtual std::vector<ArrivalEvent> Arrivals(
+      const Population& pop, const std::vector<RegionProfile>& profiles,
+      const Calendar& calendar, uint64_t seed) const = 0;
+};
+
+// The built-in generator (modulated Poisson + timers) behind the interface.
+class SyntheticSource final : public WorkloadSource {
+ public:
+  const char* name() const override { return "synthetic"; }
+  uint64_t Fingerprint() const override;
+  std::vector<ArrivalEvent> Arrivals(const Population& pop,
+                                     const std::vector<RegionProfile>& profiles,
+                                     const Calendar& calendar,
+                                     uint64_t seed) const override;
+};
+
+// Shared immutable instance for configs that do not carry their own source.
+const WorkloadSource& DefaultSyntheticSource();
+
+}  // namespace coldstart::workload
+
+#endif  // COLDSTART_WORKLOAD_WORKLOAD_SOURCE_H_

@@ -276,6 +276,18 @@ TEST(ScenarioFingerprintTest, DistinguishesEveryFieldClass) {
   expect_fresh(c, "arch.post_holiday_dep_penalty");
 }
 
+TEST(ScenarioFingerprintTest, WorkloadSourceVariantIsCovered) {
+  // An explicit SyntheticSource is the same workload as the null default — the
+  // cache may share entries. Replay sources hash differently (replay_test pins
+  // the full replay-vs-synthetic separation; here we pin the null/explicit
+  // equivalence that keeps existing cache entries valid).
+  const ScenarioConfig base;
+  ScenarioConfig explicit_synth = base;
+  explicit_synth.workload = std::make_shared<workload::SyntheticSource>();
+  EXPECT_EQ(explicit_synth.Fingerprint(), base.Fingerprint());
+  EXPECT_STREQ(base.workload_source().name(), "synthetic");
+}
+
 TEST(ScenarioFingerprintTest, StableAcrossCalls) {
   const ScenarioConfig config = core::SmallScenario();
   EXPECT_EQ(config.Fingerprint(), config.Fingerprint());

@@ -392,7 +392,142 @@ TEST(TraceStoreMergeTest, AppendFromThenSealMatchesInterleavedInsertion) {
 TEST_F(RoundTripTest, MissingFileFails) {
   TraceStore loaded;
   EXPECT_FALSE(ReadBinaryTrace((dir_ / "missing.bin").string(), loaded));
-  EXPECT_FALSE(ReadRequestsCsv((dir_ / "missing.csv").string(), loaded));
+  CsvError error;
+  EXPECT_FALSE(ReadRequestsCsv((dir_ / "missing.csv").string(), loaded, &error));
+  EXPECT_EQ(error.line, 0);  // File-level failure, no line to blame.
+}
+
+// --- Malformed-input rejection: the replay path makes the parsers load-bearing,
+// so every broken row must fail with the offending line number. ---
+
+class CsvRejectionTest : public RoundTripTest {
+ protected:
+  std::string WriteCsv(const char* name, const std::string& content) {
+    const std::string path = (dir_ / name).string();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+    return path;
+  }
+  static constexpr const char* kRequestsHeader =
+      "timestamp_us,pod_id,cluster,function,user,request_id,"
+      "execution_time_us,cpu_millicores,memory_bytes\n";
+};
+
+TEST_F(CsvRejectionTest, TruncatedRowReportsLine) {
+  const std::string path = WriteCsv(
+      "truncated.csv", std::string(kRequestsHeader) +
+                           "30000000,1,R1-c2,0,0,7,50000,250,2097152\n"
+                           "90000000,1,R1-c2\n");
+  TraceStore store;
+  CsvError error;
+  EXPECT_FALSE(ReadRequestsCsv(path, store, &error));
+  EXPECT_EQ(error.line, 3);
+  EXPECT_NE(error.message.find("truncated"), std::string::npos) << error.message;
+  EXPECT_EQ(store.requests().size(), 1u);  // Rows before the break were parsed.
+}
+
+TEST_F(CsvRejectionTest, NonNumericFieldReportsLineAndField) {
+  const std::string path = WriteCsv(
+      "nonnumeric.csv", std::string(kRequestsHeader) +
+                            "abc,1,R1-c2,0,0,7,50000,250,2097152\n");
+  TraceStore store;
+  CsvError error;
+  EXPECT_FALSE(ReadRequestsCsv(path, store, &error));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("timestamp_us"), std::string::npos) << error.message;
+  EXPECT_NE(error.message.find("abc"), std::string::npos) << error.message;
+}
+
+TEST_F(CsvRejectionTest, OutOfRangeValuesRejected) {
+  TraceStore store;
+  CsvError error;
+  // cpu_millicores overflows uint16.
+  EXPECT_FALSE(ReadRequestsCsv(
+      WriteCsv("cpu.csv", std::string(kRequestsHeader) +
+                              "1,1,R1-c2,0,0,7,50000,70000,2097152\n"),
+      store, &error));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("cpu_millicores"), std::string::npos);
+  // Region beyond R5 and cluster beyond c3.
+  EXPECT_FALSE(ReadRequestsCsv(
+      WriteCsv("region.csv", std::string(kRequestsHeader) +
+                                 "1,1,R9-c2,0,0,7,50000,250,2097152\n"),
+      store, &error));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_FALSE(ReadRequestsCsv(
+      WriteCsv("cluster.csv", std::string(kRequestsHeader) +
+                                  "1,1,R1-c7,0,0,7,50000,250,2097152\n"),
+      store, &error));
+  EXPECT_EQ(error.line, 2);
+  // Negative value in an unsigned column.
+  EXPECT_FALSE(ReadRequestsCsv(
+      WriteCsv("negative.csv", std::string(kRequestsHeader) +
+                                   "1,-4,R1-c2,0,0,7,50000,250,2097152\n"),
+      store, &error));
+  EXPECT_EQ(error.line, 2);
+}
+
+TEST_F(CsvRejectionTest, FunctionIdValidatedAgainstLoadedTable) {
+  // With a 2-entry function table loaded, a request naming function 99 is an
+  // out-of-range id, not silently-accepted garbage.
+  const TraceStore exported = MakeTinyStore();
+  const std::string fn_path = (dir_ / "fn.csv").string();
+  ASSERT_TRUE(WriteFunctionsCsv(exported, fn_path));
+  TraceStore store;
+  ASSERT_TRUE(ReadFunctionsCsv(fn_path, store));
+  CsvError error;
+  EXPECT_FALSE(ReadRequestsCsv(
+      WriteCsv("badfn.csv", std::string(kRequestsHeader) +
+                                "1,1,R1-c2,99,0,7,50000,250,2097152\n"),
+      store, &error));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("out of range"), std::string::npos) << error.message;
+}
+
+TEST_F(CsvRejectionTest, HashedIdExportIsNotReadable) {
+  // Release-format files carry one-way hashed ids; the old reader silently
+  // parsed them as zeros, the hardened reader rejects them.
+  const TraceStore store = MakeTinyStore();
+  const std::string path = (dir_ / "hashed.csv").string();
+  CsvExportOptions opts;
+  opts.hash_ids = true;
+  ASSERT_TRUE(WriteRequestsCsv(store, path, opts));
+  TraceStore loaded;
+  CsvError error;
+  EXPECT_FALSE(ReadRequestsCsv(path, loaded, &error));
+  EXPECT_EQ(error.line, 2);
+}
+
+TEST_F(CsvRejectionTest, ColdStartAndPodReadersRejectBadRows) {
+  TraceStore store;
+  CsvError error;
+  EXPECT_FALSE(ReadColdStartsCsv(
+      WriteCsv("cs.csv",
+               "timestamp_us,pod_id,cluster,function,user,cold_start_us,"
+               "pod_alloc_us,deploy_code_us,deploy_dep_us,scheduling_us\n"
+               "1,1,R1-c2,0,0,6000,1000,2000,0,xyz\n"),
+      store, &error));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("scheduling_us"), std::string::npos) << error.message;
+
+  EXPECT_FALSE(ReadPodsCsv(
+      WriteCsv("pods.csv",
+               "pod_id,function,region,cluster,cpu_mem,cold_start_begin_us,ready_us,"
+               "last_busy_end_us,death_us,cold_start_us,requests_served\n"
+               "1,0,R1,2,no-such-config,1,2,3,4,100,1\n"),
+      store, &error));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("cpu_mem"), std::string::npos) << error.message;
+
+  EXPECT_FALSE(ReadFunctionsCsv(
+      WriteCsv("fn_sparse.csv",
+               "function,user,region,runtime,trigger_type,trigger_mask,cpu_mem\n"
+               "5,0,R1,Python3,TIMER-A,4,300-128\n"),
+      store, &error));
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("dense"), std::string::npos) << error.message;
 }
 
 }  // namespace
