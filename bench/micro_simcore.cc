@@ -333,4 +333,26 @@ BENCHMARK(BM_ShardedExperiment)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// Full-trace vs streaming-sink recording on the identical serial simulation: the
+// argument is the TraceMode (0 = kFull materializes every record in a TraceStore,
+// 1 = kStreaming folds records into StreamingAggregates). The delta is the pure
+// record-append/seal overhead of full materialization; the memory story (O(days)
+// vs O(1)) is quantified by bench_abl08_streaming and the year_scale example.
+static void BM_TraceModeExperiment(benchmark::State& state) {
+  core::ScenarioConfig config = core::SmallScenario();
+  config.days = 3;
+  config.trace_mode =
+      state.range(0) == 0 ? core::TraceMode::kFull : core::TraceMode::kStreaming;
+  for (auto _ : state) {
+    core::Experiment experiment(config);
+    const auto result = experiment.Run(nullptr, /*num_threads=*/1);
+    benchmark::DoNotOptimize(result.events_processed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceModeExperiment)
+    ->Arg(0)   // kFull.
+    ->Arg(1)   // kStreaming.
+    ->Unit(benchmark::kMillisecond);
+
 BENCHMARK_MAIN();

@@ -8,17 +8,34 @@ std::vector<std::string> QuantileHeaders(const std::string& label_header) {
   return {label_header, "count", "p10", "p25", "p50", "p75", "p90", "p99", "mean"};
 }
 
-void AddQuantileRow(TextTable& table, const std::string& label, const stats::Ecdf& ecdf) {
+namespace {
+
+// One row shape for every quantile source (exact Ecdf or streaming histogram):
+// anything with Quantile(double) and Mean() fits.
+template <typename Distribution>
+void AddRow(TextTable& table, const std::string& label, uint64_t count,
+            const Distribution& dist) {
   table.Row()
       .Cell(label)
-      .Cell(static_cast<uint64_t>(ecdf.size()))
-      .Cell(ecdf.Quantile(0.10), 4)
-      .Cell(ecdf.Quantile(0.25), 4)
-      .Cell(ecdf.Quantile(0.50), 4)
-      .Cell(ecdf.Quantile(0.75), 4)
-      .Cell(ecdf.Quantile(0.90), 4)
-      .Cell(ecdf.Quantile(0.99), 4)
-      .Cell(ecdf.Mean(), 4);
+      .Cell(count)
+      .Cell(dist.Quantile(0.10), 4)
+      .Cell(dist.Quantile(0.25), 4)
+      .Cell(dist.Quantile(0.50), 4)
+      .Cell(dist.Quantile(0.75), 4)
+      .Cell(dist.Quantile(0.90), 4)
+      .Cell(dist.Quantile(0.99), 4)
+      .Cell(dist.Mean(), 4);
+}
+
+}  // namespace
+
+void AddQuantileRow(TextTable& table, const std::string& label, const stats::Ecdf& ecdf) {
+  AddRow(table, label, static_cast<uint64_t>(ecdf.size()), ecdf);
+}
+
+void AddQuantileRow(TextTable& table, const std::string& label,
+                    const LogHistogram& hist) {
+  AddRow(table, label, hist.total_count(), hist);
 }
 
 TextTable CdfCurveTable(const std::string& x_header, const stats::Ecdf& ecdf, int points) {

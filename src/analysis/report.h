@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/table.h"
 #include "stats/correlation.h"
 #include "stats/ecdf.h"
@@ -13,9 +14,16 @@
 namespace coldstart::analysis {
 
 // Appends one row "label, count, p10, p25, p50, p75, p90, p99, mean" to `table`.
-// The table must have been created with QuantileHeaders().
+// The table must have been created with QuantileHeaders(). Empty distributions
+// render as count 0 with "n/a" statistics — never fabricated zeros.
 std::vector<std::string> QuantileHeaders(const std::string& label_header);
 void AddQuantileRow(TextTable& table, const std::string& label, const stats::Ecdf& ecdf);
+// Same row from a streaming LogHistogram (trace::StreamingAggregates): quantiles
+// carry bucket-resolution error (one bucket-growth factor, ~2.3% at 64/decade)
+// instead of being exact, which is what lets the month/year-scale streaming runs
+// report without materializing samples.
+void AddQuantileRow(TextTable& table, const std::string& label,
+                    const LogHistogram& hist);
 
 // Renders a CDF as `points` (x, F(x)) rows with log-spaced x.
 TextTable CdfCurveTable(const std::string& x_header, const stats::Ecdf& ecdf,

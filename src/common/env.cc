@@ -1,0 +1,90 @@
+#include "common/env.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace coldstart {
+
+std::optional<int64_t> ParseInt(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  size_t i = 0;
+  const bool negative = text[0] == '-';
+  if (negative) {
+    i = 1;
+  }
+  if (i == text.size()) {
+    return std::nullopt;
+  }
+  // Accumulate negated: |INT64_MIN| > INT64_MAX, so the negative range is the
+  // wider one and never overflows first.
+  int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    const int digit = c - '0';
+    if (value < (INT64_MIN + digit) / 10) {
+      return std::nullopt;  // Would overflow.
+    }
+    value = value * 10 - digit;
+  }
+  if (!negative) {
+    if (value == INT64_MIN) {
+      return std::nullopt;  // 9223372036854775808 has no positive representation.
+    }
+    value = -value;
+  }
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  const std::string copy(text);  // strtod needs NUL termination.
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+int64_t ParseEnvInt(const char* name, int64_t fallback, int64_t min, int64_t max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) {
+    return fallback;
+  }
+  const std::optional<int64_t> parsed = ParseInt(env);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "fatal: %s=\"%s\" is not a valid integer\n", name, env);
+    std::abort();
+  }
+  if (*parsed < min || *parsed > max) {
+    std::fprintf(stderr,
+                 "fatal: %s=%" PRId64 " is outside the allowed range [%" PRId64
+                 ", %" PRId64 "]\n",
+                 name, *parsed, min, max);
+    std::abort();
+  }
+  return *parsed;
+}
+
+std::string ParseEnvString(const char* name, const std::string& fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) {
+    return fallback;
+  }
+  if (*env == '\0') {
+    std::fprintf(stderr, "fatal: %s is set but empty\n", name);
+    std::abort();
+  }
+  return env;
+}
+
+}  // namespace coldstart

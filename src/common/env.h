@@ -1,0 +1,39 @@
+// Validated environment-variable parsing.
+//
+// Every knob the lab reads from the environment goes through these helpers. The
+// contract is fail-loud: an unset variable falls back to the default, but a set
+// variable that is empty, non-numeric, has trailing junk, overflows, or falls
+// outside the allowed range aborts with a message naming the variable — a typo in
+// COLDSTART_THREADS must never silently become "use the default".
+#ifndef COLDSTART_COMMON_ENV_H_
+#define COLDSTART_COMMON_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace coldstart {
+
+// Strict whole-string decimal integer parse (optional leading '-'). Empty text,
+// non-digits, trailing junk, and values outside int64_t all return nullopt.
+std::optional<int64_t> ParseInt(std::string_view text);
+
+// Strict whole-string finite-double parse: the entire text must be consumed and
+// the value must be finite. The CLI-argument counterpart of ParseInt, shared by
+// the binaries whose arguments gate CI (a typo'd scale must not silently become
+// 0 and turn the run into a vacuous pass).
+std::optional<double> ParseDouble(std::string_view text);
+
+// Integer environment variable: unset -> `fallback` (which may lie outside
+// [min, max] — e.g. a "not configured" sentinel). Set but malformed or outside
+// [min, max] -> prints the variable name and offending value to stderr and aborts.
+int64_t ParseEnvInt(const char* name, int64_t fallback, int64_t min, int64_t max);
+
+// String environment variable: unset -> `fallback`; set but empty -> aborts
+// (an empty COLDSTART_CACHE_DIR is a typo, not a request for the default).
+std::string ParseEnvString(const char* name, const std::string& fallback);
+
+}  // namespace coldstart
+
+#endif  // COLDSTART_COMMON_ENV_H_

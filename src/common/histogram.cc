@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -77,7 +78,8 @@ void LogHistogram::Reset() {
 }
 
 double LogHistogram::Mean() const {
-  return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+  return total_count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
+                           : sum_ / static_cast<double>(total_count_);
 }
 
 double LogHistogram::bucket_lower(int i) const {
@@ -86,7 +88,7 @@ double LogHistogram::bucket_lower(int i) const {
 
 double LogHistogram::Quantile(double q) const {
   if (total_count_ == 0) {
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();  // No samples, no quantiles.
   }
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(total_count_ - 1);

@@ -27,10 +27,12 @@ class LogHistogram {
   double min_recorded() const { return min_recorded_; }
   double max_recorded() const { return max_recorded_; }
   double sum() const { return sum_; }
+  // NaN for an empty histogram.
   double Mean() const;
 
   // Value at quantile q in [0, 1]; returns the geometric midpoint of the bucket that
-  // contains the q-th sample. Returns 0 for an empty histogram.
+  // contains the q-th sample, clamped to [min_recorded, max_recorded] (so a
+  // single-sample histogram returns that sample exactly). NaN for an empty histogram.
   double Quantile(double q) const;
 
   // Fraction of recorded values <= value.

@@ -1,0 +1,17 @@
+#include "common/rusage.h"
+
+#include <sys/resource.h>
+
+namespace coldstart {
+
+double PeakRssMb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // Bytes.
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KB.
+#endif
+}
+
+}  // namespace coldstart

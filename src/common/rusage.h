@@ -1,0 +1,14 @@
+// Process resource-usage probes for the memory-budget benches and examples.
+#ifndef COLDSTART_COMMON_RUSAGE_H_
+#define COLDSTART_COMMON_RUSAGE_H_
+
+namespace coldstart {
+
+// Peak resident set size of this process in MB (getrusage ru_maxrss; KB on
+// Linux, bytes on macOS — the platform difference is handled here). Monotonic:
+// measure the smaller of two runs first.
+double PeakRssMb();
+
+}  // namespace coldstart
+
+#endif  // COLDSTART_COMMON_RUSAGE_H_

@@ -11,7 +11,9 @@ namespace coldstart {
 std::string FormatDouble(double v, int precision) {
   char buf[64];
   if (std::isnan(v)) {
-    return "nan";
+    // Statistics of empty sample sets are NaN by contract (stats/ecdf.h,
+    // common/histogram.h); render them as explicit n/a, never as a number.
+    return "n/a";
   }
   const double a = std::fabs(v);
   if (a != 0.0 && (a >= 1e7 || a < 1e-4)) {

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "core/sweep.h"
 #include "trace/binary_io.h"
 #include "workload/arrivals.h"
@@ -74,6 +75,7 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
   const auto wall_start = std::chrono::steady_clock::now();
 
   ExperimentResult result;
+  result.mode = config_.trace_mode;
   const workload::Calendar calendar = config_.MakeCalendar();
   const std::vector<workload::RegionProfile> profiles = config_.ScaledProfiles();
 
@@ -81,13 +83,17 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
   std::vector<workload::ArrivalEvent> arrivals = config_.workload_source().Arrivals(
       result.population, profiles, calendar, config_.seed);
 
+  const bool streaming = config_.trace_mode == TraceMode::kStreaming;
+  trace::TraceSink& sink =
+      streaming ? static_cast<trace::TraceSink&>(result.streaming)
+                : static_cast<trace::TraceSink&>(result.store);
   sim::Simulator sim;
-  platform::Platform platform(result.population, profiles, calendar, sim, result.store,
+  platform::Platform platform(result.population, profiles, calendar, sim, sink,
                               PlatformOptions(config_), policy);
   platform.InjectArrivals(std::move(arrivals));
   sim.RunUntil(calendar.horizon());
   platform.Finalize();
-  result.store.Seal();
+  result.store.Seal();  // No-op in streaming mode (the store stayed empty).
 
   ResizeStats(result, profiles.size());
   for (size_t r = 0; r < profiles.size(); ++r) {
@@ -118,6 +124,8 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   const auto wall_start = std::chrono::steady_clock::now();
 
   ExperimentResult result;
+  result.mode = config_.trace_mode;
+  const bool streaming = config_.trace_mode == TraceMode::kStreaming;
   const workload::Calendar calendar = config_.MakeCalendar();
   const std::vector<workload::RegionProfile> profiles = config_.ScaledProfiles();
   const size_t regions = profiles.size();
@@ -149,7 +157,8 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   // only immutable inputs, so they are free of data races by construction; the
   // TSan job pins that.
   struct ShardOutcome {
-    trace::TraceStore store;
+    trace::TraceStore store;                  // kFull.
+    trace::StreamingAggregates streaming;     // kStreaming.
     uint64_t events = 0;
   };
   std::vector<ShardOutcome> shards(regions);
@@ -160,9 +169,12 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   ParallelSweep sweep(num_threads);
   for (size_t r = 0; r < regions; ++r) {
     sweep.Add([&, r] {
+      trace::TraceSink& sink =
+          streaming ? static_cast<trace::TraceSink&>(shards[r].streaming)
+                    : static_cast<trace::TraceSink&>(shards[r].store);
       sim::Simulator sim;
       platform::Platform platform(population, profiles, calendar, sim,
-                                  shards[r].store, PlatformOptions(config),
+                                  sink, PlatformOptions(config),
                                   clones[r].get());
       platform.InjectArrivals(std::move(shard_arrivals[r]));
       sim.RunUntil(calendar.horizon());
@@ -181,16 +193,26 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
     }
   }
 
-  // Deterministic merge: every shard emitted the identical function table, and
-  // Seal() orders the event tables by the canonical (time, region, id) key, so the
-  // merged store is byte-identical to the serial run's regardless of shard
-  // scheduling.
-  result.store = std::move(shards[0].store);
-  for (size_t r = 1; r < regions; ++r) {
-    result.store.AppendFrom(std::move(shards[r].store));
-    result.events_processed += shards[r].events;
+  // Deterministic merge. kFull: every shard emitted the identical function table,
+  // and Seal() orders the event tables by the canonical (time, region, id) key, so
+  // the merged store is byte-identical to the serial run's regardless of shard
+  // scheduling. kStreaming: shard aggregates fold region-by-region in index order —
+  // each region's accumulators were fed the same record sequence the serial run
+  // feeds them, so the merged aggregates are identical at any thread count.
+  if (streaming) {
+    result.streaming = std::move(shards[0].streaming);
+    for (size_t r = 1; r < regions; ++r) {
+      result.streaming.MergeFrom(shards[r].streaming);
+    }
+  } else {
+    result.store = std::move(shards[0].store);
+    for (size_t r = 1; r < regions; ++r) {
+      result.store.AppendFrom(std::move(shards[r].store));
+    }
   }
-  result.events_processed += shards[0].events;
+  for (const ShardOutcome& shard : shards) {
+    result.events_processed += shard.events;
+  }
   result.store.Seal();
 
   result.sim_wall_seconds =
@@ -209,13 +231,17 @@ WorkloadSnapshot SnapshotWorkload(const ScenarioConfig& config) {
 }
 
 std::string Experiment::DefaultCacheDir() {
-  if (const char* env = std::getenv("COLDSTART_CACHE_DIR"); env != nullptr && *env != '\0') {
-    return env;
-  }
-  return "coldstart_cache";
+  return ParseEnvString("COLDSTART_CACHE_DIR", "coldstart_cache");
 }
 
-ExperimentResult Experiment::RunCached(const std::string& cache_dir) const {
+ExperimentResult Experiment::RunCached(const std::string& cache_dir,
+                                       platform::PlatformPolicy* policy) const {
+  // Policy runs must use Run(): a policy changes the emitted trace, and caching it
+  // under the baseline fingerprint would silently poison every later baseline read.
+  COLDSTART_CHECK(policy == nullptr && "RunCached is baseline-only; use Run(policy)");
+  // The cache persists full traces; a streaming run has no store to cache.
+  COLDSTART_CHECK(config_.trace_mode == TraceMode::kFull &&
+                  "RunCached requires TraceMode::kFull");
   namespace fs = std::filesystem;
   // v3 filename scheme: fingerprints now also cover the workload source, so files
   // written under the old schemes (which could not tell a replay run from a

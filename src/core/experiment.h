@@ -13,6 +13,14 @@
 // $COLDSTART_THREADS, else hardware_concurrency; pass num_threads = 1 to force the
 // serial path.
 //
+// Trace recording obeys config.trace_mode: kFull materializes the exact record
+// tables in result.store; kStreaming folds records into result.streaming in O(1)
+// trace memory (per-shard streaming aggregates merge in region order, so counters,
+// integer latency sums, and histogram bucket contents are identical at any thread
+// count — same determinism contract as the full-trace path). Note the arrival
+// stream is still generated as one vector up front, so total run memory keeps an
+// O(days) term in both modes — several times smaller than a full trace store.
+//
 // RunCached() additionally persists the baseline (policy-free) trace — including the
 // per-region platform aggregates — keyed by the scenario fingerprint, so the many
 // bench binaries that analyze the same scenario simulate it only once and a cache
@@ -25,11 +33,18 @@
 
 #include "core/scenario.h"
 #include "platform/platform.h"
+#include "trace/streaming_aggregates.h"
+#include "trace/trace_store.h"
 
 namespace coldstart::core {
 
 struct ExperimentResult {
-  trace::TraceStore store;            // Sealed; horizon set.
+  TraceMode mode = TraceMode::kFull;
+  // kFull: sealed, horizon set. kStreaming: left empty — `streaming` holds the run.
+  trace::TraceStore store;
+  // kStreaming: per-region/per-trigger-group counters + histograms, merged across
+  // shards in region order. kFull: empty (derive with trace::AggregatesFromStore).
+  trace::StreamingAggregates streaming;
   workload::Population population;    // Empty when loaded from cache.
   bool from_cache = false;
 
@@ -65,8 +80,12 @@ class Experiment {
   bool CanShard(platform::PlatformPolicy* policy) const;
 
   // Baseline run with trace caching under `cache_dir`. Policy runs must use Run()
-  // (policies change the trace, which would poison the cache).
-  ExperimentResult RunCached(const std::string& cache_dir) const;
+  // (policies change the trace, which would poison the cache) — enforced: passing a
+  // non-null policy CHECK-fails rather than silently contaminating the cache. The
+  // defaulted parameter exists only to make that misuse loud. Requires
+  // TraceMode::kFull (the cache persists full traces).
+  ExperimentResult RunCached(const std::string& cache_dir,
+                             platform::PlatformPolicy* policy = nullptr) const;
 
   // Default cache directory: $COLDSTART_CACHE_DIR or ./coldstart_cache.
   static std::string DefaultCacheDir();

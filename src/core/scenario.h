@@ -13,11 +13,23 @@
 
 namespace coldstart::core {
 
+// How a run records its trace. kFull materializes every record in a TraceStore
+// (memory grows with trace length; required by the post-hoc figure analyses).
+// kStreaming folds records into StreamingAggregates on the fly — trace memory is
+// O(1) in the trace length, the only mode whose record side fits month/year-scale
+// runs in RAM. (The materialized exogenous arrival stream remains the run's one
+// linear-in-days memory term in both modes; streaming its generation is a ROADMAP
+// item.)
+enum class TraceMode : uint8_t { kFull = 0, kStreaming };
+
 struct ScenarioConfig {
   uint64_t seed = 42;
   int days = 31;       // Trace length; the paper's dataset covers 31 days.
   double scale = 1.0;  // Scales function counts and pool sizes (for quick runs).
   bool record_requests = true;
+  // Trace recording mode. Not part of Fingerprint(): it changes what is retained,
+  // never what the platform emits. RunCached() requires kFull.
+  TraceMode trace_mode = TraceMode::kFull;
   // Baseline keep-alive granted to idle pods when no policy overrides it (§2.2).
   SimDuration default_keep_alive = kMinute;
   // Regions to simulate; defaults to the five calibrated profiles.

@@ -2,19 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "common/env.h"
+
 namespace coldstart::core {
 
 int ParallelSweep::DefaultThreads() {
-  if (const char* env = std::getenv("COLDSTART_THREADS"); env != nullptr && *env != '\0') {
-    const int n = std::atoi(env);
-    if (n > 0) {
-      return n;
-    }
+  // Validated: a malformed COLDSTART_THREADS (garbage, 0, negative, overflow)
+  // aborts instead of silently becoming "use hardware_concurrency".
+  constexpr int64_t kMaxThreads = 4096;
+  const int64_t n = ParseEnvInt("COLDSTART_THREADS", 0, 1, kMaxThreads);
+  if (n > 0) {
+    return static_cast<int>(n);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

@@ -37,8 +37,9 @@ class ParallelSweep {
 
   int num_threads() const { return num_threads_; }
 
-  // $COLDSTART_THREADS when set to a positive integer, else hardware_concurrency
-  // (at least 1).
+  // $COLDSTART_THREADS when set (must be a valid integer in [1, 4096] — garbage,
+  // 0, negative, and overflowing values abort loudly rather than silently meaning
+  // "default"), else hardware_concurrency (at least 1).
   static int DefaultThreads();
 
  private:

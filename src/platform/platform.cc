@@ -16,12 +16,12 @@ using workload::FunctionSpec;
 Platform::Platform(const workload::Population& population,
                    const std::vector<workload::RegionProfile>& profiles,
                    const workload::Calendar& calendar, sim::Simulator& sim,
-                   trace::TraceStore& store, Options options, PlatformPolicy* policy)
+                   trace::TraceSink& sink, Options options, PlatformPolicy* policy)
     : population_(population),
       profiles_(profiles),
       calendar_(calendar),
       sim_(sim),
-      store_(store),
+      sink_(sink),
       options_(options),
       policy_(policy),
       arrival_cursor_(this) {
@@ -67,7 +67,7 @@ Platform::Platform(const workload::Population& population,
     rec.primary_trigger = f.primary_trigger;
     rec.trigger_mask = f.trigger_mask;
     rec.config = f.config;
-    store_.AddFunction(rec);
+    sink_.OnFunction(rec);
   }
 
   if (policy_ != nullptr) {
@@ -316,7 +316,7 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
     rec.deploy_code_us = static_cast<uint32_t>(comp.deploy_code);
     rec.deploy_dep_us = static_cast<uint32_t>(comp.deploy_dep);
     rec.scheduling_us = static_cast<uint32_t>(comp.scheduling);
-    store_.AddColdStart(rec);
+    sink_.OnColdStart(rec);
     if (policy_ != nullptr) {
       policy_->OnColdStart(spec, now, comp.total());
     }
@@ -375,7 +375,7 @@ void Platform::OnRequestComplete(SlabHandle handle, SimTime exec_start,
     mem_kb = std::clamp(mem_kb, 1024.0,
                         1024.0 * static_cast<double>(MemoryMbOf(spec.config)));
     rec.memory_kb = static_cast<uint32_t>(mem_kb);
-    store_.AddRequest(rec);
+    sink_.OnRequest(rec);
   }
   ++loads_[pod->region].total_requests;
 
@@ -432,7 +432,7 @@ void Platform::KillPod(Pod* pod, SimTime death_time) {
   rec.death_time = death_time;
   rec.cold_start_us = pod->cold_start_us;
   rec.requests_served = pod->served;
-  store_.AddPodLifetime(rec);
+  sink_.OnPodLifetime(rec);
 
   auto& pods = states_[pod->function].pods;
   const auto it = std::find(pods.begin(), pods.end(), pod);
@@ -498,7 +498,7 @@ void Platform::SpawnPrewarmedPod(FunctionId function, RegionId region,
 }
 
 void Platform::Finalize() {
-  store_.set_horizon(calendar_.horizon());
+  sink_.OnHorizon(calendar_.horizon());
   // Pods alive at the end of the trace are censored at the horizon, mirroring how the
   // dataset's month boundary truncates pod lifetimes.
   std::vector<Pod*> remaining;

@@ -2,7 +2,8 @@
 //
 // One Platform instance hosts all five regions: per-region resource pools, cold-start
 // pipelines, and load state, plus per-function pod sets with keep-alive management.
-// Driven by a Simulator; emits the Table 1 trace streams into a TraceStore.
+// Driven by a Simulator; emits the Table 1 trace streams into a TraceSink (an exact
+// TraceStore, or a StreamingAggregates for O(1)-memory runs).
 //
 // Request path: arrival -> (optional policy admission delay for async triggers) ->
 // find a pod with a free concurrency slot (warm preferred, warming accepted) ->
@@ -27,7 +28,7 @@
 #include "platform/policy_hooks.h"
 #include "platform/resource_pool.h"
 #include "sim/simulator.h"
-#include "trace/trace_store.h"
+#include "trace/trace_sink.h"
 #include "workload/arrivals.h"
 
 namespace coldstart::platform {
@@ -61,10 +62,12 @@ class Platform {
     SimDuration default_keep_alive = kMinute;
   };
 
+  // `sink` receives every emitted record: a TraceStore for exact full-trace runs,
+  // a StreamingAggregates for O(1)-memory streaming runs (or any custom sink).
   Platform(const workload::Population& population,
            const std::vector<workload::RegionProfile>& profiles,
            const workload::Calendar& calendar, sim::Simulator& sim,
-           trace::TraceStore& store, Options options,
+           trace::TraceSink& sink, Options options,
            PlatformPolicy* policy = nullptr);
   // The Simulator must outlive the Platform: the destructor detaches the
   // arrival cursor from `sim` so no dangling EventSource is left behind.
@@ -151,7 +154,7 @@ class Platform {
   std::vector<workload::RegionProfile> profiles_;
   workload::Calendar calendar_;
   sim::Simulator& sim_;
-  trace::TraceStore& store_;
+  trace::TraceSink& sink_;
   Options options_;
   PlatformPolicy* policy_;  // Not owned; may be null.
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -28,10 +29,14 @@ const std::vector<double>& Ecdf::sorted_samples() const {
   return samples_;
 }
 
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
 double Ecdf::Quantile(double q) const {
   COLDSTART_CHECK(sealed_);
   if (samples_.empty()) {
-    return 0.0;
+    return kNan;  // An empty sample set has no quantiles; renderers show "n/a".
   }
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(samples_.size() - 1);
@@ -52,7 +57,7 @@ double Ecdf::CdfAt(double x) const {
 
 double Ecdf::Mean() const {
   if (samples_.empty()) {
-    return 0.0;
+    return kNan;
   }
   double s = 0;
   for (const double v : samples_) {
@@ -62,6 +67,9 @@ double Ecdf::Mean() const {
 }
 
 double Ecdf::StdDev() const {
+  if (samples_.empty()) {
+    return kNan;
+  }
   if (samples_.size() < 2) {
     return 0.0;
   }
@@ -78,6 +86,9 @@ SummaryStats Ecdf::Summary() const {
   SummaryStats s;
   s.count = samples_.size();
   if (samples_.empty()) {
+    // No fabricated zeros: every statistic of an empty set is NaN ("n/a" in
+    // tables), so an empty group can never masquerade as an all-zero one.
+    s.mean = s.stddev = s.min = s.p25 = s.median = s.p75 = s.p99 = s.max = kNan;
     return s;
   }
   s.mean = Mean();

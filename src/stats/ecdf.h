@@ -36,11 +36,16 @@ class Ecdf {
   bool empty() const { return samples_.empty(); }
 
   // Exact sample quantile (linear interpolation between order statistics).
+  // Empty sample set -> NaN (rendered as "n/a" by the table layer), never a
+  // fabricated 0.
   double Quantile(double q) const;
-  // P(X <= x).
+  // P(X <= x). Empty sample set -> 0 (no sample is <= x).
   double CdfAt(double x) const;
+  // NaN when empty.
   double Mean() const;
+  // NaN when empty; 0 for a single sample.
   double StdDev() const;
+  // count = 0 and every statistic NaN when empty.
   SummaryStats Summary() const;
 
   // Evaluates the ECDF at `n` log-spaced points spanning [min, max]; used by benches

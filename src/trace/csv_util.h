@@ -11,10 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/env.h"
 #include "trace/csv.h"
 
 namespace coldstart::trace::csv_internal {
@@ -88,24 +90,14 @@ inline bool ParseU64(const std::string& field, uint64_t max, uint64_t& out) {
   return true;
 }
 
-// Signed decimal (optional leading '-').
+// Signed decimal (optional leading '-'); one strict parser for the whole repo —
+// delegates to coldstart::ParseInt so CSV fields and env vars can never drift.
 inline bool ParseI64(const std::string& field, int64_t& out) {
-  const size_t digits_from = field.empty() ? 0 : (field[0] == '-' ? 1 : 0);
-  if (field.size() == digits_from) {
+  const std::optional<int64_t> v = ParseInt(field);
+  if (!v.has_value()) {
     return false;
   }
-  for (size_t i = digits_from; i < field.size(); ++i) {
-    if (field[i] < '0' || field[i] > '9') {
-      return false;
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(field.c_str(), &end, 10);
-  if (errno == ERANGE || end != field.c_str() + field.size()) {
-    return false;
-  }
-  out = v;
+  out = *v;
   return true;
 }
 

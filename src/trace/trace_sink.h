@@ -1,0 +1,35 @@
+// The record-emission interface that decouples *recording* a trace from *storing* one.
+//
+// The platform emits one callback per Table 1 record as simulation time advances; what
+// happens to the record is the sink's business. TraceStore (the in-memory columnar
+// store every post-hoc analysis runs over) is one sink; StreamingAggregates folds each
+// record into O(1)-memory counters and histograms on the fly, which is what makes
+// month- and year-scale runs possible without materializing hundreds of MB of tables.
+//
+// Contract: OnFunction is called once per function, before any event-stream callback
+// that references it (the platform writes the whole function table at construction).
+// OnRequest/OnColdStart/OnPodLifetime arrive in simulation emission order, which for
+// any single region is identical between a serial run and that region's shard — the
+// invariant that lets per-region streaming accumulators merge deterministically.
+// OnHorizon is called once per run, at Finalize().
+#ifndef COLDSTART_TRACE_TRACE_SINK_H_
+#define COLDSTART_TRACE_TRACE_SINK_H_
+
+#include "trace/records.h"
+
+namespace coldstart::trace {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void OnFunction(const FunctionRecord& r) = 0;
+  virtual void OnRequest(const RequestRecord& r) = 0;
+  virtual void OnColdStart(const ColdStartRecord& r) = 0;
+  virtual void OnPodLifetime(const PodLifetimeRecord& r) = 0;
+  virtual void OnHorizon(SimTime horizon) = 0;
+};
+
+}  // namespace coldstart::trace
+
+#endif  // COLDSTART_TRACE_TRACE_SINK_H_

@@ -1,20 +1,23 @@
-// In-memory columnar store for one scenario's traces.
+// In-memory columnar store for one scenario's traces: the exact-record TraceSink.
 //
 // One TraceStore holds all five regions' tables, exactly as a month of the released
 // dataset would. Append during simulation, Seal() once, then run analyses. Records are
 // stored in flat vectors; Seal() sorts into a canonical (timestamp, region, id) total
 // order so analyses can assume time order and so a store assembled from per-region
 // shards (AppendFrom) seals to exactly the same byte sequence as a serial run.
+// Runs that cannot afford full materialization emit into a StreamingAggregates sink
+// instead (TraceMode::kStreaming).
 #ifndef COLDSTART_TRACE_TRACE_STORE_H_
 #define COLDSTART_TRACE_TRACE_STORE_H_
 
 #include <vector>
 
 #include "trace/records.h"
+#include "trace/trace_sink.h"
 
 namespace coldstart::trace {
 
-class TraceStore {
+class TraceStore final : public TraceSink {
  public:
   TraceStore() = default;
 
@@ -30,6 +33,13 @@ class TraceStore {
 
   // Registers a function; function_id must equal the current table size (dense ids).
   void AddFunction(const FunctionRecord& r);
+
+  // TraceSink: emission appends to the tables.
+  void OnRequest(const RequestRecord& r) override { AddRequest(r); }
+  void OnColdStart(const ColdStartRecord& r) override { AddColdStart(r); }
+  void OnPodLifetime(const PodLifetimeRecord& r) override { AddPodLifetime(r); }
+  void OnFunction(const FunctionRecord& r) override { AddFunction(r); }
+  void OnHorizon(SimTime horizon) override { set_horizon(horizon); }
 
   // Merges another shard of the same scenario into this store: request, cold-start,
   // and pod tables are appended (consumed from `other`); the function table — which

@@ -1,17 +1,20 @@
-// Tests for the common layer: RNG, histograms, time formatting, tables, and the
-// small-buffer handler the event queue stores.
+// Tests for the common layer: RNG, histograms, env parsing, time formatting,
+// tables, and the small-buffer handler the event queue stores.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <vector>
 
+#include "common/env.h"
 #include "common/histogram.h"
 #include "common/inline_handler.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/table.h"
+#include "stats/ecdf.h"
 
 namespace coldstart {
 namespace {
@@ -249,6 +252,144 @@ TEST(HistogramTest, MergeAddsCounts) {
   EXPECT_DOUBLE_EQ(a.min_recorded(), 2.0);
 }
 
+TEST(HistogramTest, EmptyStatisticsAreNaN) {
+  const LogHistogram h(1.0, 100.0);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.Mean()));
+  EXPECT_EQ(h.CdfAt(10.0), 0.0);
+}
+
+TEST(HistogramTest, MergeEmptyDoesNotClobberMinMax) {
+  // The guard in Merge(): an empty other's zero-initialized min/max must not leak
+  // into a populated histogram (and merging INTO an empty one must adopt the
+  // source's range, not keep zeros).
+  LogHistogram a(1.0, 100.0), empty(1.0, 100.0);
+  a.Add(2.0);
+  a.Add(50.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.total_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min_recorded(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max_recorded(), 50.0);
+
+  LogHistogram b(1.0, 100.0);
+  b.Merge(a);
+  EXPECT_EQ(b.total_count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min_recorded(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max_recorded(), 50.0);
+
+  LogHistogram c(1.0, 100.0);
+  c.Merge(empty);  // empty.Merge(empty): still no samples, still NaN stats.
+  EXPECT_EQ(c.total_count(), 0u);
+  EXPECT_TRUE(std::isnan(c.Quantile(0.5)));
+}
+
+TEST(HistogramTest, SingleSampleQuantileClampsToSample) {
+  // The bucket midpoint is clamped to [min_recorded, max_recorded], so with one
+  // sample every quantile is that sample exactly — not the midpoint's ~2% error.
+  LogHistogram h(1e-3, 1e3);
+  h.Add(7.25);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 7.25);
+  }
+}
+
+TEST(HistogramTest, CdfAtOutOfRangeValues) {
+  LogHistogram h(1.0, 100.0);
+  h.Add(5.0);
+  h.Add(20.0);
+  EXPECT_EQ(h.CdfAt(1e6), 1.0);     // Above the range: everything recorded is <=.
+  EXPECT_EQ(h.CdfAt(200.0), 1.0);   // Above max_recorded but inside the top bucket.
+  EXPECT_EQ(h.CdfAt(2.0), 0.0);     // Below every sample.
+  // Non-positive values clamp into bucket 0, which holds no samples here.
+  EXPECT_EQ(h.CdfAt(0.0), 0.0);
+  EXPECT_EQ(h.CdfAt(-3.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketGrowthFactorOfExact) {
+  // The streaming-vs-exact error contract the O(1)-memory trace sink relies on:
+  // a log-bucketed quantile is within one bucket growth factor (10^(1/64) at the
+  // default resolution) of the exact Ecdf quantile.
+  constexpr int kBucketsPerDecade = 64;
+  LogHistogram h(1e-3, 1e3, kBucketsPerDecade);
+  stats::Ecdf exact;
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(rng.NextGaussian());
+    h.Add(v);
+    exact.Add(v);
+  }
+  exact.Seal();
+  const double growth = std::pow(10.0, 1.0 / kBucketsPerDecade);
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double approx = h.Quantile(q);
+    const double truth = exact.Quantile(q);
+    EXPECT_LE(approx, truth * growth) << "q=" << q;
+    EXPECT_GE(approx, truth / growth) << "q=" << q;
+  }
+}
+
+// --- Env parsing. ---
+
+TEST(EnvTest, ParseIntAcceptsOnlyWholeDecimalIntegers) {
+  EXPECT_EQ(ParseInt("0"), 0);
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt("-7"), -7);
+  EXPECT_EQ(ParseInt("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(ParseInt("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("-").has_value());
+  EXPECT_FALSE(ParseInt("abc").has_value());
+  EXPECT_FALSE(ParseInt("4x").has_value());       // Trailing junk.
+  EXPECT_FALSE(ParseInt(" 4").has_value());       // No whitespace tolerance.
+  EXPECT_FALSE(ParseInt("4.0").has_value());
+  EXPECT_FALSE(ParseInt("0x10").has_value());
+  EXPECT_FALSE(ParseInt("9223372036854775808").has_value());    // Overflow.
+  EXPECT_FALSE(ParseInt("-9223372036854775809").has_value());   // Underflow.
+  EXPECT_FALSE(ParseInt("99999999999999999999999").has_value());
+}
+
+TEST(EnvTest, ParseDoubleAcceptsOnlyWholeFiniteNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.3").value(), 0.3);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2.5e-3").value(), -2.5e-3);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").value(), 7.0);
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("0.3x").has_value());   // Trailing junk.
+  EXPECT_FALSE(ParseDouble("x0.3").has_value());
+  EXPECT_FALSE(ParseDouble("1e999").has_value());  // Non-finite.
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+}
+
+TEST(EnvTest, ParseEnvIntFallsBackOnlyWhenUnset) {
+  ASSERT_EQ(unsetenv("COLDSTART_ENV_TEST"), 0);
+  EXPECT_EQ(ParseEnvInt("COLDSTART_ENV_TEST", -1, 1, 100), -1);
+  ASSERT_EQ(setenv("COLDSTART_ENV_TEST", "37", 1), 0);
+  EXPECT_EQ(ParseEnvInt("COLDSTART_ENV_TEST", -1, 1, 100), 37);
+  ASSERT_EQ(unsetenv("COLDSTART_ENV_TEST"), 0);
+}
+
+TEST(EnvDeathTest, MalformedValuesDieLoudly) {
+  // The regression this pins: COLDSTART_THREADS=garbage used to atoi() to 0 and
+  // silently mean "default".
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ASSERT_EQ(setenv("COLDSTART_ENV_TEST", "garbage", 1), 0);
+  EXPECT_DEATH(ParseEnvInt("COLDSTART_ENV_TEST", 0, 1, 100),
+               "not a valid integer");
+  ASSERT_EQ(setenv("COLDSTART_ENV_TEST", "", 1), 0);
+  EXPECT_DEATH(ParseEnvInt("COLDSTART_ENV_TEST", 0, 1, 100),
+               "not a valid integer");
+  EXPECT_DEATH(ParseEnvString("COLDSTART_ENV_TEST", "fallback"),
+               "set but empty");
+  ASSERT_EQ(setenv("COLDSTART_ENV_TEST", "-3", 1), 0);
+  EXPECT_DEATH(ParseEnvInt("COLDSTART_ENV_TEST", 0, 1, 100),
+               "outside the allowed range");
+  ASSERT_EQ(setenv("COLDSTART_ENV_TEST", "99999999999999999999", 1), 0);
+  EXPECT_DEATH(ParseEnvInt("COLDSTART_ENV_TEST", 0, 1, 100),
+               "not a valid integer");
+  ASSERT_EQ(unsetenv("COLDSTART_ENV_TEST"), 0);
+}
+
 TEST(HistogramTest, CdfMonotone) {
   LogHistogram h(1e-2, 1e2);
   Rng rng(3);
@@ -283,7 +424,9 @@ TEST(TableTest, CsvOutput) {
 TEST(TableTest, FormatDoubleSwitchesToScientific) {
   EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
   EXPECT_NE(FormatDouble(1e9, 2).find('e'), std::string::npos);
-  EXPECT_EQ(FormatDouble(std::nan(""), 2), "nan");
+  // Empty-distribution statistics are NaN by contract; tables must say so
+  // explicitly instead of printing a number-like "nan".
+  EXPECT_EQ(FormatDouble(std::nan(""), 2), "n/a");
 }
 
 }  // namespace

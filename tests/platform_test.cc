@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "platform/platform.h"
+#include "trace/trace_store.h"
 #include "workload/arrivals.h"
 
 namespace coldstart::platform {

@@ -9,6 +9,7 @@
 #include "policy/predictors.h"
 #include "policy/prewarm.h"
 #include "policy/workflow_prewarm.h"
+#include "trace/trace_store.h"
 
 namespace coldstart::policy {
 namespace {

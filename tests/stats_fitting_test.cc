@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "stats/ecdf.h"
 #include "stats/fitting.h"
@@ -144,10 +145,20 @@ TEST(EcdfTest, CurveLogXIsMonotone) {
 }
 
 TEST(EcdfTest, EmptyIsSafe) {
+  // Empty-set statistics are NaN (rendered "n/a"), never fabricated zeros — the
+  // regression where AddQuantileRow printed all-zero rows for empty groups.
   Ecdf e;
   e.Seal();
-  EXPECT_EQ(e.Quantile(0.5), 0.0);
-  EXPECT_EQ(e.CdfAt(1.0), 0.0);
+  EXPECT_TRUE(std::isnan(e.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(e.Mean()));
+  EXPECT_TRUE(std::isnan(e.StdDev()));
+  const SummaryStats s = e.Summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_TRUE(std::isnan(s.median));
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_TRUE(std::isnan(s.max));
+  EXPECT_EQ(e.CdfAt(1.0), 0.0);  // P(X <= x) over no samples stays 0.
   EXPECT_TRUE(e.CurveLogX(10).empty());
 }
 
