@@ -1,0 +1,153 @@
+// ABL09 — Chunked vs materialized arrival generation: the last O(days) term.
+//
+// The streaming trace sink made *recording* O(1) in simulated time; this
+// ablation quantifies what removing the other linear term — the materialized
+// exogenous arrival vector (~16 B/request) — buys at 30/90/365-day horizons.
+// For each horizon the identical arrival stream is produced twice: drained into
+// one eager vector (what WorkloadSource::Arrivals and every pre-stream run
+// held for the whole simulation) and pulled as day-batched chunks (what
+// Platform::AttachArrivalStream holds now: one day at a time). Both paths draw
+// the same RNG sequence, so counts must match exactly; the difference is the
+// bytes held and — at long horizons — allocator pressure on the wall clock.
+//
+// Usage: bench_abl09_chunked_arrivals [scale] [days ...]
+//   default: 0.05x scale (the year_scale operating point), horizons 30 90 365.
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "common/rusage.h"
+
+using namespace coldstart;
+
+namespace {
+
+struct CaseResult {
+  int days = 0;
+  int64_t arrivals = 0;
+  double wall_s = 0;
+  size_t held_bytes = 0;    // Vector capacity (eager) or max chunk capacity (chunked).
+  double rss_after_mb = 0;  // Process high-water mark after the case ran.
+};
+
+CaseResult RunCase(const core::ScenarioConfig& config, bool chunked) {
+  CaseResult r;
+  r.days = config.days;
+  const workload::Calendar calendar = config.MakeCalendar();
+  const auto profiles = config.ScaledProfiles();
+  const workload::Population pop =
+      workload::GeneratePopulation(profiles, config.seed);
+  const auto start = std::chrono::steady_clock::now();
+  auto stream = config.workload_source().OpenStream(pop, profiles, calendar,
+                                                    config.seed);
+  if (chunked) {
+    workload::ArrivalChunk chunk;
+    size_t max_chunk_capacity = 0;
+    while (stream->NextChunk(&chunk)) {
+      r.arrivals += static_cast<int64_t>(chunk.events.size());
+      max_chunk_capacity = std::max(max_chunk_capacity, chunk.events.capacity());
+    }
+    r.held_bytes = max_chunk_capacity * sizeof(workload::ArrivalEvent);
+  } else {
+    const auto eager = workload::DrainArrivalStream(*stream);
+    r.arrivals = static_cast<int64_t>(eager.size());
+    r.held_bytes = eager.capacity() * sizeof(workload::ArrivalEvent);
+  }
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                 .count();
+  r.rss_after_mb = PeakRssMb();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strict parsing: this binary gates CI (nonzero exit on a chunked-vs-eager
+  // count mismatch), and a typo'd argument degrading to a 0-day run would pass
+  // vacuously.
+  double scale = 0.05;
+  std::vector<int> horizons;
+  if (argc > 1) {
+    const std::optional<double> parsed = ParseDouble(argv[1]);
+    if (!parsed.has_value() || !(*parsed > 0.0)) {
+      std::fprintf(stderr, "abl09: bad scale \"%s\" (want > 0)\n", argv[1]);
+      return 2;
+    }
+    scale = *parsed;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::optional<int64_t> parsed = ParseInt(argv[i]);
+    if (!parsed.has_value() || *parsed < 1 || *parsed > 36500) {
+      std::fprintf(stderr, "abl09: bad days \"%s\" (want 1..36500)\n", argv[i]);
+      return 2;
+    }
+    horizons.push_back(static_cast<int>(*parsed));
+  }
+  if (horizons.empty()) {
+    horizons = {30, 90, 365};
+  }
+
+  bench::PrintHeader(
+      "ABL09", "chunked vs materialized arrival generation",
+      "the dataset is a month of 85B requests; sweeping SPES-style mitigation "
+      "policies over longer horizons needs arrival memory that does not grow "
+      "with the horizon");
+
+  std::printf("scale %.2fx; horizons:", scale);
+  for (const int d : horizons) {
+    std::printf(" %dd", d);
+  }
+  std::printf("\n\n");
+
+  // Peak RSS is process-monotonic, so every chunked case (tiny, ~constant) runs
+  // before the first materialized case, and materialized cases run in increasing
+  // horizon order — each case's reported high-water mark is then its own.
+  core::ScenarioConfig config;
+  config.scale = scale;
+  std::vector<CaseResult> chunked;
+  std::vector<CaseResult> eager;
+  for (const int days : horizons) {
+    config.days = days;
+    chunked.push_back(RunCase(config, /*chunked=*/true));
+  }
+  for (const int days : horizons) {
+    config.days = days;
+    eager.push_back(RunCase(config, /*chunked=*/false));
+  }
+
+  TextTable t({"days", "arrivals", "mode", "held memory (MB)", "wall (s)",
+               "Marrivals/s", "peak RSS so far (MB)"});
+  bool counts_match = true;
+  for (size_t i = 0; i < horizons.size(); ++i) {
+    counts_match = counts_match && chunked[i].arrivals == eager[i].arrivals;
+    for (const auto* r : {&chunked[i], &eager[i]}) {
+      t.Row()
+          .Cell(r->days)
+          .Cell(r->arrivals)
+          .Cell(r == &chunked[i] ? "chunked" : "materialized")
+          .Cell(static_cast<double>(r->held_bytes) / 1e6, 3)
+          .Cell(r->wall_s, 2)
+          .Cell(static_cast<double>(r->arrivals) / 1e6 / r->wall_s, 2)
+          .Cell(r->rss_after_mb, 1);
+    }
+  }
+  std::printf("%s\n", t.Render().c_str());
+
+  const auto& big_c = chunked.back();
+  const auto& big_e = eager.back();
+  std::printf("held-memory ratio at %dd: %.0fx (%.3f MB chunked vs %.1f MB "
+              "materialized); chunked holds one day regardless of horizon.\n",
+              big_c.days,
+              static_cast<double>(big_e.held_bytes) /
+                  static_cast<double>(std::max<size_t>(big_c.held_bytes, 1)),
+              static_cast<double>(big_c.held_bytes) / 1e6,
+              static_cast<double>(big_e.held_bytes) / 1e6);
+  std::printf("chunked-vs-materialized arrival counts %s.\n",
+              counts_match ? "identical (same RNG stream)" : "MISMATCH");
+  // CI runs this as a smoke step: a divergence must fail the step, not just print.
+  return counts_match ? 0 : 1;
+}

@@ -350,6 +350,41 @@ static void BM_TraceModeExperiment(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
+// Chunked vs materialized arrival generation on the identical stream: the
+// argument is the delivery mode (0 = drain into one eager vector, 1 = pull day
+// chunks and discard). Both perform the same RNG work — the wall-clock delta is
+// the pure cost of growing/holding the O(days) vector; the memory story (max
+// one-day chunk vs whole horizon) is quantified by bench_abl09_chunked_arrivals.
+static void BM_ArrivalGeneration(benchmark::State& state) {
+  core::ScenarioConfig config = core::SmallScenario();
+  config.days = 7;
+  const workload::Calendar calendar = config.MakeCalendar();
+  const auto profiles = config.ScaledProfiles();
+  const workload::Population pop =
+      workload::GeneratePopulation(profiles, config.seed);
+  const bool chunked = state.range(0) == 1;
+  int64_t arrivals = 0;
+  for (auto _ : state) {
+    auto stream = config.workload_source().OpenStream(pop, profiles, calendar,
+                                                      config.seed);
+    if (chunked) {
+      workload::ArrivalChunk chunk;
+      while (stream->NextChunk(&chunk)) {
+        arrivals += static_cast<int64_t>(chunk.events.size());
+      }
+    } else {
+      const auto eager = workload::DrainArrivalStream(*stream);
+      arrivals += static_cast<int64_t>(eager.size());
+    }
+  }
+  benchmark::DoNotOptimize(arrivals);
+  state.SetItemsProcessed(arrivals);
+}
+BENCHMARK(BM_ArrivalGeneration)
+    ->Arg(0)   // Materialized vector.
+    ->Arg(1)   // Day-chunked pull.
+    ->Unit(benchmark::kMillisecond);
+
 BENCHMARK(BM_TraceModeExperiment)
     ->Arg(0)   // kFull.
     ->Arg(1)   // kStreaming.

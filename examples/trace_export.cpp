@@ -38,9 +38,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   // The arrival stream is numeric (never hashed): it addresses this config's
-  // population directly, which is what makes the replay round trip exact.
-  const auto arrivals = core::SnapshotWorkload(config).arrivals;
-  if (!workload::WriteArrivalsCsv(arrivals, path("arrivals.csv"))) {
+  // population directly, which is what makes the replay round trip exact. It is
+  // drained chunk by chunk straight into the CSV — the run's arrivals are never
+  // materialized, so export works at horizons where the vector would not fit.
+  core::WorkloadStream workload_stream = core::OpenWorkloadStream(config);
+  size_t arrival_count = 0;
+  if (!workload::WriteArrivalsCsv(*workload_stream.arrivals, path("arrivals.csv"),
+                                  &arrival_count)) {
     std::fprintf(stderr, "arrival export failed\n");
     return 1;
   }
@@ -50,6 +54,6 @@ int main(int argc, char** argv) {
               "%zu arrivals\n",
               result.store.requests().size(), result.store.cold_starts().size(),
               result.store.functions().size(), result.store.pods().size(),
-              arrivals.size());
+              arrival_count);
   return 0;
 }

@@ -83,15 +83,17 @@ int main(int argc, char** argv) {
   PrintSummary("synthetic", original);
 
   // Export the arrival stream the run consumed (regenerated deterministically
-  // from the config — arrivals are a pure function of it).
-  const auto arrivals = core::SnapshotWorkload(config).arrivals;
+  // from the config — arrivals are a pure function of it), drained day by day
+  // through the chunked stream rather than materialized.
+  core::WorkloadStream workload_stream = core::OpenWorkloadStream(config);
   std::filesystem::create_directories(out_dir);
   const std::string csv = (std::filesystem::path(out_dir) / "arrivals.csv").string();
-  if (!workload::WriteArrivalsCsv(arrivals, csv)) {
+  size_t arrival_count = 0;
+  if (!workload::WriteArrivalsCsv(*workload_stream.arrivals, csv, &arrival_count)) {
     std::fprintf(stderr, "failed to write %s\n", csv.c_str());
     return 1;
   }
-  std::printf("Exported %zu arrivals to %s\n", arrivals.size(), csv.c_str());
+  std::printf("Exported %zu arrivals to %s\n", arrival_count, csv.c_str());
 
   // Exact replay: must reproduce the run bit for bit.
   trace::CsvError error;

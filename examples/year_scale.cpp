@@ -97,12 +97,13 @@ int main(int argc, char** argv) {
   core::Experiment experiment(config);
   const core::ExperimentResult result = experiment.Run();
 
-  std::printf("Done: %llu events in %.2fs wall (%.1f Mevents/s), peak RSS %.1f MB.\n\n",
+  std::printf("Done: %llu events in %.2fs wall (%.1f Mevents/s), peak RSS %.1f MB, "
+              "peak VM %.1f MB.\n\n",
               static_cast<unsigned long long>(result.events_processed),
               result.sim_wall_seconds,
               static_cast<double>(result.events_processed) / 1e6 /
                   (result.sim_wall_seconds > 0 ? result.sim_wall_seconds : 1.0),
-              PeakRssMb());
+              PeakRssMb(), PeakVmMb());
 
   // Both modes render the identical report: a full-trace run folds its store
   // through the same sink the streaming run filled on the fly.

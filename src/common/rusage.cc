@@ -2,6 +2,9 @@
 
 #include <sys/resource.h>
 
+#include <cstdio>
+#include <cstring>
+
 namespace coldstart {
 
 double PeakRssMb() {
@@ -12,6 +15,24 @@ double PeakRssMb() {
 #else
   return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KB.
 #endif
+}
+
+double PeakVmMb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return -1.0;
+  }
+  double mb = -1.0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long kb = 0;
+    if (std::sscanf(line, "VmPeak: %ld kB", &kb) == 1) {
+      mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
 }
 
 }  // namespace coldstart

@@ -9,6 +9,12 @@ namespace coldstart {
 // measure the smaller of two runs first.
 double PeakRssMb();
 
+// Peak virtual address-space size of this process in MB (/proc/self/status
+// VmPeak) — the quantity `ulimit -v` budgets, which is what the year_scale
+// memory-contract test enforces. Returns a negative value where /proc is
+// unavailable (non-Linux). Monotonic, like PeakRssMb.
+double PeakVmMb();
+
 }  // namespace coldstart
 
 #endif  // COLDSTART_COMMON_RUSAGE_H_

@@ -80,8 +80,6 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
   const std::vector<workload::RegionProfile> profiles = config_.ScaledProfiles();
 
   result.population = workload::GeneratePopulation(profiles, config_.seed);
-  std::vector<workload::ArrivalEvent> arrivals = config_.workload_source().Arrivals(
-      result.population, profiles, calendar, config_.seed);
 
   const bool streaming = config_.trace_mode == TraceMode::kStreaming;
   trace::TraceSink& sink =
@@ -90,7 +88,10 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
   sim::Simulator sim;
   platform::Platform platform(result.population, profiles, calendar, sim, sink,
                               PlatformOptions(config_), policy);
-  platform.InjectArrivals(std::move(arrivals));
+  // Pull-based arrival generation: the platform holds one day chunk at a time,
+  // so arrival memory is O(busiest day) rather than O(horizon).
+  platform.AttachArrivalStream(config_.workload_source().OpenStream(
+      result.population, profiles, calendar, config_.seed));
   sim.RunUntil(calendar.horizon());
   platform.Finalize();
   result.store.Seal();  // No-op in streaming mode (the store stayed empty).
@@ -130,28 +131,14 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   const std::vector<workload::RegionProfile> profiles = config_.ScaledProfiles();
   const size_t regions = profiles.size();
 
-  // Workload generation is shared: every shard simulates against the same
-  // population (read-only) and the arrival stream — synthetic or replayed, the
-  // runner does not care — is partitioned by home region with relative order
-  // preserved.
+  // Workload generation is shared only through immutable inputs: every shard
+  // simulates against the same population (read-only) and opens its *own*
+  // region-filtered arrival stream — synthetic or replayed, the runner does not
+  // care. The per-region streams partition the serial stream with relative order
+  // preserved (the ArrivalStream contract), so nothing is materialized or
+  // repartitioned up front: each shard pulls one day of its region's arrivals at
+  // a time.
   result.population = workload::GeneratePopulation(profiles, config_.seed);
-  std::vector<workload::ArrivalEvent> arrivals = config_.workload_source().Arrivals(
-      result.population, profiles, calendar, config_.seed);
-  std::vector<std::vector<workload::ArrivalEvent>> shard_arrivals(regions);
-  {
-    std::vector<size_t> counts(regions, 0);
-    for (const auto& a : arrivals) {
-      ++counts[result.population.functions[a.function].region];
-    }
-    for (size_t r = 0; r < regions; ++r) {
-      shard_arrivals[r].reserve(counts[r]);
-    }
-    for (const auto& a : arrivals) {
-      shard_arrivals[result.population.functions[a.function].region].push_back(a);
-    }
-    arrivals.clear();
-    arrivals.shrink_to_fit();
-  }
 
   // One shard per region: own simulator, own platform, own store. Shards share
   // only immutable inputs, so they are free of data races by construction; the
@@ -176,7 +163,9 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
       platform::Platform platform(population, profiles, calendar, sim,
                                   sink, PlatformOptions(config),
                                   clones[r].get());
-      platform.InjectArrivals(std::move(shard_arrivals[r]));
+      platform.AttachArrivalStream(config.workload_source().OpenStream(
+          population, profiles, calendar, config.seed,
+          static_cast<trace::RegionId>(r)));
       sim.RunUntil(calendar.horizon());
       platform.Finalize();
       shards[r].events = sim.events_processed();
@@ -220,13 +209,21 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   return result;
 }
 
-WorkloadSnapshot SnapshotWorkload(const ScenarioConfig& config) {
-  WorkloadSnapshot snap;
+WorkloadStream OpenWorkloadStream(const ScenarioConfig& config) {
+  WorkloadStream ws;
   const workload::Calendar calendar = config.MakeCalendar();
   const std::vector<workload::RegionProfile> profiles = config.ScaledProfiles();
-  snap.population = workload::GeneratePopulation(profiles, config.seed);
-  snap.arrivals = config.workload_source().Arrivals(snap.population, profiles,
+  ws.population = workload::GeneratePopulation(profiles, config.seed);
+  ws.arrivals = config.workload_source().OpenStream(ws.population, profiles,
                                                     calendar, config.seed);
+  return ws;
+}
+
+WorkloadSnapshot SnapshotWorkload(const ScenarioConfig& config) {
+  WorkloadStream ws = OpenWorkloadStream(config);
+  WorkloadSnapshot snap;
+  snap.arrivals = workload::DrainArrivalStream(*ws.arrivals);
+  snap.population = std::move(ws.population);
   return snap;
 }
 

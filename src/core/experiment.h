@@ -17,9 +17,10 @@
 // tables in result.store; kStreaming folds records into result.streaming in O(1)
 // trace memory (per-shard streaming aggregates merge in region order, so counters,
 // integer latency sums, and histogram bucket contents are identical at any thread
-// count — same determinism contract as the full-trace path). Note the arrival
-// stream is still generated as one vector up front, so total run memory keeps an
-// O(days) term in both modes — several times smaller than a full trace store.
+// count — same determinism contract as the full-trace path). Arrivals are pulled
+// from the workload source one day chunk at a time (workload/arrival_stream.h) —
+// never materialized — so a kStreaming run's total memory is O(1) in the horizon:
+// a year costs no more resident memory than a week (docs/architecture.md).
 //
 // RunCached() additionally persists the baseline (policy-free) trace — including the
 // per-region platform aggregates — keyed by the scenario fingerprint, so the many
@@ -97,10 +98,26 @@ class Experiment {
   ScenarioConfig config_;
 };
 
-// The exact workload a Run() of `config` consumes: the population plus the full
-// sorted arrival stream, regenerated deterministically from the config. For the
-// export/replay drivers and tests that need the stream itself (Run() consumes
-// its copy feeding the platform and does not retain it).
+// The exact workload a Run() of `config` consumes, as a pull-based day-chunked
+// stream: the population plus an open ArrivalStream over it, regenerated
+// deterministically from the config. This is the O(busiest-day)-memory path the
+// export drivers use to write arbitrarily long arrival logs. The stream borrows
+// `population`; keep the struct alive while draining it (moving the struct is
+// fine — the stream points into the population's heap buffers, which moves
+// preserve).
+struct WorkloadStream {
+  workload::Population population;
+  std::unique_ptr<workload::ArrivalStream> arrivals;
+};
+WorkloadStream OpenWorkloadStream(const ScenarioConfig& config);
+
+// Eager variant: the full sorted arrival vector (the concatenation of
+// OpenWorkloadStream's chunks — bit-identical by the ArrivalStream contract).
+// Deliberately still materialized: its callers are tests and drivers that need
+// random access to the whole stream (round-trip equality asserts, rate-scaled
+// comparisons) on short horizons. Costs ~16 bytes/arrival — for anything
+// long-horizon or summary-only, use OpenWorkloadStream (or just Run(), which
+// never materializes arrivals).
 struct WorkloadSnapshot {
   workload::Population population;
   std::vector<workload::ArrivalEvent> arrivals;

@@ -16,10 +16,10 @@ namespace coldstart::core {
 // How a run records its trace. kFull materializes every record in a TraceStore
 // (memory grows with trace length; required by the post-hoc figure analyses).
 // kStreaming folds records into StreamingAggregates on the fly — trace memory is
-// O(1) in the trace length, the only mode whose record side fits month/year-scale
-// runs in RAM. (The materialized exogenous arrival stream remains the run's one
-// linear-in-days memory term in both modes; streaming its generation is a ROADMAP
-// item.)
+// O(1) in the trace length, the only mode that fits month/year-scale runs in RAM.
+// (Arrival generation is day-chunked in both modes — workload/arrival_stream.h —
+// so a streaming run's total memory no longer has any linear-in-days term; see
+// docs/architecture.md for the memory model.)
 enum class TraceMode : uint8_t { kFull = 0, kStreaming };
 
 struct ScenarioConfig {

@@ -83,13 +83,12 @@ Platform::~Platform() {
   }
 }
 
-void Platform::ArrivalCursor::Open(size_t begin, size_t end, uint64_t seq_base) {
+void Platform::ArrivalCursor::Open(size_t count, uint64_t seq_base) {
   // Day batches never overlap: every arrival of the previous day is strictly
   // earlier than the next day's starter event.
   COLDSTART_CHECK_EQ(next_, limit_);
-  next_ = begin;
-  limit_ = end;
-  seq_begin_ = begin;
+  next_ = 0;
+  limit_ = count;
   seq_base_ = seq_base;
 }
 
@@ -97,13 +96,13 @@ bool Platform::ArrivalCursor::Head(SimTime* time, uint64_t* seq) {
   if (next_ == limit_) {
     return false;
   }
-  *time = platform_->arrivals_[next_].time;
-  *seq = seq_base_ + (next_ - seq_begin_);
+  *time = platform_->chunk_.events[next_].time;
+  *seq = seq_base_ + next_;
   return true;
 }
 
 void Platform::ArrivalCursor::RunHead() {
-  const workload::ArrivalEvent& arrival = platform_->arrivals_[next_++];
+  const workload::ArrivalEvent& arrival = platform_->chunk_.events[next_++];
   // The stream contract requires sorted arrivals (the old per-arrival closures
   // re-ordered them through the queue; the cursor replays them as-is). Fail
   // loudly rather than silently rewinding the clock.
@@ -112,39 +111,59 @@ void Platform::ArrivalCursor::RunHead() {
   platform_->HandleArrival(arrival.function, false);
 }
 
-void Platform::InjectArrivals(std::vector<workload::ArrivalEvent> arrivals) {
-  // Arrivals stream through the attached cursor one day-batch at a time: the
-  // starter event reserves the batch's contiguous seq range (the same sequence
-  // numbers per-arrival closures would have consumed), so a month of arrivals
-  // costs one live event per day instead of one queued closure per arrival.
-  arrivals_ = std::move(arrivals);
-  const SimTime horizon = calendar_.horizon();
-  size_t begin = 0;
-  for (SimTime day_start = 0; day_start < horizon && begin < arrivals_.size();
-       day_start += kDay) {
-    const SimTime day_end = day_start + kDay;
-    size_t end = begin;
-    while (end < arrivals_.size() && arrivals_[end].time < day_end) {
-      ++end;
-    }
-    if (end == begin) {
-      continue;
-    }
-    // Wake exactly at the day boundary (covers the t=0 first arrival: day_start is
-    // never negative). Anchoring the batch's seq reservation at day_start — rather
-    // than at "first arrival - 1", which depends on which regions the stream
-    // contains — keeps the (time, seq) interleaving of arrivals and handler-
-    // scheduled events identical between the serial run and per-region shards.
-    const SimTime wake = day_start;
-    sim_.ScheduleAt(wake, [this, begin, end] {
-      arrival_cursor_.Open(begin, end, sim_.ReserveSeqRange(end - begin));
-    });
-    begin = end;
+void Platform::OpenDayChunk(int64_t day) {
+  if (arrival_stream_ == nullptr || !arrival_stream_->NextChunk(&chunk_)) {
+    chunk_.events.clear();
+    return;  // Exhausted stream: the remaining starters are no-ops.
   }
-  if (!source_attached_ && !arrivals_.empty()) {
+  // Contract checks are O(1) per day: chunks arrive in day order and their
+  // (sorted) events lie inside the day window — a violation would corrupt the
+  // (time, seq) total order, so fail loudly here rather than deep in the run.
+  COLDSTART_CHECK_EQ(chunk_.day, day);
+  if (chunk_.events.empty()) {
+    return;
+  }
+  COLDSTART_CHECK_GE(chunk_.events.front().time, day * kDay);
+  COLDSTART_CHECK_LT(chunk_.events.back().time,
+                     std::min<SimTime>((day + 1) * kDay, calendar_.horizon()));
+  arrival_cursor_.Open(chunk_.events.size(),
+                       sim_.ReserveSeqRange(chunk_.events.size()));
+}
+
+void Platform::AttachArrivalStream(std::unique_ptr<workload::ArrivalStream> stream) {
+  // Arrivals flow through the attached cursor one day-batch at a time: each
+  // starter event pulls its day's chunk and reserves the batch's contiguous seq
+  // range (the same sequence numbers per-arrival closures would have consumed),
+  // so a year of arrivals costs one live chunk plus one starter per day instead
+  // of one queued closure per arrival. Scheduling every starter up front (at
+  // attach time) keeps starter seq numbers below every run-time event's, exactly
+  // like the eagerly scheduled batches they replace — see docs/determinism.md.
+  COLDSTART_CHECK(arrival_stream_ == nullptr && !source_attached_);
+  arrival_stream_ = std::move(stream);
+  if (arrival_stream_ == nullptr) {
+    return;
+  }
+  const SimTime horizon = calendar_.horizon();
+  bool any = false;
+  for (int64_t day = 0; day * kDay < horizon; ++day) {
+    // Wake exactly at the day boundary (covers the t=0 first arrival: day_start
+    // is never negative). Anchoring the batch's seq reservation at day start —
+    // rather than at "first arrival - 1", which depends on which regions the
+    // stream contains — keeps the (time, seq) interleaving of arrivals and
+    // handler-scheduled events identical between the serial run and per-region
+    // shards.
+    sim_.ScheduleAt(day * kDay, [this, day] { OpenDayChunk(day); });
+    any = true;
+  }
+  if (any) {
     sim_.AttachSource(&arrival_cursor_);
     source_attached_ = true;
   }
+}
+
+void Platform::InjectArrivals(std::vector<workload::ArrivalEvent> arrivals) {
+  AttachArrivalStream(std::make_unique<workload::MaterializedArrivalStream>(
+      std::move(arrivals), workload::NumDayChunks(calendar_.horizon())));
 }
 
 const workload::FunctionSpec& Platform::spec(FunctionId function) const {

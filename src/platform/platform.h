@@ -73,10 +73,20 @@ class Platform {
   // arrival cursor from `sim` so no dangling EventSource is left behind.
   ~Platform();
 
-  // Streams all exogenous arrivals into the simulator. Takes ownership: the
-  // attached arrival cursor reads the stored vector for the lifetime of the run.
-  // Per day, one starter event reserves the day's (time, seq) keys and opens the
-  // cursor — arrivals are never materialized as queued closures.
+  // Attaches the run's arrival stream. Takes ownership; call at most once,
+  // before RunUntil. One starter event per day boundary pulls that day's chunk
+  // from the stream, reserves the batch's contiguous (time, seq) keys, and opens
+  // the cursor over it — so at any instant the platform holds one day of
+  // arrivals, never the whole horizon, and arrivals are never materialized as
+  // queued closures. The chunk sequence must honor the ArrivalStream contract
+  // (day-ordered, per-day (time, function)-sorted, in-window — CHECKed here);
+  // see docs/determinism.md for why the day-anchored seq reservation makes the
+  // event total order identical to per-arrival scheduling.
+  void AttachArrivalStream(std::unique_ptr<workload::ArrivalStream> stream);
+
+  // Compatibility shim for callers holding an eager (time-sorted) vector:
+  // wraps it in a MaterializedArrivalStream and attaches it. Same event total
+  // order as streaming generation — the vector is just a pre-pulled stream.
   void InjectArrivals(std::vector<workload::ArrivalEvent> arrivals);
 
   // Writes function records + flushes still-alive pods; call once after the run.
@@ -113,14 +123,16 @@ class Platform {
     std::vector<Pod*> pods;  // Alive pods (warming or warm), any region.
   };
 
-  // Streams the owned arrival vector as a sim::EventSource. Day starters call
+  // Streams the current day's chunk as a sim::EventSource. Day starters call
   // Open() with a freshly reserved seq range, so each arrival carries exactly the
   // (time, seq) key a per-arrival closure would have had — the event total order
   // (and thus every downstream RNG draw) is unchanged.
   class ArrivalCursor : public sim::EventSource {
    public:
     explicit ArrivalCursor(Platform* platform) : platform_(platform) {}
-    void Open(size_t begin, size_t end, uint64_t seq_base);
+    // Opens the cursor over platform_->chunk_.events[0, count); the previous
+    // chunk must be fully drained (day batches never overlap).
+    void Open(size_t count, uint64_t seq_base);
     bool Head(SimTime* time, uint64_t* seq) override;
     void RunHead() override;
 
@@ -128,7 +140,6 @@ class Platform {
     Platform* platform_;
     size_t next_ = 0;
     size_t limit_ = 0;
-    size_t seq_begin_ = 0;
     uint64_t seq_base_ = 0;
     SimTime last_time_ = 0;  // Guards the sorted-arrivals stream contract.
   };
@@ -138,6 +149,9 @@ class Platform {
   Rng& rng(trace::RegionId region) { return rngs_[region]; }
   trace::PodId NewPodId(trace::RegionId region);
 
+  // Day-starter body: pulls day `day`'s chunk from arrival_stream_ into chunk_,
+  // validates it against the stream contract, and opens the cursor over it.
+  void OpenDayChunk(int64_t day);
   void HandleArrival(trace::FunctionId fid, bool delay_exempt);
   Pod* FindPodWithSlot(FunctionState& state, SimTime now) const;
   Pod* StartColdStart(const workload::FunctionSpec& spec, trace::RegionId region,
@@ -164,7 +178,8 @@ class Platform {
   std::vector<int64_t> visible_cold_starts_;                  // Per region.
   std::vector<int64_t> cold_start_latency_sum_us_;            // Per region.
   std::vector<FunctionState> states_;                         // Per function.
-  std::vector<workload::ArrivalEvent> arrivals_;              // Owned by InjectArrivals.
+  std::unique_ptr<workload::ArrivalStream> arrival_stream_;   // Owned; pull-based.
+  workload::ArrivalChunk chunk_;  // The one live day batch (capacity reused).
   ArrivalCursor arrival_cursor_;
   bool source_attached_ = false;
   Slab<Pod> pod_slab_;                                        // All alive pods.

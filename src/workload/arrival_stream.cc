@@ -1,0 +1,41 @@
+#include "workload/arrival_stream.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace coldstart::workload {
+
+MaterializedArrivalStream::MaterializedArrivalStream(std::vector<ArrivalEvent> events,
+                                                     int64_t num_days)
+    : events_(std::move(events)), num_days_(num_days) {
+  COLDSTART_CHECK_GE(num_days_, 0);
+}
+
+bool MaterializedArrivalStream::NextChunk(ArrivalChunk* chunk) {
+  if (next_day_ >= num_days_) {
+    return false;
+  }
+  const int64_t day = next_day_++;
+  chunk->day = day;
+  chunk->events.clear();
+  const SimTime day_end = (day + 1) * kDay;
+  // events_ is sorted by time, so each day is one contiguous span.
+  while (next_ < events_.size() && events_[next_].time < day_end) {
+    COLDSTART_CHECK_GE(events_[next_].time, day * kDay);  // Sorted-input contract.
+    chunk->events.push_back(events_[next_]);
+    ++next_;
+  }
+  return true;
+}
+
+std::vector<ArrivalEvent> DrainArrivalStream(ArrivalStream& stream) {
+  std::vector<ArrivalEvent> out;
+  ArrivalChunk chunk;
+  while (stream.NextChunk(&chunk)) {
+    out.insert(out.end(), chunk.events.begin(), chunk.events.end());
+  }
+  return out;
+}
+
+}  // namespace coldstart::workload

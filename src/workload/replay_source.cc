@@ -184,78 +184,134 @@ uint64_t ReplaySource::Fingerprint() const {
   return h;
 }
 
-std::vector<ArrivalEvent> ReplaySource::Arrivals(
+// Day-chunked window over the source's time-sorted raw buffer. One forward
+// cursor: raw events are consumed in order, remapped onto the population, and
+// rate-scaled by the per-(seed, raw-index) hash — the identical per-event
+// decisions the eager path made, split at day boundaries.
+class ReplaySource::Stream final : public ArrivalStream {
+ public:
+  // Holds pointers into the population's heap buffers (not the Population object
+  // itself), so the caller may move the Population around after opening — only
+  // destroying or reallocating it invalidates the stream.
+  Stream(const ReplaySource& source, const Population& pop, size_t num_regions,
+         SimTime horizon, uint64_t seed, std::optional<trace::RegionId> region)
+      : source_(&source),
+        functions_(pop.functions.data()),
+        num_functions_(pop.functions.size()),
+        region_begin_(pop.region_begin.data()),
+        num_regions_(num_regions),
+        horizon_(horizon),
+        region_(region),
+        num_days_(NumDayChunks(horizon)),
+        // Remapping is salted independently of the seed: the same trace replayed
+        // onto the same population hits the same functions across platform-seed
+        // sweeps.
+        remap_salt_(HashString("replay-function-remap")),
+        rate_salt_(MixHash(seed, HashString("replay-rate-scale"))) {
+    const ReplayOptions& options = source_->options_;
+    COLDSTART_CHECK_GE(options.rate_scale, 0.0);
+    whole_copies_ = static_cast<int>(options.rate_scale);
+    extra_prob_ = options.rate_scale - whole_copies_;
+  }
+
+  bool NextChunk(ArrivalChunk* chunk) override {
+    if (next_day_ >= num_days_) {
+      return false;
+    }
+    const int64_t day = next_day_++;
+    chunk->day = day;
+    chunk->events.clear();
+    const ReplayOptions& options = source_->options_;
+    const std::vector<RawEvent>& events = source_->events_;
+    const SimTime day_end = std::min((day + 1) * kDay, horizon_);
+    while (next_ < events.size()) {
+      const RawEvent& e = events[next_];
+      if (e.time < options.window_begin) {
+        ++next_;
+        continue;
+      }
+      if (options.window_end > 0 && e.time >= options.window_end) {
+        next_ = events.size();  // events is time-sorted: nothing further fits.
+        break;
+      }
+      const SimTime t = e.time - options.window_begin;
+      if (t >= horizon_) {
+        next_ = events.size();
+        break;
+      }
+      if (t >= day_end) {
+        break;  // Belongs to a later chunk; leave for the next pull.
+      }
+      const trace::FunctionId fid = Remap(e);
+      const size_t raw_index = next_++;  // The rate hash is keyed by raw index.
+      if (region_.has_value() && functions_[fid].region != *region_) {
+        continue;  // Filtered out before the rate draw (the hash is stateless).
+      }
+      int copies = whole_copies_;
+      if (extra_prob_ > 0 &&
+          Hash01(MixHash(rate_salt_, raw_index)) < extra_prob_) {
+        ++copies;
+      }
+      for (int c = 0; c < copies; ++c) {
+        chunk->events.push_back(ArrivalEvent{t, fid});
+      }
+    }
+    std::sort(chunk->events.begin(), chunk->events.end(), ArrivalOrderLess);
+    return true;
+  }
+
+ private:
+  trace::FunctionId Remap(const RawEvent& e) const {
+    const size_t num_functions = num_functions_;
+    if (e.mapped && e.function_key < num_functions) {
+      return static_cast<trace::FunctionId>(e.function_key);
+    }
+    // Remap the opaque key onto the population: region-pinned keys land in
+    // their region's id range, everything else spreads over all functions.
+    // (Also reached for `mapped` ids from a trace recorded under a larger
+    // population — degraded but total, rather than a crash.)
+    const uint64_t key = MixHash(remap_salt_, e.function_key);
+    size_t lo = 0;
+    size_t span = num_functions;
+    if (e.region_key != kNoRegion) {
+      const size_t region =
+          e.region_key < num_regions_
+              ? static_cast<size_t>(e.region_key)
+              : MixHash(remap_salt_, e.region_key) % num_regions_;
+      lo = region_begin_[region];
+      span = region_begin_[region + 1] - lo;
+      if (span == 0) {  // Region has no functions at this scale.
+        lo = 0;
+        span = num_functions;
+      }
+    }
+    return static_cast<trace::FunctionId>(lo + key % span);
+  }
+
+  const ReplaySource* source_;
+  const FunctionSpec* functions_;
+  size_t num_functions_;
+  const uint32_t* region_begin_;
+  size_t num_regions_;
+  SimTime horizon_;
+  std::optional<trace::RegionId> region_;
+  int64_t num_days_;
+  uint64_t remap_salt_;
+  uint64_t rate_salt_;
+  int whole_copies_ = 0;
+  double extra_prob_ = 0;
+  size_t next_ = 0;      // Cursor into source_->events_ (raw index: rate hash key).
+  int64_t next_day_ = 0;
+};
+
+std::unique_ptr<ArrivalStream> ReplaySource::OpenStream(
     const Population& pop, const std::vector<RegionProfile>& profiles,
-    const Calendar& calendar, uint64_t seed) const {
+    const Calendar& calendar, uint64_t seed,
+    std::optional<trace::RegionId> region) const {
   COLDSTART_CHECK(!pop.functions.empty());
   COLDSTART_CHECK_EQ(pop.region_begin.size(), profiles.size() + 1);
-  const SimTime horizon = calendar.horizon();
-  const size_t num_functions = pop.functions.size();
-  // Remapping is salted independently of the seed: the same trace replayed onto
-  // the same population hits the same functions across platform-seed sweeps.
-  const uint64_t remap_salt = HashString("replay-function-remap");
-  const uint64_t rate_salt = MixHash(seed, HashString("replay-rate-scale"));
-
-  COLDSTART_CHECK_GE(options_.rate_scale, 0.0);
-  const int whole_copies = static_cast<int>(options_.rate_scale);
-  const double extra_prob = options_.rate_scale - whole_copies;
-
-  std::vector<ArrivalEvent> out;
-  out.reserve(static_cast<size_t>(
-                  static_cast<double>(events_.size()) * options_.rate_scale) +
-              1);
-  for (size_t i = 0; i < events_.size(); ++i) {
-    const RawEvent& e = events_[i];
-    if (e.time < options_.window_begin) {
-      continue;
-    }
-    if (options_.window_end > 0 && e.time >= options_.window_end) {
-      break;  // events_ is time-sorted.
-    }
-    const SimTime t = e.time - options_.window_begin;
-    if (t >= horizon) {
-      break;
-    }
-    trace::FunctionId fid;
-    if (e.mapped && e.function_key < num_functions) {
-      fid = static_cast<trace::FunctionId>(e.function_key);
-    } else {
-      // Remap the opaque key onto the population: region-pinned keys land in
-      // their region's id range, everything else spreads over all functions.
-      // (Also reached for `mapped` ids from a trace recorded under a larger
-      // population — degraded but total, rather than a crash.)
-      const uint64_t key = MixHash(remap_salt, e.function_key);
-      size_t lo = 0;
-      size_t span = num_functions;
-      if (e.region_key != kNoRegion) {
-        const size_t region =
-            e.region_key < profiles.size()
-                ? static_cast<size_t>(e.region_key)
-                : MixHash(remap_salt, e.region_key) % profiles.size();
-        lo = pop.region_begin[region];
-        span = pop.region_begin[region + 1] - lo;
-        if (span == 0) {  // Region has no functions at this scale.
-          lo = 0;
-          span = num_functions;
-        }
-      }
-      fid = static_cast<trace::FunctionId>(lo + key % span);
-    }
-    int copies = whole_copies;
-    if (extra_prob > 0 && Hash01(MixHash(rate_salt, i)) < extra_prob) {
-      ++copies;
-    }
-    for (int c = 0; c < copies; ++c) {
-      out.push_back(ArrivalEvent{t, fid});
-    }
-  }
-  std::sort(out.begin(), out.end(), [](const ArrivalEvent& a, const ArrivalEvent& b) {
-    if (a.time != b.time) {
-      return a.time < b.time;
-    }
-    return a.function < b.function;
-  });
-  return out;
+  return std::make_unique<Stream>(*this, pop, profiles.size(), calendar.horizon(),
+                                  seed, region);
 }
 
 bool WriteArrivalsCsv(const std::vector<ArrivalEvent>& arrivals,
@@ -267,6 +323,27 @@ bool WriteArrivalsCsv(const std::vector<ArrivalEvent>& arrivals,
   std::fprintf(f.get(), "timestamp_us,function\n");
   for (const ArrivalEvent& a : arrivals) {
     std::fprintf(f.get(), "%" PRId64 ",%u\n", a.time, a.function);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool WriteArrivalsCsv(ArrivalStream& stream, const std::string& path,
+                      size_t* count) {
+  FilePtr f = OpenWrite(path);
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(), "timestamp_us,function\n");
+  size_t rows = 0;
+  ArrivalChunk chunk;
+  while (stream.NextChunk(&chunk)) {
+    for (const ArrivalEvent& a : chunk.events) {
+      std::fprintf(f.get(), "%" PRId64 ",%u\n", a.time, a.function);
+    }
+    rows += chunk.events.size();
+  }
+  if (count != nullptr) {
+    *count = rows;
   }
   return std::ferror(f.get()) == 0;
 }

@@ -12,6 +12,11 @@
 //       "timestamp,function,region,duration" rows) whose opaque function/region
 //       keys are remapped deterministically onto our Population.
 // All modes support time-window clipping and deterministic rate scaling.
+//
+// Replay memory is O(recorded events) for the raw buffer (inherent: it is loaded
+// from a file), but arrival *delivery* is day-chunked: OpenStream windows the
+// time-sorted buffer with a single forward cursor, remapping and rate-scaling
+// each day on demand, so no second materialized arrival vector is ever built.
 #ifndef COLDSTART_WORKLOAD_REPLAY_SOURCE_H_
 #define COLDSTART_WORKLOAD_REPLAY_SOURCE_H_
 
@@ -77,15 +82,27 @@ class ReplaySource final : public WorkloadSource {
 
   const char* name() const override { return name_.c_str(); }
   uint64_t Fingerprint() const override;
-  std::vector<ArrivalEvent> Arrivals(const Population& pop,
-                                     const std::vector<RegionProfile>& profiles,
-                                     const Calendar& calendar,
-                                     uint64_t seed) const override;
+  // Day-chunked window over the recorded buffer: each chunk remaps and
+  // rate-scales the raw events whose shifted time falls in the day, sorted by
+  // (time, function). The source must outlive the stream (it borrows the raw
+  // event buffer); remapping is salted independently of `seed`, rate scaling by
+  // a per-(seed, raw-index) hash — both identical to the eager path, so chunked
+  // and materialized replay are bit-identical (pinned by replay_test).
+  // Cost note: a region-filtered stream still scans (and remaps) the whole raw
+  // buffer to decide what is in-region, so R shards do R scans — a deliberate
+  // trade for never materializing a second per-region arrival vector; the scan
+  // is hashing-only and is dwarfed by the simulation it feeds.
+  std::unique_ptr<ArrivalStream> OpenStream(
+      const Population& pop, const std::vector<RegionProfile>& profiles,
+      const Calendar& calendar, uint64_t seed,
+      std::optional<trace::RegionId> region = std::nullopt) const override;
 
   size_t raw_event_count() const { return events_.size(); }
   const ReplayOptions& options() const { return options_; }
 
  private:
+  class Stream;
+
   ReplaySource(std::string name, std::vector<RawEvent> events, ReplayOptions options);
 
   std::string name_;
@@ -98,6 +115,11 @@ class ReplaySource final : public WorkloadSource {
 // source whose Arrivals() equals the original vector exactly.
 bool WriteArrivalsCsv(const std::vector<ArrivalEvent>& arrivals,
                       const std::string& path);
+// Streaming variant: drains `stream` chunk by chunk into the same format without
+// ever materializing the full vector (what trace_export / trace_replay use for
+// long horizons). Writes the number of rows to *count when non-null.
+bool WriteArrivalsCsv(ArrivalStream& stream, const std::string& path,
+                      size_t* count = nullptr);
 bool ReadArrivalsCsv(const std::string& path, std::vector<ArrivalEvent>& out,
                      trace::CsvError* error = nullptr);
 

@@ -4,6 +4,14 @@
 
 namespace coldstart::workload {
 
+std::vector<ArrivalEvent> WorkloadSource::Arrivals(
+    const Population& pop, const std::vector<RegionProfile>& profiles,
+    const Calendar& calendar, uint64_t seed) const {
+  const std::unique_ptr<ArrivalStream> stream =
+      OpenStream(pop, profiles, calendar, seed);
+  return DrainArrivalStream(*stream);
+}
+
 uint64_t SyntheticSource::Fingerprint() const {
   // The generator's behaviour is fully determined by (pop, profiles, calendar,
   // seed), which the scenario fingerprint already covers; a versioned tag is all
@@ -11,10 +19,12 @@ uint64_t SyntheticSource::Fingerprint() const {
   return HashString("workload-source:synthetic-v1");
 }
 
-std::vector<ArrivalEvent> SyntheticSource::Arrivals(
+std::unique_ptr<ArrivalStream> SyntheticSource::OpenStream(
     const Population& pop, const std::vector<RegionProfile>& profiles,
-    const Calendar& calendar, uint64_t seed) const {
-  return GenerateArrivals(pop, profiles, calendar, seed);
+    const Calendar& calendar, uint64_t seed,
+    std::optional<trace::RegionId> region) const {
+  return std::make_unique<SyntheticArrivalStream>(pop, profiles, calendar, seed,
+                                                  region);
 }
 
 const WorkloadSource& DefaultSyntheticSource() {

@@ -88,6 +88,41 @@ TEST(ShardedExperimentTest, BaselineBitIdenticalToSerialOnSmallScenario) {
   ExpectAggregatesIdentical(serial, sharded);
 }
 
+TEST(ShardedExperimentTest, StreamedArrivalsBitIdenticalToEagerInjection) {
+  // Tentpole acceptance: Experiment::Run now pulls day-chunked arrivals from the
+  // workload source (serial: one unfiltered stream; sharded: one region-filtered
+  // stream per shard). Feeding the same platform the fully materialized eager
+  // vector instead must change nothing — the chunked pull is just a windowed
+  // view of the same deterministic stream, and the day-anchored seq reservation
+  // keeps the event total order identical.
+  const core::ScenarioConfig config = core::SmallScenario();
+  const Experiment experiment(config);
+  const ExperimentResult serial = experiment.Run(nullptr, 1);
+  const ExperimentResult sharded = experiment.Run(nullptr, 4);
+
+  // Eager reference: materialize the whole arrival vector up front and inject it
+  // through the compatibility shim, mirroring RunSerial by hand.
+  core::WorkloadSnapshot snapshot = core::SnapshotWorkload(config);
+  const workload::Calendar calendar = config.MakeCalendar();
+  const auto profiles = config.ScaledProfiles();
+  trace::TraceStore store;
+  sim::Simulator sim;
+  platform::Platform::Options options;
+  options.seed = config.seed;
+  options.record_requests = config.record_requests;
+  options.default_keep_alive = config.default_keep_alive;
+  platform::Platform platform(snapshot.population, profiles, calendar, sim, store,
+                              options);
+  platform.InjectArrivals(std::move(snapshot.arrivals));
+  sim.RunUntil(calendar.horizon());
+  platform.Finalize();
+  store.Seal();
+
+  ASSERT_GT(store.requests().size(), 10000u);
+  ExpectStoresIdentical(store, serial.store);
+  ExpectStoresIdentical(store, sharded.store);
+}
+
 TEST(ShardedExperimentTest, RegionLocalPolicyBitIdenticalToSerial) {
   ScenarioConfig config = core::SmallScenario();
   config.days = 3;

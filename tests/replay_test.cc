@@ -242,6 +242,79 @@ TEST_F(ReplayTest, RateScalingIsDeterministicAndProportional) {
   EXPECT_EQ(tripled->Arrivals(pop, profiles, calendar, 3).size(), 3000u);
 }
 
+// --- Chunked delivery: OpenStream windows the recorded buffer by day. ---
+
+TEST_F(ReplayTest, ChunkedStreamPartitionsEagerReplayUnderOptions) {
+  // Recorded events straddle several day boundaries; replay them windowed +
+  // rate-scaled, both eagerly and as day chunks, serial and region-filtered.
+  // The chunk concatenation must reproduce the eager vector bit for bit (they
+  // share the per-raw-index rate hash and remap salts), and the per-region
+  // streams must partition it — the property each experiment shard relies on.
+  std::vector<ArrivalEvent> events;
+  for (int i = 0; i < 3000; ++i) {
+    // 2-minute spacing: ~4.2 recorded days, so the 5-day replay below crosses
+    // four day boundaries and leaves the last day empty (an edge chunk).
+    events.push_back(ArrivalEvent{i * 2 * kMinute, static_cast<trace::FunctionId>(i % 3)});
+  }
+  ASSERT_TRUE(workload::WriteArrivalsCsv(events, Path("chunks.csv")));
+  const auto pop = TinyPopulation({2, 1});  // Functions 0,1 in R1; 2 in R2.
+  const auto profiles = TinyProfiles(2);
+  workload::Calendar::Options copts;
+  copts.trace_days = 5;
+  const workload::Calendar calendar(copts);
+
+  ReplayOptions options;
+  options.window_begin = 6 * kHour;  // Shift: day boundaries cut mid-recording.
+  options.rate_scale = 1.5;          // Whole copy + hashed extra copies.
+  const auto source = ReplaySource::FromArrivalsCsv(Path("chunks.csv"), options);
+  ASSERT_NE(source, nullptr);
+
+  const auto eager = source->Arrivals(pop, profiles, calendar, 7);
+  ASSERT_GT(eager.size(), 3000u);  // rate_scale > 1 engaged.
+  ASSERT_LT(eager.back().time, calendar.horizon());
+
+  auto stream = source->OpenStream(pop, profiles, calendar, 7);
+  std::vector<ArrivalEvent> concat;
+  std::vector<std::vector<ArrivalEvent>> per_day;
+  workload::ArrivalChunk chunk;
+  while (stream->NextChunk(&chunk)) {
+    ASSERT_EQ(chunk.day, static_cast<int64_t>(per_day.size()));
+    for (const auto& e : chunk.events) {
+      ASSERT_GE(e.time, chunk.day * kDay);
+      ASSERT_LT(e.time, (chunk.day + 1) * kDay);
+    }
+    per_day.push_back(chunk.events);
+    concat.insert(concat.end(), chunk.events.begin(), chunk.events.end());
+  }
+  ASSERT_EQ(per_day.size(), 5u);
+  ASSERT_EQ(concat.size(), eager.size());
+  for (size_t i = 0; i < eager.size(); ++i) {
+    ASSERT_EQ(concat[i].time, eager[i].time) << i;
+    ASSERT_EQ(concat[i].function, eager[i].function) << i;
+  }
+
+  // Region-filtered streams partition each day chunk, order preserved.
+  for (size_t r = 0; r < profiles.size(); ++r) {
+    auto filtered = source->OpenStream(pop, profiles, calendar, 7,
+                                       static_cast<trace::RegionId>(r));
+    for (size_t d = 0; d < per_day.size(); ++d) {
+      ASSERT_TRUE(filtered->NextChunk(&chunk));
+      std::vector<ArrivalEvent> expected;
+      for (const auto& e : per_day[d]) {
+        if (pop.functions[e.function].region == r) {
+          expected.push_back(e);
+        }
+      }
+      ASSERT_EQ(chunk.events.size(), expected.size()) << "region " << r << " day " << d;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(chunk.events[i].time, expected[i].time);
+        ASSERT_EQ(chunk.events[i].function, expected[i].function);
+      }
+    }
+    ASSERT_FALSE(filtered->NextChunk(&chunk));
+  }
+}
+
 // --- Loader robustness. ---
 
 TEST_F(ReplayTest, MalformedArrivalsCsvReportsLine) {

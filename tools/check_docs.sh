@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Docs integrity gate (run by CI and by the `docs_check` ctest):
+#   1. every relative markdown link in README.md and docs/*.md resolves to a file
+#      that exists in the repo;
+#   2. every driver source under bench/ appears in docs/paper-map.md, so the
+#      paper map cannot silently rot as drivers are added or renamed.
+# Exits nonzero with a per-violation report.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+fail=0
+report() {
+  echo "docs-check: $*" >&2
+  fail=1
+}
+
+# --- 1. Relative links resolve. ---
+# Matches inline links/images `](target)`; ignores absolute URLs and pure
+# in-page anchors; strips `#fragment` suffixes before the existence check.
+docs=(README.md docs/*.md)
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || { report "expected doc file '$doc' is missing"; continue; }
+  dir="$(dirname "$doc")"
+  # One target per line; tolerate several links on one line.
+  targets="$(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')"
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      report "$doc: broken relative link '$target'"
+    fi
+  done <<< "$targets"
+done
+
+# --- 2. Every bench driver is on the paper map. ---
+map=docs/paper-map.md
+if [ ! -f "$map" ]; then
+  report "missing $map"
+else
+  for src in bench/*.cc bench/*.h; do
+    [ -e "$src" ] || continue
+    name="$(basename "$src")"
+    if ! grep -qF "$name" "$map"; then
+      report "$map: bench driver '$src' is not mentioned — add its row"
+    fi
+  done
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-check: FAILED" >&2
+  exit 1
+fi
+echo "docs-check: OK (${#docs[@]} docs link-checked; every bench/ driver mapped)"
