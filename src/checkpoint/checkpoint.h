@@ -1,0 +1,73 @@
+// Crash-safe checkpoint files for month-scale runs.
+//
+// A checkpoint directory holds one file per committed (day, shard) snapshot
+// plus a manifest naming the latest committed file per shard. Both are written
+// atomically (tmp + fsync + rename, common/atomic_file.h) and CRC-protected,
+// so a kill at any instant leaves either the previous consistent state or the
+// new one — never a torn file. The payload bytes themselves are produced by
+// core::Experiment (sim clock + policy blob + sink state + platform state);
+// this module only frames, checksums, and names them.
+//
+// Failure policy: a checkpoint that exists but does not validate (bad magic,
+// short file, CRC mismatch, wrong version) aborts loudly, naming the file —
+// resuming from corrupt state would silently diverge from the uninterrupted
+// run, the one thing a checkpoint must never do. A file or manifest that
+// simply does not exist returns false ("start fresh").
+#ifndef COLDSTART_CHECKPOINT_CHECKPOINT_H_
+#define COLDSTART_CHECKPOINT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coldstart::checkpoint {
+
+// Shard id of a serial (unsharded) run's single checkpoint stream.
+inline constexpr uint32_t kSerialShard = 0xffffffffu;
+
+struct CheckpointMeta {
+  uint64_t fingerprint = 0;  // ScenarioConfig::Fingerprint() of the run.
+  uint8_t trace_mode = 0;    // core::TraceMode of the run's sink.
+  uint32_t shard = kSerialShard;  // Region index, or kSerialShard.
+  int64_t day = 0;           // Completed days: state is at day * kDay - 1.
+  uint32_t num_regions = 0;
+};
+
+// Atomically writes meta + payload. Returns false on I/O failure (the previous
+// checkpoint, if any, is left intact).
+bool WriteCheckpointFile(const std::string& path, const CheckpointMeta& meta,
+                         const std::string& payload);
+
+// Reads and validates `path`. Returns false when the file does not exist;
+// aborts (loudly, naming the file) when it exists but is corrupt.
+bool ReadCheckpointFile(const std::string& path, CheckpointMeta* meta,
+                        std::string* payload);
+
+// The latest committed checkpoint per shard. Rewritten atomically after every
+// shard commit; shards of a sharded run may sit at different days. A shard
+// with no entry restarts from day 0.
+struct ManifestEntry {
+  uint32_t shard = kSerialShard;
+  int64_t day = 0;
+  std::string file;  // File name, relative to the checkpoint directory.
+};
+
+struct Manifest {
+  uint64_t fingerprint = 0;
+  uint8_t trace_mode = 0;
+  uint32_t num_regions = 0;
+  bool sharded = false;
+  std::vector<ManifestEntry> entries;
+};
+
+bool WriteManifest(const std::string& dir, const Manifest& manifest);
+// Returns false when `dir` has no manifest; aborts on a corrupt one.
+bool ReadManifest(const std::string& dir, Manifest* manifest);
+
+// Canonical file name for a (day, shard) snapshot within the directory.
+std::string CheckpointFileName(int64_t day, uint32_t shard);
+std::string ManifestPath(const std::string& dir);
+
+}  // namespace coldstart::checkpoint
+
+#endif  // COLDSTART_CHECKPOINT_CHECKPOINT_H_

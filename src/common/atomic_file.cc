@@ -1,0 +1,85 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace coldstart {
+namespace {
+
+std::string DirnameOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+bool FsyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
+  tmp_path_ = path_ + ".tmp." + std::to_string(::getpid());
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+}
+
+AtomicFile::~AtomicFile() { Abandon(); }
+
+bool AtomicFile::Write(const void* data, size_t size) {
+  if (file_ == nullptr || failed_) {
+    return false;
+  }
+  if (size == 0) {
+    return true;
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool AtomicFile::Commit() {
+  if (file_ == nullptr || failed_) {
+    Abandon();
+    return false;
+  }
+  bool ok = std::fflush(file_) == 0;
+  ok = ok && ::fsync(::fileno(file_)) == 0;
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  ok = ok && std::rename(tmp_path_.c_str(), path_.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp_path_.c_str());
+    failed_ = true;
+    return false;
+  }
+  // Make the rename itself durable. A failed directory fsync leaves a valid
+  // file that might vanish on power loss — degraded durability, not corruption
+  // — so it does not fail the commit.
+  FsyncDirectory(DirnameOf(path_));
+  return true;
+}
+
+void AtomicFile::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+}  // namespace coldstart

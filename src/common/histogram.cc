@@ -108,6 +108,29 @@ double LogHistogram::Quantile(double q) const {
   return max_recorded_;
 }
 
+void LogHistogram::SaveState(ByteWriter& w) const {
+  w.U64(counts_.size());
+  for (const uint64_t c : counts_) {
+    w.U64(c);
+  }
+  w.U64(total_count_);
+  w.F64(sum_);
+  w.F64(min_recorded_);
+  w.F64(max_recorded_);
+}
+
+void LogHistogram::RestoreState(ByteReader& r) {
+  const uint64_t n = r.U64();
+  COLDSTART_CHECK_EQ(n, counts_.size());
+  for (uint64_t& c : counts_) {
+    c = r.U64();
+  }
+  total_count_ = r.U64();
+  sum_ = r.F64();
+  min_recorded_ = r.F64();
+  max_recorded_ = r.F64();
+}
+
 double LogHistogram::CdfAt(double value) const {
   if (total_count_ == 0) {
     return 0.0;

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/byte_serde.h"
+
 namespace coldstart {
 
 class LogHistogram {
@@ -42,6 +44,13 @@ class LogHistogram {
   uint64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
   // Lower edge of bucket i.
   double bucket_lower(int i) const;
+
+  // Checkpoint support: the recorded state (bucket counts plus the exact-value
+  // accumulators, doubles by bit pattern). The bucket layout is construction-
+  // derived, so RestoreState requires a histogram built with the same range and
+  // resolution and CHECK-fails on a bucket-count mismatch.
+  void SaveState(ByteWriter& w) const;
+  void RestoreState(ByteReader& r);
 
  private:
   int BucketFor(double value) const;

@@ -93,6 +93,11 @@ class Rng {
   // Derives an independent generator for the given numeric key (e.g. a function id).
   Rng ForkStream(uint64_t key) const;
 
+  // Checkpoint support: the four xoshiro256** state words. RestoreState makes
+  // this generator continue the saved stream bit-exactly.
+  void SaveState(uint64_t out[4]) const { std::memcpy(out, state_, sizeof(state_)); }
+  void RestoreState(const uint64_t in[4]) { std::memcpy(state_, in, sizeof(state_)); }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

@@ -1,13 +1,17 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <utility>
 
+#include "common/byte_serde.h"
 #include "common/check.h"
 #include "common/env.h"
 #include "core/sweep.h"
@@ -43,6 +47,222 @@ void ResizeStats(ExperimentResult& result, size_t regions) {
   result.cold_start_latency_sum_us.assign(regions, 0);
 }
 
+// --- Checkpoint plumbing -----------------------------------------------------
+
+// Record tables travel as raw bytes, like trace/binary_io.cc does for the
+// cache format: a checkpoint is consumed on the machine that wrote it.
+template <typename Record>
+void SaveTable(const std::vector<Record>& table, ByteWriter& w) {
+  w.U64(table.size());
+  if (!table.empty()) {
+    w.Raw(table.data(), table.size() * sizeof(Record));
+  }
+}
+
+template <typename Record>
+std::vector<Record> RestoreTable(ByteReader& r) {
+  std::vector<Record> table(r.U64());
+  if (!table.empty()) {
+    r.Raw(table.data(), table.size() * sizeof(Record));
+  }
+  return table;
+}
+
+void SaveSinkState(bool streaming, const trace::TraceStore& store,
+                   const trace::StreamingAggregates& aggregates, ByteWriter& w) {
+  if (streaming) {
+    aggregates.SaveState(w);
+    return;
+  }
+  SaveTable(store.requests(), w);
+  SaveTable(store.cold_starts(), w);
+  SaveTable(store.functions(), w);
+  SaveTable(store.pods(), w);
+  w.I64(store.horizon());
+}
+
+void RestoreSinkState(bool streaming, trace::TraceStore& store,
+                      trace::StreamingAggregates& aggregates, ByteReader& r) {
+  if (streaming) {
+    aggregates.RestoreState(r);
+    return;
+  }
+  auto requests = RestoreTable<trace::RequestRecord>(r);
+  auto cold_starts = RestoreTable<trace::ColdStartRecord>(r);
+  auto functions = RestoreTable<trace::FunctionRecord>(r);
+  auto pods = RestoreTable<trace::PodLifetimeRecord>(r);
+  const SimTime horizon = r.I64();
+  store.RestoreTables(std::move(requests), std::move(cold_starts),
+                      std::move(functions), std::move(pods), horizon);
+}
+
+// One shard's full state, in the order RestoreShard consumes it: simulator
+// clock/counters, policy blob, sink state, platform state.
+std::string BuildCheckpointPayload(const sim::Simulator& sim,
+                                   const platform::PlatformPolicy* policy,
+                                   bool streaming, const trace::TraceStore& store,
+                                   const trace::StreamingAggregates& aggregates,
+                                   const platform::Platform& platform) {
+  ByteWriter w;
+  w.I64(sim.now());
+  w.U64(sim.next_seq());
+  w.U64(sim.events_processed());
+  if (policy != nullptr) {
+    std::string blob;
+    COLDSTART_CHECK(policy->SavePolicyState(&blob) &&
+                    "policy is not checkpointable (SavePolicyState returned false)");
+    w.U8(1);
+    w.Str(blob);
+  } else {
+    w.U8(0);
+  }
+  SaveSinkState(streaming, store, aggregates, w);
+  platform.SaveCheckpointState(w);
+  return w.Take();
+}
+
+// Restores one shard from its committed checkpoint file and returns the
+// completed-day count. The platform must be freshly constructed with
+// Options.resuming and the simulator untouched.
+int64_t RestoreShard(const std::string& dir, const checkpoint::ManifestEntry& entry,
+                     uint64_t fingerprint, uint8_t trace_mode, uint32_t num_regions,
+                     uint32_t shard, sim::Simulator& sim,
+                     platform::PlatformPolicy* policy, bool streaming,
+                     trace::TraceStore& store,
+                     trace::StreamingAggregates& aggregates,
+                     platform::Platform& platform,
+                     std::unique_ptr<workload::ArrivalStream> stream) {
+  checkpoint::CheckpointMeta meta;
+  std::string payload;
+  const std::string path = dir + "/" + entry.file;
+  COLDSTART_CHECK(checkpoint::ReadCheckpointFile(path, &meta, &payload) &&
+                  "manifest names a checkpoint file that does not exist");
+  COLDSTART_CHECK_EQ(meta.fingerprint, fingerprint);
+  COLDSTART_CHECK_EQ(meta.trace_mode, trace_mode);
+  COLDSTART_CHECK_EQ(meta.shard, shard);
+  COLDSTART_CHECK_EQ(meta.day, entry.day);
+  COLDSTART_CHECK_EQ(meta.num_regions, num_regions);
+  ByteReader r(payload);
+  const SimTime now = r.I64();
+  const uint64_t next_seq = r.U64();
+  const uint64_t events = r.U64();
+  sim.RestoreClock(now, next_seq, events);
+  if (r.U8() != 0) {
+    COLDSTART_CHECK(policy != nullptr &&
+                    "checkpoint carries policy state but no policy was passed");
+    COLDSTART_CHECK(policy->RestorePolicyState(r.Str()));
+  } else {
+    COLDSTART_CHECK(policy == nullptr &&
+                    "checkpoint has no policy state but a policy was passed");
+  }
+  RestoreSinkState(streaming, store, aggregates, r);
+  platform.RestoreCheckpointState(r, std::move(stream));
+  COLDSTART_CHECK(r.AtEnd());
+  return meta.day;
+}
+
+// Serializes manifest updates across shard threads: each Commit writes the
+// shard's checkpoint file, installs its manifest entry, and atomically
+// rewrites the manifest — so the manifest always names fully committed files.
+class CheckpointCommitter {
+ public:
+  CheckpointCommitter(const CheckpointPolicy& policy, uint64_t fingerprint,
+                      uint8_t trace_mode, uint32_t num_regions, bool sharded)
+      : policy_(policy) {
+    manifest_.fingerprint = fingerprint;
+    manifest_.trace_mode = trace_mode;
+    manifest_.num_regions = num_regions;
+    manifest_.sharded = sharded;
+    std::error_code ec;
+    std::filesystem::create_directories(policy.dir, ec);
+  }
+
+  // Carries forward the entries of the manifest the run resumed from, so a
+  // shard that has not checkpointed again yet keeps its old entry.
+  void SeedFrom(const checkpoint::Manifest& manifest) {
+    manifest_.entries = manifest.entries;
+  }
+
+  void Commit(int64_t day, uint32_t shard, const std::string& payload) {
+    checkpoint::CheckpointMeta meta;
+    meta.fingerprint = manifest_.fingerprint;
+    meta.trace_mode = manifest_.trace_mode;
+    meta.shard = shard;
+    meta.day = day;
+    meta.num_regions = manifest_.num_regions;
+    const std::string file = checkpoint::CheckpointFileName(day, shard);
+    COLDSTART_CHECK(
+        checkpoint::WriteCheckpointFile(policy_.dir + "/" + file, meta, payload) &&
+        "failed to write checkpoint file");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      bool found = false;
+      for (checkpoint::ManifestEntry& e : manifest_.entries) {
+        if (e.shard == shard) {
+          e.day = day;
+          e.file = file;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        manifest_.entries.push_back({shard, day, file});
+      }
+      COLDSTART_CHECK(checkpoint::WriteManifest(policy_.dir, manifest_) &&
+                      "failed to write checkpoint manifest");
+    }
+    if (policy_.on_checkpoint) {
+      policy_.on_checkpoint(day, shard);
+    }
+  }
+
+ private:
+  const CheckpointPolicy& policy_;
+  checkpoint::Manifest manifest_;
+  std::mutex mu_;
+};
+
+// Runs one shard from its start day to the horizon. With a CheckpointPolicy,
+// execution is split at day boundaries — provably equivalent to one long
+// RunUntil (docs/determinism.md "Checkpoint contract") — and `commit` fires at
+// the configured cadence. Returns -1 on completion (Finalize ran), else the
+// boundary where the stop flag ended the run (a checkpoint was committed).
+int64_t RunShardDays(sim::Simulator& sim, platform::Platform& platform,
+                     SimTime horizon, int64_t start_day,
+                     const CheckpointPolicy* checkpoint,
+                     const std::function<void(int64_t)>& commit) {
+  if (checkpoint != nullptr) {
+    const int every = checkpoint->every_n_days > 0 ? checkpoint->every_n_days : 1;
+    for (int64_t day = start_day + 1; day * kDay < horizon; ++day) {
+      sim.RunUntil(day * kDay - 1);
+      const bool stop = checkpoint->stop != nullptr &&
+                        checkpoint->stop->load(std::memory_order_relaxed);
+      if (stop || day % every == 0) {
+        commit(day);
+      }
+      if (stop) {
+        return day;
+      }
+    }
+  }
+  sim.RunUntil(horizon);
+  platform.Finalize();
+  return -1;
+}
+
+const checkpoint::ManifestEntry* FindEntry(const checkpoint::Manifest* manifest,
+                                           uint32_t shard) {
+  if (manifest == nullptr) {
+    return nullptr;
+  }
+  for (const checkpoint::ManifestEntry& e : manifest->entries) {
+    if (e.shard == shard) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 bool Experiment::CanShard(platform::PlatformPolicy* policy) const {
@@ -59,19 +279,46 @@ bool Experiment::CanShard(platform::PlatformPolicy* policy) const {
 }
 
 ExperimentResult Experiment::Run(platform::PlatformPolicy* policy,
-                                 int num_threads) const {
+                                 int num_threads,
+                                 const CheckpointPolicy* checkpoint) const {
   const int threads =
       num_threads > 0 ? num_threads : ParallelSweep::DefaultThreads();
   // Clonability is probed inside RunSharded (cloning is the probe), so the hot
   // path never builds a throwaway clone tree.
   if (threads > 1 && config_.profiles.size() > 1 &&
       (policy == nullptr || policy->is_region_local())) {
-    return RunSharded(policy, threads);
+    return RunSharded(policy, threads, checkpoint);
   }
-  return RunSerial(policy);
+  return RunSerial(policy, checkpoint);
 }
 
-ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
+ExperimentResult Experiment::ResumeFrom(const std::string& dir,
+                                        platform::PlatformPolicy* policy,
+                                        int num_threads,
+                                        const CheckpointPolicy* checkpoint) const {
+  checkpoint::Manifest manifest;
+  COLDSTART_CHECK(checkpoint::ReadManifest(dir, &manifest) &&
+                  "no checkpoint manifest in the resume directory");
+  // The resumed run must be the checkpointed run: same fingerprint (config,
+  // workload, trace mode) and region count. Anything else diverges silently.
+  COLDSTART_CHECK_EQ(manifest.fingerprint, config_.Fingerprint());
+  COLDSTART_CHECK_EQ(manifest.trace_mode,
+                     static_cast<uint8_t>(config_.trace_mode));
+  COLDSTART_CHECK_EQ(manifest.num_regions, config_.profiles.size());
+  if (manifest.sharded) {
+    COLDSTART_CHECK(CanShard(policy) &&
+                    "sharded checkpoint requires a shardable config and policy");
+    const int threads =
+        num_threads > 0 ? num_threads : ParallelSweep::DefaultThreads();
+    return RunSharded(policy, std::max(threads, 2), checkpoint, &manifest, dir);
+  }
+  return RunSerial(policy, checkpoint, &manifest, dir);
+}
+
+ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy,
+                                       const CheckpointPolicy* checkpoint,
+                                       const checkpoint::Manifest* resume,
+                                       const std::string& resume_dir) const {
   const auto wall_start = std::chrono::steady_clock::now();
 
   ExperimentResult result;
@@ -85,16 +332,65 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
   trace::TraceSink& sink =
       streaming ? static_cast<trace::TraceSink&>(result.streaming)
                 : static_cast<trace::TraceSink&>(result.store);
+
+  const checkpoint::ManifestEntry* entry = nullptr;
+  if (resume != nullptr) {
+    COLDSTART_CHECK(!resume->sharded &&
+                    "sharded checkpoint routed to the serial runner");
+    entry = FindEntry(resume, checkpoint::kSerialShard);
+    COLDSTART_CHECK(entry != nullptr && "serial manifest has no entry");
+  }
+
+  platform::Platform::Options options = PlatformOptions(config_);
+  options.resuming = entry != nullptr;
   sim::Simulator sim;
   platform::Platform platform(result.population, profiles, calendar, sim, sink,
-                              PlatformOptions(config_), policy);
+                              options, policy);
   // Pull-based arrival generation: the platform holds one day chunk at a time,
   // so arrival memory is O(busiest day) rather than O(horizon).
-  platform.AttachArrivalStream(config_.workload_source().OpenStream(
-      result.population, profiles, calendar, config_.seed));
-  sim.RunUntil(calendar.horizon());
-  platform.Finalize();
-  result.store.Seal();  // No-op in streaming mode (the store stayed empty).
+  auto stream = config_.workload_source().OpenStream(result.population, profiles,
+                                                     calendar, config_.seed);
+  int64_t start_day = 0;
+  if (entry != nullptr) {
+    start_day = RestoreShard(resume_dir, *entry, config_.Fingerprint(),
+                             static_cast<uint8_t>(config_.trace_mode),
+                             static_cast<uint32_t>(profiles.size()),
+                             checkpoint::kSerialShard, sim, policy, streaming,
+                             result.store, result.streaming, platform,
+                             std::move(stream));
+  } else {
+    platform.AttachArrivalStream(std::move(stream));
+  }
+
+  std::optional<CheckpointCommitter> committer;
+  std::function<void(int64_t)> commit;
+  if (checkpoint != nullptr) {
+    COLDSTART_CHECK(!checkpoint->dir.empty());
+    if (policy != nullptr) {
+      // Fail at attach time, not at the first day boundary hours in.
+      std::string probe;
+      COLDSTART_CHECK(policy->SavePolicyState(&probe) &&
+                      "policy is not checkpointable (SavePolicyState)");
+    }
+    committer.emplace(*checkpoint, config_.Fingerprint(),
+                      static_cast<uint8_t>(config_.trace_mode),
+                      static_cast<uint32_t>(profiles.size()), /*sharded=*/false);
+    if (resume != nullptr) {
+      committer->SeedFrom(*resume);
+    }
+    commit = [&](int64_t day) {
+      committer->Commit(day, checkpoint::kSerialShard,
+                        BuildCheckpointPayload(sim, policy, streaming,
+                                               result.store, result.streaming,
+                                               platform));
+    };
+  }
+
+  result.interrupted_at_day =
+      RunShardDays(sim, platform, calendar.horizon(), start_day, checkpoint, commit);
+  if (result.interrupted_at_day < 0) {
+    result.store.Seal();  // No-op in streaming mode (the store stayed empty).
+  }
 
   ResizeStats(result, profiles.size());
   for (size_t r = 0; r < profiles.size(); ++r) {
@@ -107,17 +403,22 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy) const {
 }
 
 ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
-                                        int num_threads) const {
+                                        int num_threads,
+                                        const CheckpointPolicy* checkpoint,
+                                        const checkpoint::Manifest* resume,
+                                        const std::string& resume_dir) const {
   // Region-local policies run as one independent clone per shard (the caller's
   // instance is only the configuration prototype). A policy that cannot clone
-  // falls back to the serial path — same results, one thread.
+  // falls back to the serial path — same results, one thread. (A resume never
+  // falls back: ResumeFrom checked CanShard before routing here.)
   std::vector<std::unique_ptr<platform::PlatformPolicy>> clones(
       config_.profiles.size());
   if (policy != nullptr) {
     for (auto& clone : clones) {
       clone = policy->CloneForShard();
       if (clone == nullptr) {
-        return RunSerial(policy);
+        COLDSTART_CHECK(resume == nullptr);
+        return RunSerial(policy, checkpoint);
       }
     }
   }
@@ -152,6 +453,32 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   ResizeStats(result, regions);
   const ScenarioConfig& config = config_;
   const workload::Population& population = result.population;
+  const uint64_t fingerprint = config_.Fingerprint();
+
+  if (resume != nullptr) {
+    COLDSTART_CHECK(resume->sharded &&
+                    "serial checkpoint routed to the sharded runner");
+  }
+  std::optional<CheckpointCommitter> committer;
+  if (checkpoint != nullptr) {
+    COLDSTART_CHECK(!checkpoint->dir.empty());
+    if (policy != nullptr) {
+      std::string probe;
+      COLDSTART_CHECK(policy->SavePolicyState(&probe) &&
+                      "policy is not checkpointable (SavePolicyState)");
+    }
+    committer.emplace(*checkpoint, fingerprint,
+                      static_cast<uint8_t>(config_.trace_mode),
+                      static_cast<uint32_t>(regions), /*sharded=*/true);
+    if (resume != nullptr) {
+      committer->SeedFrom(*resume);
+    }
+  }
+  // One stop day per shard; -1 = ran to completion. The stop flag is global,
+  // but shards notice it at their own next day boundary, so an interrupted
+  // sharded run's shards may rest at different days — each shard's manifest
+  // entry records its own.
+  std::vector<int64_t> stop_days(regions, -1);
 
   ParallelSweep sweep(num_threads);
   for (size_t r = 0; r < regions; ++r) {
@@ -159,20 +486,46 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
       trace::TraceSink& sink =
           streaming ? static_cast<trace::TraceSink&>(shards[r].streaming)
                     : static_cast<trace::TraceSink&>(shards[r].store);
+      const checkpoint::ManifestEntry* entry =
+          FindEntry(resume, static_cast<uint32_t>(r));
+      platform::Platform::Options options = PlatformOptions(config);
+      options.resuming = entry != nullptr;
       sim::Simulator sim;
       platform::Platform platform(population, profiles, calendar, sim,
-                                  sink, PlatformOptions(config),
-                                  clones[r].get());
-      platform.AttachArrivalStream(config.workload_source().OpenStream(
+                                  sink, options, clones[r].get());
+      auto stream = config.workload_source().OpenStream(
           population, profiles, calendar, config.seed,
-          static_cast<trace::RegionId>(r)));
-      sim.RunUntil(calendar.horizon());
-      platform.Finalize();
+          static_cast<trace::RegionId>(r));
+      int64_t start_day = 0;
+      if (entry != nullptr) {
+        start_day = RestoreShard(resume_dir, *entry, fingerprint,
+                                 static_cast<uint8_t>(config.trace_mode),
+                                 static_cast<uint32_t>(regions),
+                                 static_cast<uint32_t>(r), sim, clones[r].get(),
+                                 streaming, shards[r].store, shards[r].streaming,
+                                 platform, std::move(stream));
+      } else {
+        platform.AttachArrivalStream(std::move(stream));
+      }
+      std::function<void(int64_t)> commit;
+      if (checkpoint != nullptr) {
+        commit = [&, r](int64_t day) {
+          committer->Commit(day, static_cast<uint32_t>(r),
+                            BuildCheckpointPayload(sim, clones[r].get(),
+                                                   streaming, shards[r].store,
+                                                   shards[r].streaming, platform));
+        };
+      }
+      stop_days[r] = RunShardDays(sim, platform, calendar.horizon(), start_day,
+                                  checkpoint, commit);
       shards[r].events = sim.events_processed();
       CollectRegionStats(platform, static_cast<trace::RegionId>(r), result);
     });
   }
   sweep.Run();
+  for (const int64_t d : stop_days) {
+    result.interrupted_at_day = std::max(result.interrupted_at_day, d);
+  }
 
   // Fold shard counters back into the caller's prototype so policy statistics
   // (prewarms_issued() and friends) read the same whether the run sharded or not.
@@ -202,7 +555,9 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   for (const ShardOutcome& shard : shards) {
     result.events_processed += shard.events;
   }
-  result.store.Seal();
+  if (result.interrupted_at_day < 0) {
+    result.store.Seal();
+  }
 
   result.sim_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
@@ -240,11 +595,11 @@ ExperimentResult Experiment::RunCached(const std::string& cache_dir,
   COLDSTART_CHECK(config_.trace_mode == TraceMode::kFull &&
                   "RunCached requires TraceMode::kFull");
   namespace fs = std::filesystem;
-  // v3 filename scheme: fingerprints now also cover the workload source, so files
-  // written under the old schemes (which could not tell a replay run from a
-  // synthetic one) are never picked up.
+  // v4 filename scheme, bumped with the fingerprint salt: v4 folds the trace
+  // mode into the fingerprint (checkpoints key on it), so files written under
+  // the older schemes are never picked up.
   char name[64];
-  std::snprintf(name, sizeof(name), "scenario_v3_%016" PRIx64 ".bin",
+  std::snprintf(name, sizeof(name), "scenario_v4_%016" PRIx64 ".bin",
                 config_.Fingerprint());
   const std::string path = (fs::path(cache_dir) / name).string();
 

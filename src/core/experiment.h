@@ -29,15 +29,40 @@
 #ifndef COLDSTART_CORE_EXPERIMENT_H_
 #define COLDSTART_CORE_EXPERIMENT_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.h"
 #include "core/scenario.h"
 #include "platform/platform.h"
 #include "trace/streaming_aggregates.h"
 #include "trace/trace_store.h"
 
 namespace coldstart::core {
+
+// Day-boundary checkpointing for crash-safe long runs. When passed to Run()
+// (or ResumeFrom()), the runner snapshots its full state into `dir` every
+// `every_n_days` completed days: a kill at any instant loses at most the work
+// since the last committed checkpoint, and ResumeFrom() continues the run to a
+// final trace bit-identical to the uninterrupted one. Works serial and
+// sharded (one checkpoint stream per region, merged manifest). Requires a
+// checkpointable policy (SavePolicyState) when a policy is attached —
+// enforced loudly up front, not at the first checkpoint.
+struct CheckpointPolicy {
+  int every_n_days = 1;
+  std::string dir;
+  // Test/driver hook, fired after each (day, shard) checkpoint family commits
+  // (checkpoint file + manifest both durable). Sharded runs fire it from
+  // worker threads — keep it thread-safe.
+  std::function<void(int64_t day, uint32_t shard)> on_checkpoint;
+  // Cooperative stop (e.g. wired to a SIGINT flag): checked at every day
+  // boundary; when set, the run checkpoints, stops early, and reports the
+  // boundary in ExperimentResult::interrupted_at_day.
+  const std::atomic<bool>* stop = nullptr;
+};
 
 struct ExperimentResult {
   TraceMode mode = TraceMode::kFull;
@@ -61,6 +86,10 @@ struct ExperimentResult {
   // per-region aggregates above are nevertheless identical.
   uint64_t events_processed = 0;
   double sim_wall_seconds = 0;
+  // -1: the run completed (Finalize ran, the store is sealed). Otherwise the
+  // day boundary where a CheckpointPolicy stop flag ended the run early; the
+  // trace is partial and a checkpoint for that day was committed.
+  int64_t interrupted_at_day = -1;
 };
 
 class Experiment {
@@ -73,8 +102,22 @@ class Experiment {
   // serial and sharded execution produce bit-identical sealed traces, so the
   // thread count never changes results. num_threads: 0 = default
   // ($COLDSTART_THREADS, else hardware_concurrency), 1 = serial, n = cap.
+  // With a CheckpointPolicy the run additionally snapshots its state at day
+  // boundaries (same results — checkpointing never perturbs the simulation).
   ExperimentResult Run(platform::PlatformPolicy* policy = nullptr,
-                       int num_threads = 0) const;
+                       int num_threads = 0,
+                       const CheckpointPolicy* checkpoint = nullptr) const;
+
+  // Resumes a run from the latest committed checkpoints in `dir` and carries
+  // it to completion (or to the next stop). The config and policy must match
+  // the checkpointed run — fingerprint and policy checkpointability are
+  // CHECKed. The execution mode follows the manifest: a sharded checkpoint
+  // resumes sharded (one platform per region), a serial one resumes serially.
+  // The completed result is bit-identical to the uninterrupted run's.
+  ExperimentResult ResumeFrom(const std::string& dir,
+                              platform::PlatformPolicy* policy = nullptr,
+                              int num_threads = 0,
+                              const CheckpointPolicy* checkpoint = nullptr) const;
 
   // True when Run(policy) may take the sharded path: multiple regions and a policy
   // that is region-local and shard-clonable (or no policy at all).
@@ -92,8 +135,16 @@ class Experiment {
   static std::string DefaultCacheDir();
 
  private:
-  ExperimentResult RunSerial(platform::PlatformPolicy* policy) const;
-  ExperimentResult RunSharded(platform::PlatformPolicy* policy, int num_threads) const;
+  // `resume` (with `resume_dir`) restores each shard from its manifest entry
+  // before running; null means a fresh run from day 0.
+  ExperimentResult RunSerial(platform::PlatformPolicy* policy,
+                             const CheckpointPolicy* checkpoint = nullptr,
+                             const checkpoint::Manifest* resume = nullptr,
+                             const std::string& resume_dir = std::string()) const;
+  ExperimentResult RunSharded(platform::PlatformPolicy* policy, int num_threads,
+                              const CheckpointPolicy* checkpoint = nullptr,
+                              const checkpoint::Manifest* resume = nullptr,
+                              const std::string& resume_dir = std::string()) const;
 
   ScenarioConfig config_;
 };

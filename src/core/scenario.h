@@ -27,8 +27,10 @@ struct ScenarioConfig {
   int days = 31;       // Trace length; the paper's dataset covers 31 days.
   double scale = 1.0;  // Scales function counts and pool sizes (for quick runs).
   bool record_requests = true;
-  // Trace recording mode. Not part of Fingerprint(): it changes what is retained,
-  // never what the platform emits. RunCached() requires kFull.
+  // Trace recording mode. It changes what is retained, never what the platform
+  // emits — but it *is* part of Fingerprint(): checkpoints carry the sink's
+  // partial state, so a checkpoint written in one mode cannot resume the other.
+  // RunCached() requires kFull.
   TraceMode trace_mode = TraceMode::kFull;
   // Baseline keep-alive granted to idle pods when no policy overrides it (§2.2).
   SimDuration default_keep_alive = kMinute;

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -58,22 +62,49 @@ Platform::Platform(const workload::Population& population,
   states_.resize(population_.functions.size());
 
   // Function-level table (one row per function, like the paper's third stream).
-  for (const auto& f : population_.functions) {
-    trace::FunctionRecord rec;
-    rec.function_id = f.id;
-    rec.user_id = f.user;
-    rec.region = f.region;
-    rec.runtime = f.runtime;
-    rec.primary_trigger = f.primary_trigger;
-    rec.trigger_mask = f.trigger_mask;
-    rec.config = f.config;
-    sink_.OnFunction(rec);
+  // A resuming platform skips the emission: the restored sink already holds it.
+  if (!options_.resuming) {
+    for (const auto& f : population_.functions) {
+      trace::FunctionRecord rec;
+      rec.function_id = f.id;
+      rec.user_id = f.user;
+      rec.region = f.region;
+      rec.runtime = f.runtime;
+      rec.primary_trigger = f.primary_trigger;
+      rec.trigger_mask = f.trigger_mask;
+      rec.config = f.config;
+      sink_.OnFunction(rec);
+    }
   }
 
   if (policy_ != nullptr) {
     policy_->OnAttach(*this);
-    sim::SchedulePeriodic(sim_, 0, kMinute, calendar_.horizon(),
-                          [this](int64_t) { policy_->OnMinuteTick(sim_.now()); });
+    // The minute tick is platform-managed (not sim::SchedulePeriodic) so its
+    // (time, seq) key is recorded and a checkpoint restore can re-queue it.
+    // Seq consumption is identical to the periodic helper it replaced: one seq
+    // here, one per reschedule after the tick body runs. On resume the restored
+    // state re-queues the pending tick instead.
+    if (!options_.resuming && calendar_.horizon() > 0) {
+      SchedulePolicyTick(0);
+    }
+  }
+}
+
+void Platform::SchedulePolicyTick(SimTime t) {
+  policy_tick_time_ = t;
+  policy_tick_seq_ = sim_.next_seq();
+  sim_.ScheduleAt(t, [this] { RunPolicyTick(); });
+}
+
+void Platform::RunPolicyTick() {
+  // Fire first, then reschedule — the Recur closure this replaces ran the body
+  // before consuming the next tick's seq, and the order must match exactly.
+  policy_->OnMinuteTick(sim_.now());
+  const SimTime next = sim_.now() + kMinute;
+  if (next < calendar_.horizon()) {
+    SchedulePolicyTick(next);
+  } else {
+    policy_tick_time_ = -1;
   }
 }
 
@@ -145,6 +176,7 @@ void Platform::AttachArrivalStream(std::unique_ptr<workload::ArrivalStream> stre
   }
   const SimTime horizon = calendar_.horizon();
   bool any = false;
+  starter_seq_base_ = sim_.next_seq();  // Day k's starter is seq base + k.
   for (int64_t day = 0; day * kDay < horizon; ++day) {
     // Wake exactly at the day boundary (covers the t=0 first arrival: day_start
     // is never negative). Anchoring the batch's seq reservation at day start —
@@ -154,6 +186,7 @@ void Platform::AttachArrivalStream(std::unique_ptr<workload::ArrivalStream> stre
     // shards.
     sim_.ScheduleAt(day * kDay, [this, day] { OpenDayChunk(day); });
     any = true;
+    ++num_starters_;
   }
   if (any) {
     sim_.AttachSource(&arrival_cursor_);
@@ -308,14 +341,8 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
   if (has_deps) {
     ++load.active_dep_deploys;
   }
-  sim_.ScheduleAt(pod->ready_time, [this, region, has_deps] {
-    RegionLoadState& l = loads_[region];
-    --l.active_cold_starts;
-    --l.active_code_deploys;
-    if (has_deps) {
-      --l.active_dep_deploys;
-    }
-  });
+  pod->ready_decr_seq = sim_.next_seq();
+  sim_.ScheduleAt(pod->ready_time, MakeLoadDecrementHandler(region, has_deps));
   ++load.total_cold_starts;
 
   if (prewarmed) {
@@ -345,6 +372,18 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
   return pod;
 }
 
+sim::Simulator::Handler Platform::MakeLoadDecrementHandler(RegionId region,
+                                                           bool has_deps) {
+  return [this, region, has_deps] {
+    RegionLoadState& l = loads_[region];
+    --l.active_cold_starts;
+    --l.active_code_deploys;
+    if (has_deps) {
+      --l.active_dep_deploys;
+    }
+  };
+}
+
 void Platform::AssignRequest(Pod* pod, const FunctionSpec& spec, SimTime arrival) {
   ++pod->slots_used;
   // Any pending keep-alive is void: the pod is busy again.
@@ -357,10 +396,25 @@ void Platform::AssignRequest(Pod* pod, const FunctionSpec& spec, SimTime arrival
   const uint32_t exec = static_cast<uint32_t>(exec_us);
   const SimTime exec_end = exec_start + exec;
 
-  sim_.ScheduleAt(exec_end, [this, handle = pod->self, exec_start, exec_end, exec,
-                             fid = spec.id] {
-    OnRequestComplete(handle, exec_start, exec_end, exec, population_.functions[fid]);
-  });
+  // The completion's payload lives in the in-flight registry (checkpointable);
+  // the queued closure is just (this, registry handle).
+  auto [req, reg] = inflight_.Allocate();
+  req->pod = pod->self;
+  req->exec_start = exec_start;
+  req->exec_end = exec_end;
+  req->exec_us = exec;
+  req->function = spec.id;
+  req->seq = sim_.next_seq();
+  sim_.ScheduleAt(exec_end, [this, reg] { RunRequestCompletion(reg); });
+}
+
+void Platform::RunRequestCompletion(SlabHandle reg) {
+  InFlightRequest* req = inflight_.Resolve(reg);
+  COLDSTART_CHECK(req != nullptr);
+  const InFlightRequest copy = *req;
+  inflight_.Free(reg);
+  OnRequestComplete(copy.pod, copy.exec_start, copy.exec_end, copy.exec_us,
+                    population_.functions[copy.function]);
 }
 
 void Platform::OnRequestComplete(SlabHandle handle, SimTime exec_start,
@@ -405,8 +459,7 @@ void Platform::OnRequestComplete(SlabHandle handle, SimTime exec_start,
     Rng& region_rng = rng(spec.region);
     if (region_rng.NextBool(edge.probability)) {
       const SimDuration delay = FromSeconds(region_rng.Uniform(0.005, 0.05));
-      sim_.ScheduleAt(exec_end + delay,
-                      [this, child = edge.child] { HandleArrival(child, false); });
+      ScheduleInvoke(exec_end + delay, edge.child, /*delay_exempt=*/false);
     }
   }
 
@@ -415,13 +468,28 @@ void Platform::OnRequestComplete(SlabHandle handle, SimTime exec_start,
   }
 }
 
-void Platform::ArmKeepAlive(Pod* pod) {
-  const uint64_t gen = ++pod->keepalive_gen;
-  const FunctionSpec& spec = population_.functions[pod->function];
-  const SimDuration keep_alive = policy_ != nullptr
-                                     ? policy_->KeepAliveFor(spec, sim_.now())
-                                     : options_.default_keep_alive;
-  sim_.ScheduleAt(sim_.now() + keep_alive, [this, handle = pod->self, gen] {
+void Platform::ScheduleInvoke(SimTime t, FunctionId fid, bool delay_exempt) {
+  // Deferred HandleArrival through the pending-invoke registry, so the event
+  // survives a checkpoint with its original (time, seq) key.
+  auto [inv, reg] = invokes_.Allocate();
+  inv->time = t;
+  inv->seq = sim_.next_seq();
+  inv->function = fid;
+  inv->delay_exempt = delay_exempt;
+  sim_.ScheduleAt(t, [this, reg] { RunInvoke(reg); });
+}
+
+void Platform::RunInvoke(SlabHandle reg) {
+  PendingInvoke* inv = invokes_.Resolve(reg);
+  COLDSTART_CHECK(inv != nullptr);
+  const PendingInvoke copy = *inv;
+  invokes_.Free(reg);
+  HandleArrival(copy.function, copy.delay_exempt);
+}
+
+sim::Simulator::Handler Platform::MakeKeepAliveHandler(SlabHandle handle,
+                                                       uint64_t gen) {
+  return [this, handle, gen] {
     Pod* p = pod_slab_.Resolve(handle);
     if (p == nullptr) {
       return;  // Already dead (the slot's generation moved on).
@@ -430,7 +498,18 @@ void Platform::ArmKeepAlive(Pod* pod) {
       return;  // Was re-used since; a newer keep-alive owns it.
     }
     KillPod(p, sim_.now());
-  });
+  };
+}
+
+void Platform::ArmKeepAlive(Pod* pod) {
+  const uint64_t gen = ++pod->keepalive_gen;
+  const FunctionSpec& spec = population_.functions[pod->function];
+  const SimDuration keep_alive = policy_ != nullptr
+                                     ? policy_->KeepAliveFor(spec, sim_.now())
+                                     : options_.default_keep_alive;
+  pod->ka_time = sim_.now() + keep_alive;
+  pod->ka_seq = sim_.next_seq();
+  sim_.ScheduleAt(pod->ka_time, MakeKeepAliveHandler(pod->self, gen));
 }
 
 void Platform::KillPod(Pod* pod, SimTime death_time) {
@@ -474,7 +553,7 @@ void Platform::HandleArrival(FunctionId fid, bool delay_exempt) {
       const SimDuration delay = policy_->AdmissionDelay(fspec, now, loads_[fspec.region]);
       if (delay > 0) {
         ++loads_[fspec.region].delayed_allocations;
-        sim_.ScheduleAt(now + delay, [this, fid] { HandleArrival(fid, true); });
+        ScheduleInvoke(now + delay, fid, /*delay_exempt=*/true);
         return;
       }
     }
@@ -503,17 +582,380 @@ void Platform::SpawnPrewarmedPod(FunctionId function, RegionId region,
   Pod* pod = StartColdStart(fspec, region, /*prewarmed=*/true, 0);
   // The prewarmed pod idles from readiness; give it the requested survival window.
   const uint64_t gen = ++pod->keepalive_gen;
-  sim_.ScheduleAt(pod->ready_time + initial_keep_alive,
-                  [this, handle = pod->self, gen] {
-    Pod* p = pod_slab_.Resolve(handle);
-    if (p == nullptr) {
-      return;
+  pod->ka_time = pod->ready_time + initial_keep_alive;
+  pod->ka_seq = sim_.next_seq();
+  sim_.ScheduleAt(pod->ka_time, MakeKeepAliveHandler(pod->self, gen));
+}
+
+namespace {
+
+// Slab structure serialization: capacity, the LIFO freelist, and each slot's
+// (generation, alive) pair. Payloads are written by the caller, field by field,
+// over the alive slots in index order.
+template <typename T>
+void SaveSlabStructure(const Slab<T>& slab, ByteWriter& w) {
+  const uint32_t cap = static_cast<uint32_t>(slab.capacity());
+  w.U32(cap);
+  const std::vector<uint32_t>& free_list = slab.free_list();
+  w.U64(free_list.size());
+  for (const uint32_t i : free_list) {
+    w.U32(i);
+  }
+  for (uint32_t i = 0; i < cap; ++i) {
+    w.U32(slab.slot_generation(i));
+  }
+  for (uint32_t i = 0; i < cap; ++i) {
+    w.U8(slab.slot_alive(i) ? 1 : 0);
+  }
+}
+
+// Mirror of SaveSlabStructure on an empty slab; returns the alive slot indices
+// (in index order) so the caller can fill the payloads.
+template <typename T>
+std::vector<uint32_t> RestoreSlabStructure(Slab<T>& slab, ByteReader& r) {
+  const uint32_t cap = r.U32();
+  std::vector<uint32_t> free_list(r.U64());
+  for (uint32_t& i : free_list) {
+    i = r.U32();
+  }
+  std::vector<uint32_t> generations(cap);
+  for (uint32_t& g : generations) {
+    g = r.U32();
+  }
+  std::vector<uint8_t> alive(cap);
+  for (uint8_t& a : alive) {
+    a = r.U8();
+  }
+  std::vector<uint32_t> alive_indices;
+  for (uint32_t i = 0; i < cap; ++i) {
+    if (alive[i] != 0) {
+      alive_indices.push_back(i);
     }
-    if (p->keepalive_gen != gen || p->slots_used > 0) {
-      return;
+  }
+  slab.RestoreStructure(cap, std::move(free_list), generations, alive);
+  return alive_indices;
+}
+
+}  // namespace
+
+void Platform::SaveCheckpointState(ByteWriter& w) const {
+  const SimTime now = sim_.now();
+  // Quiescent day boundary: every event < the boundary fired, the live chunk is
+  // drained, and every pending event is reconstructible from the bookkeeping.
+  COLDSTART_CHECK_EQ((now + 1) % kDay, 0);
+  COLDSTART_CHECK(arrival_cursor_.drained());
+
+  // RNG substreams and id namespaces.
+  w.U64(rngs_.size());
+  for (const Rng& r : rngs_) {
+    uint64_t words[4];
+    r.SaveState(words);
+    w.Raw(words, sizeof(words));
+  }
+  for (const trace::PodId v : next_pod_seq_) {
+    w.U64(v);
+  }
+  for (const uint64_t v : next_request_seq_) {
+    w.U64(v);
+  }
+  for (const int64_t v : visible_cold_starts_) {
+    w.I64(v);
+  }
+  for (const int64_t v : cold_start_latency_sum_us_) {
+    w.I64(v);
+  }
+
+  // Per-region load counters (doubles travel as bit patterns).
+  for (const RegionLoadState& l : loads_) {
+    w.I64(l.active_cold_starts);
+    w.I64(l.active_code_deploys);
+    w.I64(l.active_dep_deploys);
+    w.I64(l.total_cold_starts);
+    w.I64(l.total_requests);
+    w.I64(l.prewarm_spawns);
+    w.I64(l.delayed_allocations);
+    w.F64(l.cold_start_window);
+    w.I64(l.window_updated);
+  }
+
+  // Resource pools ([region][config], fixed layout from the profiles).
+  for (const auto& region_pools : pools_) {
+    for (const ResourcePool& pool : region_pools) {
+      const ResourcePool::CheckpointState cs = pool.checkpoint_state();
+      w.I64(cs.free);
+      w.I64(cs.target);
+      w.F64(cs.refill_credit);
+      w.I64(cs.last_refill);
+      w.I64(cs.scratch_count);
     }
-    KillPod(p, sim_.now());
-  });
+  }
+
+  // Pod slab: structure, then the alive pods field by field (slot index order).
+  // `self` is not written — it is re-derived from (index, generation) on restore.
+  SaveSlabStructure(pod_slab_, w);
+  for (uint32_t i = 0; i < pod_slab_.capacity(); ++i) {
+    if (!pod_slab_.slot_alive(i)) {
+      continue;
+    }
+    const Pod& p = pod_slab_.slot_value(i);
+    w.U64(p.id);
+    w.U64(p.function);
+    w.U32(p.region);
+    w.U32(p.cluster);
+    w.U8(static_cast<uint8_t>(p.config));
+    w.I64(p.cold_start_begin);
+    w.I64(p.ready_time);
+    w.U32(p.cold_start_us);
+    w.I64(p.slots_used);
+    w.I64(p.last_busy_end);
+    w.U32(p.served);
+    w.U64(p.keepalive_gen);
+    w.U8(p.prewarmed ? 1 : 0);
+    w.U64(p.ready_decr_seq);
+    w.I64(p.ka_time);
+    w.U64(p.ka_seq);
+    // An idle alive pod must have a live keep-alive in the future — the event
+    // that will kill it. Anything else means the bookkeeping is broken.
+    if (p.slots_used == 0) {
+      COLDSTART_CHECK_GT(p.ka_time, now);
+    }
+  }
+
+  // Per-function pod lists, as slot indices in list order (order matters:
+  // FindPodWithSlot and PickCluster iterate these).
+  w.U64(states_.size());
+  for (const FunctionState& state : states_) {
+    w.U64(state.pods.size());
+    for (const Pod* pod : state.pods) {
+      w.U32(pod->self.index);
+    }
+  }
+
+  // Arrival cursor guard + event-seq bookkeeping.
+  w.I64(arrival_cursor_.last_time());
+  w.U64(starter_seq_base_);
+  w.I64(num_starters_);
+  w.I64(policy_tick_time_);
+  w.U64(policy_tick_seq_);
+
+  // In-flight completions and pending invokes (registries).
+  SaveSlabStructure(inflight_, w);
+  for (uint32_t i = 0; i < inflight_.capacity(); ++i) {
+    if (!inflight_.slot_alive(i)) {
+      continue;
+    }
+    const InFlightRequest& q = inflight_.slot_value(i);
+    w.U32(q.pod.index);
+    w.U32(q.pod.gen);
+    w.I64(q.exec_start);
+    w.I64(q.exec_end);
+    w.U32(q.exec_us);
+    w.U64(q.function);
+    w.U64(q.seq);
+  }
+  SaveSlabStructure(invokes_, w);
+  for (uint32_t i = 0; i < invokes_.capacity(); ++i) {
+    if (!invokes_.slot_alive(i)) {
+      continue;
+    }
+    const PendingInvoke& q = invokes_.slot_value(i);
+    w.I64(q.time);
+    w.U64(q.seq);
+    w.U64(q.function);
+    w.U8(q.delay_exempt ? 1 : 0);
+  }
+
+  // Arrival stream: 2 = no stream attached; 1 = stream state captured;
+  // 0 = stream cannot serialize — restore falls back on the determinism
+  // contract (reopen and discard the consumed days).
+  if (arrival_stream_ == nullptr) {
+    w.U8(2);
+  } else {
+    ByteWriter sw;
+    if (arrival_stream_->SaveState(sw)) {
+      w.U8(1);
+      w.Str(sw.data());
+    } else {
+      w.U8(0);
+    }
+  }
+}
+
+void Platform::RestoreCheckpointState(
+    ByteReader& r, std::unique_ptr<workload::ArrivalStream> stream) {
+  const SimTime now = sim_.now();
+  COLDSTART_CHECK(options_.resuming);
+  COLDSTART_CHECK_EQ((now + 1) % kDay, 0);
+  COLDSTART_CHECK(arrival_stream_ == nullptr && !source_attached_);
+  COLDSTART_CHECK_EQ(pod_slab_.capacity(), 0u);
+
+  COLDSTART_CHECK_EQ(r.U64(), rngs_.size());
+  for (Rng& rng : rngs_) {
+    uint64_t words[4];
+    r.Raw(words, sizeof(words));
+    rng.RestoreState(words);
+  }
+  for (trace::PodId& v : next_pod_seq_) {
+    v = static_cast<trace::PodId>(r.U64());
+  }
+  for (uint64_t& v : next_request_seq_) {
+    v = r.U64();
+  }
+  for (int64_t& v : visible_cold_starts_) {
+    v = r.I64();
+  }
+  for (int64_t& v : cold_start_latency_sum_us_) {
+    v = r.I64();
+  }
+
+  for (RegionLoadState& l : loads_) {
+    l.active_cold_starts = static_cast<int>(r.I64());
+    l.active_code_deploys = static_cast<int>(r.I64());
+    l.active_dep_deploys = static_cast<int>(r.I64());
+    l.total_cold_starts = r.I64();
+    l.total_requests = r.I64();
+    l.prewarm_spawns = r.I64();
+    l.delayed_allocations = r.I64();
+    l.cold_start_window = r.F64();
+    l.window_updated = r.I64();
+  }
+
+  for (auto& region_pools : pools_) {
+    for (ResourcePool& pool : region_pools) {
+      ResourcePool::CheckpointState cs;
+      cs.free = static_cast<int>(r.I64());
+      cs.target = static_cast<int>(r.I64());
+      cs.refill_credit = r.F64();
+      cs.last_refill = r.I64();
+      cs.scratch_count = r.I64();
+      pool.restore_checkpoint_state(cs);
+    }
+  }
+
+  const std::vector<uint32_t> alive_pods = RestoreSlabStructure(pod_slab_, r);
+  for (const uint32_t i : alive_pods) {
+    Pod& p = pod_slab_.slot_value(i);
+    p.self = SlabHandle{i, pod_slab_.slot_generation(i)};
+    p.id = static_cast<trace::PodId>(r.U64());
+    p.function = static_cast<trace::FunctionId>(r.U64());
+    p.region = static_cast<trace::RegionId>(r.U32());
+    p.cluster = static_cast<trace::ClusterId>(r.U32());
+    p.config = static_cast<trace::ResourceConfig>(r.U8());
+    p.cold_start_begin = r.I64();
+    p.ready_time = r.I64();
+    p.cold_start_us = r.U32();
+    p.slots_used = static_cast<int>(r.I64());
+    p.last_busy_end = r.I64();
+    p.served = r.U32();
+    p.keepalive_gen = r.U64();
+    p.prewarmed = r.U8() != 0;
+    p.ready_decr_seq = r.U64();
+    p.ka_time = r.I64();
+    p.ka_seq = r.U64();
+  }
+
+  COLDSTART_CHECK_EQ(r.U64(), states_.size());
+  for (FunctionState& state : states_) {
+    COLDSTART_CHECK(state.pods.empty());
+    const uint64_t n = r.U64();
+    state.pods.reserve(n);
+    for (uint64_t k = 0; k < n; ++k) {
+      state.pods.push_back(&pod_slab_.slot_value(r.U32()));
+    }
+  }
+
+  arrival_cursor_.RestoreGuard(r.I64());
+  starter_seq_base_ = r.U64();
+  num_starters_ = r.I64();
+  policy_tick_time_ = r.I64();
+  policy_tick_seq_ = r.U64();
+
+  const std::vector<uint32_t> alive_inflight = RestoreSlabStructure(inflight_, r);
+  for (const uint32_t i : alive_inflight) {
+    InFlightRequest& q = inflight_.slot_value(i);
+    q.pod.index = r.U32();
+    q.pod.gen = r.U32();
+    q.exec_start = r.I64();
+    q.exec_end = r.I64();
+    q.exec_us = r.U32();
+    q.function = static_cast<trace::FunctionId>(r.U64());
+    q.seq = r.U64();
+  }
+  const std::vector<uint32_t> alive_invokes = RestoreSlabStructure(invokes_, r);
+  for (const uint32_t i : alive_invokes) {
+    PendingInvoke& q = invokes_.slot_value(i);
+    q.time = r.I64();
+    q.seq = r.U64();
+    q.function = static_cast<trace::FunctionId>(r.U64());
+    q.delay_exempt = r.U8() != 0;
+  }
+
+  const uint8_t stream_mode = r.U8();
+  if (stream_mode == 2) {
+    COLDSTART_CHECK(stream == nullptr);
+  } else {
+    COLDSTART_CHECK(stream != nullptr);
+    arrival_stream_ = std::move(stream);
+    if (stream_mode == 1) {
+      const std::string bytes = r.Str();
+      ByteReader sr(bytes);
+      COLDSTART_CHECK(arrival_stream_->RestoreState(sr));
+      COLDSTART_CHECK(sr.AtEnd());
+    } else {
+      // Determinism-contract fallback: a fresh stream over the same arguments
+      // yields the same chunks; discard the ones the checkpointed run consumed.
+      const int64_t consumed_days = (now + 1) / kDay;
+      for (int64_t d = 0; d < consumed_days; ++d) {
+        arrival_stream_->NextChunk(&chunk_);
+      }
+      chunk_.events.clear();
+    }
+    sim_.AttachSource(&arrival_cursor_);
+    source_attached_ = true;
+  }
+
+  // --- Rebuild the pending-event queue under the original (time, seq) keys. ---
+  // Push order is free here: the wheel sorts lazily before the first pop.
+  for (int64_t day = 0; day < num_starters_; ++day) {
+    if (day * kDay > now) {
+      sim_.RestoreEvent(day * kDay, starter_seq_base_ + static_cast<uint64_t>(day),
+                        [this, day] { OpenDayChunk(day); });
+    }
+  }
+  if (policy_tick_time_ >= 0) {
+    COLDSTART_CHECK(policy_ != nullptr);
+    sim_.RestoreEvent(policy_tick_time_, policy_tick_seq_,
+                      [this] { RunPolicyTick(); });
+  }
+  for (const uint32_t i : alive_pods) {
+    const Pod& p = pod_slab_.slot_value(i);
+    if (p.ready_time > now) {
+      // The load-decrement scheduled at the pod's ready time is still pending.
+      sim_.RestoreEvent(
+          p.ready_time, p.ready_decr_seq,
+          MakeLoadDecrementHandler(p.region, spec(p.function).dep_size_kb > 0));
+    }
+    if (p.slots_used == 0) {
+      // Exactly the current-generation keep-alive is live; earlier generations'
+      // events were no-ops and are deliberately not re-queued (only the
+      // non-contractual events_processed counter can tell the difference).
+      COLDSTART_CHECK_GT(p.ka_time, now);
+      sim_.RestoreEvent(p.ka_time, p.ka_seq,
+                        MakeKeepAliveHandler(p.self, p.keepalive_gen));
+    }
+  }
+  for (const uint32_t i : alive_inflight) {
+    const InFlightRequest& q = inflight_.slot_value(i);
+    COLDSTART_CHECK_GT(q.exec_end, now);
+    const SlabHandle reg{i, inflight_.slot_generation(i)};
+    sim_.RestoreEvent(q.exec_end, q.seq, [this, reg] { RunRequestCompletion(reg); });
+  }
+  for (const uint32_t i : alive_invokes) {
+    const PendingInvoke& q = invokes_.slot_value(i);
+    COLDSTART_CHECK_GT(q.time, now);
+    const SlabHandle reg{i, invokes_.slot_generation(i)};
+    sim_.RestoreEvent(q.time, q.seq, [this, reg] { RunInvoke(reg); });
+  }
 }
 
 void Platform::Finalize() {

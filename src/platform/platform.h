@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/byte_serde.h"
 #include "platform/coldstart_pipeline.h"
 #include "platform/load_state.h"
 #include "platform/pod_slab.h"
@@ -51,6 +52,15 @@ struct Pod {
   uint32_t served = 0;
   uint64_t keepalive_gen = 0;
   bool prewarmed = false;
+  // Checkpoint bookkeeping: the (time, seq) keys of this pod's pending events,
+  // so a restore can re-queue them under their original total-order positions.
+  // ready_decr_seq is the load-decrement event at ready_time (pending iff
+  // ready_time is in the future); (ka_time, ka_seq) is the keep-alive armed for
+  // keepalive_gen (live iff the pod is idle — earlier generations' events are
+  // stale no-ops and are dropped on restore).
+  uint64_t ready_decr_seq = 0;
+  SimTime ka_time = 0;
+  uint64_t ka_seq = 0;
 };
 
 class Platform {
@@ -60,6 +70,10 @@ class Platform {
     bool record_requests = true;
     // Baseline keep-alive when no policy overrides it (§2.2: one minute).
     SimDuration default_keep_alive = kMinute;
+    // Construction for a checkpoint restore: skip the side effects a fresh run
+    // performs up front (function-table emission into the sink, the initial
+    // policy-tick schedule) — the restored state already accounts for them.
+    bool resuming = false;
   };
 
   // `sink` receives every emitted record: a TraceStore for exact full-trace runs,
@@ -91,6 +105,24 @@ class Platform {
 
   // Writes function records + flushes still-alive pods; call once after the run.
   void Finalize();
+
+  // --- Checkpoint support (src/checkpoint/). ---
+  // Serializes the platform's full mutable state. Valid only at a quiescent day
+  // boundary (clock at day * kDay - 1: the previous day's chunk fully drained,
+  // every pending event reconstructible from the bookkeeping below) — CHECKed.
+  // The payload covers RNGs, id namespaces, load/pool state, the pod slab (with
+  // per-function pod-list order), the in-flight and pending-invoke registries,
+  // the arrival stream (or a regenerate marker), and the event-seq bookkeeping
+  // needed to rebuild the queue. Policy and sink state are serialized by the
+  // caller (core::Experiment), which owns those objects.
+  void SaveCheckpointState(ByteWriter& w) const;
+  // Mirror of SaveCheckpointState on a freshly constructed platform (with
+  // Options.resuming set). Restores state, re-queues every pending event under
+  // its original (time, seq) key, and attaches `stream` — restoring its cursor
+  // state when the checkpoint captured it, else fast-forwarding it by pulling
+  // and discarding the consumed days. Call after sim.RestoreClock().
+  void RestoreCheckpointState(ByteReader& r,
+                              std::unique_ptr<workload::ArrivalStream> stream);
 
   // --- Policy-facing API. ---
   // Starts a pod for `function` in `region` with no triggering request. The pod's
@@ -135,6 +167,11 @@ class Platform {
     void Open(size_t count, uint64_t seq_base);
     bool Head(SimTime* time, uint64_t* seq) override;
     void RunHead() override;
+    // Checkpoint support: the sorted-contract guard is the cursor's only state
+    // that survives a drained chunk (next_ == limit_ at every day boundary).
+    SimTime last_time() const { return last_time_; }
+    void RestoreGuard(SimTime last_time) { last_time_ = last_time; }
+    bool drained() const { return next_ == limit_; }
 
    private:
     Platform* platform_;
@@ -164,6 +201,42 @@ class Platform {
   trace::ClusterId PickCluster(const workload::FunctionSpec& spec,
                                const FunctionState& state, trace::RegionId region);
 
+  // --- Checkpoint bookkeeping. ---
+  // Every pending event whose closure carries payload lives in a registry so a
+  // checkpoint can re-materialize it: the queued closure itself is just a
+  // 16-byte (this, handle) pair. One code path — registries are always on, so
+  // checkpointed and plain runs consume identical seq/RNG sequences.
+
+  // A request bound to a pod, completion event pending at `exec_end` with `seq`.
+  struct InFlightRequest {
+    SlabHandle pod;
+    SimTime exec_start = 0;
+    SimTime exec_end = 0;
+    uint32_t exec_us = 0;
+    trace::FunctionId function = 0;
+    uint64_t seq = 0;
+  };
+  // A deferred HandleArrival (workflow child fan-out or admission retry),
+  // pending at `time` with `seq`.
+  struct PendingInvoke {
+    SimTime time = 0;
+    uint64_t seq = 0;
+    trace::FunctionId function = 0;
+    bool delay_exempt = false;
+  };
+
+  // Platform-managed minute tick (replaces sim::SchedulePeriodic so the tick's
+  // (time, seq) is recorded and restorable). Fires OnMinuteTick then reschedules
+  // — same per-tick seq consumption as the Recur closure it replaced.
+  void SchedulePolicyTick(SimTime t);
+  void RunPolicyTick();
+  void RunRequestCompletion(SlabHandle reg);
+  void RunInvoke(SlabHandle reg);
+  void ScheduleInvoke(SimTime t, trace::FunctionId fid, bool delay_exempt);
+  sim::Simulator::Handler MakeKeepAliveHandler(SlabHandle handle, uint64_t gen);
+  sim::Simulator::Handler MakeLoadDecrementHandler(trace::RegionId region,
+                                                   bool has_deps);
+
   const workload::Population& population_;
   std::vector<workload::RegionProfile> profiles_;
   workload::Calendar calendar_;
@@ -187,6 +260,14 @@ class Platform {
   std::vector<Rng> rngs_;                 // Per region; forked from the seed.
   std::vector<trace::PodId> next_pod_seq_;      // Per region pod-id namespace.
   std::vector<uint64_t> next_request_seq_;      // Per region request-id namespace.
+
+  // Checkpoint bookkeeping (see the registry comment above).
+  Slab<InFlightRequest> inflight_;        // Pending completion events.
+  Slab<PendingInvoke> invokes_;           // Pending child fan-outs / retries.
+  uint64_t starter_seq_base_ = 0;         // Seq of day 0's starter event.
+  int64_t num_starters_ = 0;              // Day starters scheduled at attach.
+  SimTime policy_tick_time_ = -1;         // Next tick's (time, seq); -1 = none.
+  uint64_t policy_tick_seq_ = 0;
 };
 
 // Pod ids carry their region in the high bits so per-region id streams never collide

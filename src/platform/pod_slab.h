@@ -88,6 +88,51 @@ class Slab {
     }
   }
 
+  // --- Checkpoint support (src/checkpoint/) ---------------------------------
+  // A slab is serialized structurally: capacity, the freelist in LIFO order,
+  // and each slot's (generation, alive) pair, plus the alive payloads. That is
+  // exactly the state that makes (a) every outstanding SlabHandle resolve the
+  // same way after restore and (b) future Allocate calls hand out the same
+  // slots in the same order as the uninterrupted run.
+  const std::vector<uint32_t>& free_list() const { return free_; }
+  uint32_t slot_generation(uint32_t index) const { return slot(index).gen; }
+  bool slot_alive(uint32_t index) const { return slot(index).alive; }
+  const T& slot_value(uint32_t index) const {
+    COLDSTART_CHECK(slot(index).alive);
+    return slot(index).value;
+  }
+  T& slot_value(uint32_t index) {
+    COLDSTART_CHECK(slot(index).alive);
+    return slot(index).value;
+  }
+
+  // Rebuilds an empty slab's structure: allocates `capacity` slots, installs
+  // the freelist and per-slot generations/liveness. Alive slots come back
+  // value-initialized; the caller fills them via slot_value().
+  void RestoreStructure(uint32_t capacity, std::vector<uint32_t> free_list,
+                        const std::vector<uint32_t>& generations,
+                        const std::vector<uint8_t>& alive) {
+    COLDSTART_CHECK_EQ(capacity_, 0u);
+    COLDSTART_CHECK_EQ(capacity % kChunkSize, 0u);
+    COLDSTART_CHECK_EQ(generations.size(), capacity);
+    COLDSTART_CHECK_EQ(alive.size(), capacity);
+    while (capacity_ < capacity) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      capacity_ += kChunkSize;
+    }
+    for (uint32_t i = 0; i < capacity_; ++i) {
+      Slot& s = slot(i);
+      s.gen = generations[i];
+      s.alive = alive[i] != 0;
+      if (s.alive) {
+        ++alive_;
+      }
+    }
+    free_ = std::move(free_list);
+    COLDSTART_CHECK_EQ(free_.size() + alive_, capacity_);
+  }
+  // ---------------------------------------------------------------------------
+
  private:
   static constexpr uint32_t kChunkBits = 9;
   static constexpr uint32_t kChunkSize = 1u << kChunkBits;
@@ -98,6 +143,9 @@ class Slab {
   };
 
   Slot& slot(uint32_t index) {
+    return chunks_[index >> kChunkBits][index & (kChunkSize - 1)];
+  }
+  const Slot& slot(uint32_t index) const {
     return chunks_[index >> kChunkBits][index & (kChunkSize - 1)];
   }
 

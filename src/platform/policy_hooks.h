@@ -7,6 +7,8 @@
 #define COLDSTART_PLATFORM_POLICY_HOOKS_H_
 
 #include <memory>
+#include <string>
+#include <string_view>
 
 #include "common/sim_time.h"
 #include "platform/load_state.h"
@@ -91,6 +93,31 @@ class PlatformPolicy {
 
   // Control-loop tick, once per simulated minute.
   virtual void OnMinuteTick(SimTime now) { (void)now; }
+
+  // --- Checkpoint traits (src/checkpoint/). ---
+  // Serializes every piece of learned state into `out` so a resumed run
+  // continues bit-identically. Returning false (the default) declares the
+  // policy non-checkpointable: a checkpointed Run then fails loudly up front
+  // instead of writing checkpoints that silently drop policy state.
+  //
+  // Implementer contract: (a) serialize hash-map contents in a sorted order —
+  // iteration order must never leak into the blob; (b) floating-point state
+  // travels by bit pattern (common/byte_serde.h); (c) a checkpointable policy
+  // must not schedule its own simulator closures — pending closures cannot be
+  // captured (TimerAwarePrewarmPolicy stays non-checkpointable for exactly that
+  // reason; the platform-managed minute tick and prewarm/keep-alive events are
+  // bookkept by the platform itself and are fine).
+  virtual bool SavePolicyState(std::string* out) const {
+    (void)out;
+    return false;
+  }
+  // Restores state written by SavePolicyState onto a freshly constructed,
+  // identically configured instance (after OnAttach). Returns false when
+  // unsupported; must accept exactly what SavePolicyState produces.
+  virtual bool RestorePolicyState(std::string_view blob) {
+    (void)blob;
+    return false;
+  }
 };
 
 }  // namespace coldstart::platform

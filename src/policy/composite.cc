@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/byte_serde.h"
+#include "common/check.h"
+
 namespace coldstart::policy {
 
 CompositePolicy& CompositePolicy::Add(std::unique_ptr<platform::PlatformPolicy> policy) {
@@ -96,6 +99,33 @@ void CompositePolicy::OnMinuteTick(SimTime now) {
   for (auto& p : policies_) {
     p->OnMinuteTick(now);
   }
+}
+
+bool CompositePolicy::SavePolicyState(std::string* out) const {
+  ByteWriter w;
+  w.U64(policies_.size());
+  for (const auto& p : policies_) {
+    std::string sub;
+    if (!p->SavePolicyState(&sub)) {
+      return false;
+    }
+    w.Str(sub);
+  }
+  *out = w.Take();
+  return true;
+}
+
+bool CompositePolicy::RestorePolicyState(std::string_view blob) {
+  ByteReader r(blob);
+  COLDSTART_CHECK_EQ(r.U64(), policies_.size());
+  for (auto& p : policies_) {
+    const std::string sub = r.Str();
+    if (!p->RestorePolicyState(sub)) {
+      return false;
+    }
+  }
+  COLDSTART_CHECK(r.AtEnd());
+  return true;
 }
 
 }  // namespace coldstart::policy

@@ -42,6 +42,11 @@ class CompositePolicy : public platform::PlatformPolicy {
   void OnParentRequestStart(const workload::FunctionSpec& parent, SimTime now) override;
   void OnMinuteTick(SimTime now) override;
 
+  // Checkpointable exactly when every sub-policy is: the blob is the sub-policy
+  // blobs length-prefixed in list order.
+  bool SavePolicyState(std::string* out) const override;
+  bool RestorePolicyState(std::string_view blob) override;
+
  private:
   std::vector<std::unique_ptr<platform::PlatformPolicy>> policies_;
 };

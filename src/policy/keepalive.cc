@@ -1,6 +1,11 @@
 #include "policy/keepalive.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/byte_serde.h"
+#include "common/check.h"
 
 namespace coldstart::policy {
 
@@ -27,6 +32,39 @@ SimDuration DynamicKeepAlivePolicy::KeepAliveFor(const workload::FunctionSpec& s
   }
   const auto scaled = static_cast<SimDuration>(options_.headroom * it->second.iat_ewma);
   return std::clamp(scaled, options_.min_keep_alive, options_.max_keep_alive);
+}
+
+bool DynamicKeepAlivePolicy::SavePolicyState(std::string* out) const {
+  // Sorted by function id: unordered_map iteration order must not reach the blob.
+  std::vector<std::pair<trace::FunctionId, History>> entries(history_.begin(),
+                                                             history_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ByteWriter w;
+  w.U64(entries.size());
+  for (const auto& [fid, h] : entries) {
+    w.U64(fid);
+    w.I64(h.last_arrival);
+    w.F64(h.iat_ewma);
+    w.I64(h.observations);
+  }
+  *out = w.Take();
+  return true;
+}
+
+bool DynamicKeepAlivePolicy::RestorePolicyState(std::string_view blob) {
+  COLDSTART_CHECK(history_.empty());
+  ByteReader r(blob);
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto fid = static_cast<trace::FunctionId>(r.U64());
+    History& h = history_[fid];
+    h.last_arrival = r.I64();
+    h.iat_ewma = r.F64();
+    h.observations = static_cast<int>(r.I64());
+  }
+  COLDSTART_CHECK(r.AtEnd());
+  return true;
 }
 
 }  // namespace coldstart::policy

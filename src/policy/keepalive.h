@@ -36,6 +36,11 @@ class DynamicKeepAlivePolicy : public platform::PlatformPolicy {
     return std::make_unique<DynamicKeepAlivePolicy>(options_);
   }
 
+  // Checkpointable: the learned state is the per-function IAT table, serialized
+  // sorted by function id.
+  bool SavePolicyState(std::string* out) const override;
+  bool RestorePolicyState(std::string_view blob) override;
+
  private:
   struct History {
     SimTime last_arrival = -1;

@@ -1,5 +1,7 @@
 #include "policy/peak_shaving.h"
 
+#include "common/byte_serde.h"
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace coldstart::policy {
@@ -47,6 +49,30 @@ SimDuration PeakShavingPolicy::AdmissionDelay(const workload::FunctionSpec& spec
   // region observes independent of the other regions' traffic.
   const double u = static_cast<double>(SplitMix64(MixFor(spec.region)) >> 11) * 0x1.0p-53;
   return 1 + static_cast<SimDuration>(u * static_cast<double>(options_.max_delay));
+}
+
+bool PeakShavingPolicy::SavePolicyState(std::string* out) const {
+  ByteWriter w;
+  w.I64(delays_issued_);
+  w.U64(mix_.size());
+  for (const uint64_t m : mix_) {
+    w.U64(m);
+  }
+  *out = w.Take();
+  return true;
+}
+
+bool PeakShavingPolicy::RestorePolicyState(std::string_view blob) {
+  ByteReader r(blob);
+  delays_issued_ = r.I64();
+  mix_.clear();
+  const uint64_t n = r.U64();
+  mix_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    mix_.push_back(r.U64());
+  }
+  COLDSTART_CHECK(r.AtEnd());
+  return true;
 }
 
 }  // namespace coldstart::policy

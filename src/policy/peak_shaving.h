@@ -42,6 +42,10 @@ class PeakShavingPolicy : public platform::PlatformPolicy {
 
   int64_t delays_issued() const { return delays_issued_; }
 
+  // Checkpointable: the delay counter and the per-region jitter streams.
+  bool SavePolicyState(std::string* out) const override;
+  bool RestorePolicyState(std::string_view blob) override;
+
  private:
   bool Delayable(trace::Trigger t) const;
   // Cheap deterministic jitter state for `region`, seeded per region.

@@ -1,5 +1,12 @@
 #include "policy/workflow_prewarm.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/byte_serde.h"
+#include "common/check.h"
+
 namespace coldstart::policy {
 
 WorkflowPrewarmPolicy::WorkflowPrewarmPolicy() : WorkflowPrewarmPolicy(Options{}) {}
@@ -26,6 +33,35 @@ void WorkflowPrewarmPolicy::OnParentRequestStart(const workload::FunctionSpec& p
     last_prewarm_[edge.child] = now;
     ++prewarms_issued_;
   }
+}
+
+bool WorkflowPrewarmPolicy::SavePolicyState(std::string* out) const {
+  std::vector<std::pair<trace::FunctionId, SimTime>> entries(last_prewarm_.begin(),
+                                                             last_prewarm_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ByteWriter w;
+  w.I64(prewarms_issued_);
+  w.U64(entries.size());
+  for (const auto& [child, t] : entries) {
+    w.U64(child);
+    w.I64(t);
+  }
+  *out = w.Take();
+  return true;
+}
+
+bool WorkflowPrewarmPolicy::RestorePolicyState(std::string_view blob) {
+  COLDSTART_CHECK(last_prewarm_.empty());
+  ByteReader r(blob);
+  prewarms_issued_ = r.I64();
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto child = static_cast<trace::FunctionId>(r.U64());
+    last_prewarm_[child] = r.I64();
+  }
+  COLDSTART_CHECK(r.AtEnd());
+  return true;
 }
 
 }  // namespace coldstart::policy

@@ -40,6 +40,11 @@ class WorkflowPrewarmPolicy : public platform::PlatformPolicy {
 
   int64_t prewarms_issued() const { return prewarms_issued_; }
 
+  // Checkpointable: the cooldown table (sorted by child id) and the prewarm
+  // counter; platform_ is re-wired by OnAttach on the resumed platform.
+  bool SavePolicyState(std::string* out) const override;
+  bool RestorePolicyState(std::string_view blob) override;
+
  private:
   Options options_;
   platform::Platform* platform_ = nullptr;

@@ -78,6 +78,35 @@ class Simulator {
     source_ = source;
   }
 
+  // --- Checkpoint support (src/checkpoint/) ---------------------------------
+  // The next sequence number that ScheduleAt would consume. Checkpoint writers
+  // record it (and bookkeep the seq of every pending event) so a restored run
+  // reproduces the original (time, seq) total order exactly.
+  uint64_t next_seq() const { return next_seq_; }
+
+  // Restores the clock and counters of a checkpointed run. Must be called on a
+  // fresh simulator before any RestoreEvent; the wheel cursor advances to `now`
+  // so restored events sort correctly against it.
+  void RestoreClock(SimTime now, uint64_t next_seq, uint64_t events_processed) {
+    COLDSTART_CHECK_EQ(wheel_.size(), 0u);
+    COLDSTART_CHECK_GE(now, now_);
+    COLDSTART_CHECK_GE(next_seq, next_seq_);
+    wheel_.AdvanceTo(now);
+    now_ = now;
+    next_seq_ = next_seq;
+    events_processed_ = events_processed;
+  }
+
+  // Re-queues a checkpointed pending event under its *original* (time, seq)
+  // key. Unlike ScheduleAt this does not consume a sequence number — the
+  // counter was restored wholesale by RestoreClock, which must run first.
+  void RestoreEvent(SimTime t, uint64_t seq, Handler fn) {
+    COLDSTART_CHECK_GE(t, now_);
+    COLDSTART_CHECK_LT(seq, next_seq_);
+    wheel_.Push(t, seq, std::move(fn));
+  }
+  // ---------------------------------------------------------------------------
+
   // Runs until the queue empties or the clock would pass `until`. Events scheduled
   // exactly at `until` do fire. Returns the number of events processed by this call.
   uint64_t RunUntil(SimTime until);

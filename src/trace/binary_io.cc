@@ -6,12 +6,18 @@
 #include <memory>
 #include <system_error>
 
+#include "common/atomic_file.h"
+#include "common/crc32.h"
+
 namespace coldstart::trace {
 
 namespace {
 
-// v4: adds the per-region aggregate block and whole-file size validation.
-constexpr uint64_t kMagic = 0x434C5342'00000004ull;  // "CSLB" + format version.
+// v4 added the per-region aggregate block and whole-file size validation.
+// v5 adds a CRC32 over every post-header byte (in reserved0) and atomic
+// (tmp + fsync + rename) writes, so a torn or bit-flipped cache file is
+// rejected loudly instead of feeding corrupt records into an analysis.
+constexpr uint64_t kMagic = 0x434C5342'00000005ull;  // "CSLB" + format version.
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -35,9 +41,10 @@ struct Header {
   uint32_t cold_start_size = sizeof(ColdStartRecord);
   uint32_t function_size = sizeof(FunctionRecord);
   uint32_t pod_size = sizeof(PodLifetimeRecord);
-  // Two reserved words keep sizeof(Header) == 80 with no trailing padding, so
-  // fwrite of the whole struct never emits indeterminate bytes.
-  uint32_t reserved0 = 0;
+  // CRC32 over every byte after the header, in file order (v5). The second
+  // word stays reserved and keeps sizeof(Header) == 80 with no trailing
+  // padding, so fwrite of the whole struct never emits indeterminate bytes.
+  uint32_t payload_crc = 0;
   uint32_t reserved1 = 0;
 };
 static_assert(sizeof(Header) == 7 * sizeof(uint64_t) + 6 * sizeof(uint32_t),
@@ -83,11 +90,17 @@ bool ExpectedFileSize(const Header& h, uint64_t* size) {
 }
 
 template <typename T>
-bool WriteArray(std::FILE* f, const std::vector<T>& v) {
+bool WriteArray(AtomicFile& f, const std::vector<T>& v) {
   if (v.empty()) {
     return true;
   }
-  return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+  return f.Write(v.data(), v.size() * sizeof(T));
+}
+
+// Extends `crc` over the bytes WriteArray would emit.
+template <typename T>
+uint32_t CrcArray(const std::vector<T>& v, uint32_t crc) {
+  return v.empty() ? crc : Crc32(v.data(), v.size() * sizeof(T), crc);
 }
 
 template <typename T>
@@ -103,10 +116,6 @@ bool ReadArray(std::FILE* f, uint64_t count, std::vector<T>& v) {
 
 bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
                       const TraceAggregates* aggregates) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return false;
-  }
   Header h;
   h.horizon = static_cast<uint64_t>(store.horizon());
   h.request_count = store.requests().size();
@@ -115,13 +124,6 @@ bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
   h.pod_count = store.pods().size();
   h.aggregate_region_count =
       aggregates != nullptr ? aggregates->visible_cold_starts.size() : 0;
-  if (std::fwrite(&h, sizeof(h), 1, f.get()) != 1) {
-    return false;
-  }
-  if (!WriteArray(f.get(), store.requests()) || !WriteArray(f.get(), store.cold_starts()) ||
-      !WriteArray(f.get(), store.functions()) || !WriteArray(f.get(), store.pods())) {
-    return false;
-  }
   if (h.aggregate_region_count > 0) {
     const size_t n = aggregates->visible_cold_starts.size();
     if (aggregates->prewarm_spawns.size() != n ||
@@ -130,18 +132,44 @@ bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
         aggregates->cold_start_latency_sum_us.size() != n) {
       return false;
     }
-    if (!WriteArray(f.get(), aggregates->visible_cold_starts) ||
-        !WriteArray(f.get(), aggregates->prewarm_spawns) ||
-        !WriteArray(f.get(), aggregates->delayed_allocations) ||
-        !WriteArray(f.get(), aggregates->scratch_allocations) ||
-        !WriteArray(f.get(), aggregates->cold_start_latency_sum_us)) {
-      return false;
-    }
-    if (std::fwrite(&aggregates->events_processed, sizeof(uint64_t), 1, f.get()) != 1) {
+  }
+  // Every payload span is in memory, so the CRC chains over them before a
+  // single byte hits disk — same order the spans are written below.
+  uint32_t crc = CrcArray(store.requests(), 0);
+  crc = CrcArray(store.cold_starts(), crc);
+  crc = CrcArray(store.functions(), crc);
+  crc = CrcArray(store.pods(), crc);
+  if (h.aggregate_region_count > 0) {
+    crc = CrcArray(aggregates->visible_cold_starts, crc);
+    crc = CrcArray(aggregates->prewarm_spawns, crc);
+    crc = CrcArray(aggregates->delayed_allocations, crc);
+    crc = CrcArray(aggregates->scratch_allocations, crc);
+    crc = CrcArray(aggregates->cold_start_latency_sum_us, crc);
+    crc = Crc32(&aggregates->events_processed, sizeof(uint64_t), crc);
+  }
+  h.payload_crc = crc;
+
+  // Atomic replacement: a crash mid-write leaves the previous cache file (or
+  // nothing), never a truncated one at the final path.
+  AtomicFile f(path);
+  if (!f.ok() || !f.Write(&h, sizeof(h))) {
+    return false;
+  }
+  if (!WriteArray(f, store.requests()) || !WriteArray(f, store.cold_starts()) ||
+      !WriteArray(f, store.functions()) || !WriteArray(f, store.pods())) {
+    return false;
+  }
+  if (h.aggregate_region_count > 0) {
+    if (!WriteArray(f, aggregates->visible_cold_starts) ||
+        !WriteArray(f, aggregates->prewarm_spawns) ||
+        !WriteArray(f, aggregates->delayed_allocations) ||
+        !WriteArray(f, aggregates->scratch_allocations) ||
+        !WriteArray(f, aggregates->cold_start_latency_sum_us) ||
+        !f.Write(&aggregates->events_processed, sizeof(uint64_t))) {
       return false;
     }
   }
-  return true;
+  return f.Commit();
 }
 
 bool ReadBinaryTrace(const std::string& path, TraceStore& store,
@@ -195,6 +223,28 @@ bool ReadBinaryTrace(const std::string& path, TraceStore& store,
   // The size check above already pinned the payload length; confirm we are exactly
   // at EOF so a short read cannot slip through.
   if (std::fgetc(f.get()) != EOF) {
+    return false;
+  }
+  // Validate the payload CRC (v5) over the spans just read, in file order. A
+  // mismatch means storage corruption — reject loudly, naming the file, and
+  // let the caller fall back to a fresh run.
+  uint32_t crc = CrcArray(requests, 0);
+  crc = CrcArray(cold_starts, crc);
+  crc = CrcArray(functions, crc);
+  crc = CrcArray(pods, crc);
+  if (h.aggregate_region_count > 0) {
+    crc = CrcArray(agg.visible_cold_starts, crc);
+    crc = CrcArray(agg.prewarm_spawns, crc);
+    crc = CrcArray(agg.delayed_allocations, crc);
+    crc = CrcArray(agg.scratch_allocations, crc);
+    crc = CrcArray(agg.cold_start_latency_sum_us, crc);
+    crc = Crc32(&agg.events_processed, sizeof(uint64_t), crc);
+  }
+  if (crc != h.payload_crc) {
+    std::fprintf(stderr,
+                 "binary trace %s: payload CRC mismatch (file corrupt), "
+                 "ignoring cached trace\n",
+                 path.c_str());
     return false;
   }
   for (const auto& fn : functions) {

@@ -28,14 +28,16 @@ struct TraceAggregates {
 };
 
 // Writes the whole store (and, when given, the aggregate block); returns false on
-// I/O failure.
+// I/O failure. The write is atomic (tmp + fsync + rename): a crash mid-write
+// leaves the previous file, never a truncated one, at `path`.
 bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
                       const TraceAggregates* aggregates = nullptr);
 
 // Reads into an empty store; returns false on I/O failure, bad magic, a record layout
-// mismatch (e.g. cache written by a different build), or a header whose table counts
+// mismatch (e.g. cache written by a different build), a header whose table counts
 // do not match the actual file size (truncated or corrupt files are rejected before
-// any allocation is sized from them). When `aggregates` is non-null and the file
+// any allocation is sized from them), or a payload CRC mismatch (bit rot — reported
+// on stderr naming the file). When `aggregates` is non-null and the file
 // carries an aggregate block, it is filled in; a file without one leaves it empty.
 bool ReadBinaryTrace(const std::string& path, TraceStore& store,
                      TraceAggregates* aggregates = nullptr);

@@ -143,6 +143,72 @@ void StreamingAggregates::MergeFrom(const StreamingAggregates& other) {
   horizon_ = std::max(horizon_, other.horizon_);
 }
 
+namespace {
+
+void SaveCounters(ByteWriter& w, const StreamCounters& c) {
+  w.U64(c.requests);
+  w.U64(c.cold_starts);
+  w.U64(c.pods);
+  w.U64(c.cold_start_latency_sum_us);
+  w.U64(c.execution_time_sum_us);
+  w.U64(c.pod_lifetime_sum_us);
+  w.U64(c.pod_requests_served);
+}
+
+void RestoreCounters(ByteReader& r, StreamCounters& c) {
+  c.requests = r.U64();
+  c.cold_starts = r.U64();
+  c.pods = r.U64();
+  c.cold_start_latency_sum_us = r.U64();
+  c.execution_time_sum_us = r.U64();
+  c.pod_lifetime_sum_us = r.U64();
+  c.pod_requests_served = r.U64();
+}
+
+}  // namespace
+
+void StreamingAggregates::SaveState(ByteWriter& w) const {
+  w.I64(horizon_);
+  w.U64(function_groups_.size());
+  for (const TriggerGroup g : function_groups_) {
+    w.U8(static_cast<uint8_t>(g));
+  }
+  w.U64(regions_.size());
+  for (const RegionSlot& slot : regions_) {
+    SaveCounters(w, slot.counters);
+    w.U64(slot.functions);
+    slot.cold_start_hist.SaveState(w);
+    slot.request_hist.SaveState(w);
+    slot.pod_lifetime_hist.SaveState(w);
+    for (size_t g = 0; g < kNumTriggerGroups; ++g) {
+      SaveCounters(w, slot.group_counters[g]);
+      slot.group_cold_start_hists[g].SaveState(w);
+    }
+  }
+}
+
+void StreamingAggregates::RestoreState(ByteReader& r) {
+  COLDSTART_CHECK(regions_.empty() && function_groups_.empty());
+  horizon_ = r.I64();
+  const uint64_t num_functions = r.U64();
+  function_groups_.reserve(num_functions);
+  for (uint64_t i = 0; i < num_functions; ++i) {
+    function_groups_.push_back(static_cast<TriggerGroup>(r.U8()));
+  }
+  regions_.resize(r.U64());
+  for (RegionSlot& slot : regions_) {
+    RestoreCounters(r, slot.counters);
+    slot.functions = r.U64();
+    slot.cold_start_hist.RestoreState(r);
+    slot.request_hist.RestoreState(r);
+    slot.pod_lifetime_hist.RestoreState(r);
+    for (size_t g = 0; g < kNumTriggerGroups; ++g) {
+      RestoreCounters(r, slot.group_counters[g]);
+      slot.group_cold_start_hists[g].RestoreState(r);
+    }
+  }
+}
+
 uint64_t StreamingAggregates::functions_in_region(RegionId region) const {
   return SlotOrEmpty(region).functions;
 }

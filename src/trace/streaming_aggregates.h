@@ -85,6 +85,13 @@ class StreamingAggregates final : public TraceSink {
   // Rough live-memory footprint of this sink (for the memory-budget benches).
   size_t ApproxBytes() const;
 
+  // Checkpoint support (src/checkpoint/): full accumulator state — counters,
+  // histograms (doubles by bit pattern), function-group table, horizon. A
+  // save/restore round trip is bit-exact, so a resumed run's final aggregates
+  // equal the uninterrupted run's.
+  void SaveState(ByteWriter& w) const;
+  void RestoreState(ByteReader& r);
+
  private:
   struct RegionSlot {
     RegionSlot();

@@ -65,6 +65,20 @@ void TraceStore::Seal() {
   sealed_ = true;
 }
 
+void TraceStore::RestoreTables(std::vector<RequestRecord> requests,
+                               std::vector<ColdStartRecord> cold_starts,
+                               std::vector<FunctionRecord> functions,
+                               std::vector<PodLifetimeRecord> pods, SimTime horizon) {
+  COLDSTART_CHECK(requests_.empty() && cold_starts_.empty() && functions_.empty() &&
+                  pods_.empty());
+  requests_ = std::move(requests);
+  cold_starts_ = std::move(cold_starts);
+  functions_ = std::move(functions);
+  pods_ = std::move(pods);
+  horizon_ = horizon;
+  sealed_ = false;
+}
+
 void TraceStore::Reserve(size_t requests, size_t cold_starts, size_t pods) {
   requests_.reserve(requests);
   cold_starts_.reserve(cold_starts);

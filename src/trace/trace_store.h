@@ -67,6 +67,13 @@ class TraceStore final : public TraceSink {
 
   void Reserve(size_t requests, size_t cold_starts, size_t pods);
 
+  // Checkpoint support (src/checkpoint/): bulk-installs the tables of a partial,
+  // unsealed store captured mid-run, exactly as saved. This store must be empty.
+  void RestoreTables(std::vector<RequestRecord> requests,
+                     std::vector<ColdStartRecord> cold_starts,
+                     std::vector<FunctionRecord> functions,
+                     std::vector<PodLifetimeRecord> pods, SimTime horizon);
+
  private:
   std::vector<RequestRecord> requests_;
   std::vector<ColdStartRecord> cold_starts_;

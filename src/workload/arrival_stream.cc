@@ -29,6 +29,21 @@ bool MaterializedArrivalStream::NextChunk(ArrivalChunk* chunk) {
   return true;
 }
 
+bool MaterializedArrivalStream::SaveState(ByteWriter& w) const {
+  // events_/num_days_ are construction arguments; only the cursor moves.
+  w.U64(next_);
+  w.I64(next_day_);
+  return true;
+}
+
+bool MaterializedArrivalStream::RestoreState(ByteReader& r) {
+  next_ = r.U64();
+  next_day_ = r.I64();
+  COLDSTART_CHECK_LE(next_, events_.size());
+  COLDSTART_CHECK_LE(next_day_, num_days_);
+  return true;
+}
+
 std::vector<ArrivalEvent> DrainArrivalStream(ArrivalStream& stream) {
   std::vector<ArrivalEvent> out;
   ArrivalChunk chunk;

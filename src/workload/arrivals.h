@@ -53,6 +53,13 @@ class FunctionArrivalCursor {
   // caller sorts the merged chunk once). Requires day == next_day().
   void EmitDay(int64_t day, std::vector<SimTime>& out);
 
+  // Checkpoint support: the exact carried state (RNG words, burst machine,
+  // regular phase, next timer tick; doubles by bit pattern). Restoring onto a
+  // freshly constructed cursor for the same (spec, profile, calendar, rng seed)
+  // makes subsequent EmitDay calls draw the identical sequence.
+  void SaveState(ByteWriter& w) const;
+  void RestoreState(ByteReader& r);
+
  private:
   void EmitPoissonHour(int64_t hour, std::vector<SimTime>& out);
 
@@ -83,6 +90,9 @@ class SyntheticArrivalStream final : public ArrivalStream {
                          std::optional<trace::RegionId> region = std::nullopt);
 
   bool NextChunk(ArrivalChunk* chunk) override;
+  // Checkpoint support: the per-function cursor states plus the day counter.
+  bool SaveState(ByteWriter& w) const override;
+  bool RestoreState(ByteReader& r) override;
 
  private:
   struct FunctionEntry {

@@ -260,6 +260,22 @@ class ReplaySource::Stream final : public ArrivalStream {
     return true;
   }
 
+  // Checkpoint support: everything else is construction-derived (salts, copy
+  // counts, borrowed buffers) — only the raw-buffer cursor and day counter move.
+  bool SaveState(ByteWriter& w) const override {
+    w.U64(next_);
+    w.I64(next_day_);
+    return true;
+  }
+
+  bool RestoreState(ByteReader& r) override {
+    next_ = r.U64();
+    next_day_ = r.I64();
+    COLDSTART_CHECK_LE(next_, source_->events_.size());
+    COLDSTART_CHECK_LE(next_day_, num_days_);
+    return true;
+  }
+
  private:
   trace::FunctionId Remap(const RawEvent& e) const {
     const size_t num_functions = num_functions_;

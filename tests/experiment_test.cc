@@ -236,6 +236,11 @@ TEST(ScenarioFingerprintTest, DistinguishesEveryFieldClass) {
   c.record_requests = false;
   expect_fresh(c, "record_requests");
   c = base;
+  // trace_mode entered the fingerprint in v4: checkpoints carry the sink's
+  // partial state, so a streaming checkpoint must never resume a full run.
+  c.trace_mode = core::TraceMode::kStreaming;
+  expect_fresh(c, "trace_mode");
+  c = base;
   c.default_keep_alive = 2 * kMinute;
   expect_fresh(c, "default_keep_alive");
   c = base;
