@@ -13,8 +13,12 @@ namespace coldstart::checkpoint {
 
 namespace {
 
-// "cckpt_v1" / "cmnft_v1", little-endian.
-constexpr uint64_t kCheckpointMagic = 0x31765F74706B6363ull;
+// "cckpt_v2" / "cmnft_v1", little-endian. Checkpoint v2 made the platform's
+// arrival-stream tail unconditionally (mode byte, state blob) so the
+// Save/Restore op sequences are symmetric in every mode; v1 files encode the
+// old conditional tail and are rejected here as "bad magic" rather than
+// half-restored.
+constexpr uint64_t kCheckpointMagic = 0x32765F74706B6363ull;
 constexpr uint64_t kManifestMagic = 0x31765F74666E6D63ull;
 
 [[noreturn]] void Corrupt(const std::string& path, const char* what) {

@@ -9,7 +9,10 @@
 //
 // Readers CHECK-fail on underflow rather than returning errors: the payload
 // CRC has already been validated by the time a ByteReader runs, so running out
-// of bytes means a writer/reader mismatch — a bug, not bad input.
+// of bytes means a writer/reader mismatch — a bug, not bad input. That bug
+// class is also caught statically: coldstart_lint's serde-pair rule compares
+// the op sequences of every Save*/Restore* (and Write*/Read*) pair in count
+// and type (tools/lint/lint.h).
 #ifndef COLDSTART_COMMON_BYTE_SERDE_H_
 #define COLDSTART_COMMON_BYTE_SERDE_H_
 

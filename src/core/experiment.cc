@@ -319,6 +319,7 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy,
                                        const CheckpointPolicy* checkpoint,
                                        const checkpoint::Manifest* resume,
                                        const std::string& resume_dir) const {
+  // LINT-ALLOW(wall-clock): diagnostics-only wall timing for sim_wall_seconds; never reaches traces or aggregates
   const auto wall_start = std::chrono::steady_clock::now();
 
   ExperimentResult result;
@@ -398,6 +399,7 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy,
   }
   result.events_processed = sim.events_processed();
   result.sim_wall_seconds =
+      // LINT-ALLOW(wall-clock): diagnostics-only wall timing for sim_wall_seconds; never reaches traces or aggregates
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return result;
 }
@@ -423,6 +425,7 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
     }
   }
 
+  // LINT-ALLOW(wall-clock): diagnostics-only wall timing for sim_wall_seconds; never reaches traces or aggregates
   const auto wall_start = std::chrono::steady_clock::now();
 
   ExperimentResult result;
@@ -560,6 +563,7 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   }
 
   result.sim_wall_seconds =
+      // LINT-ALLOW(wall-clock): diagnostics-only wall timing for sim_wall_seconds; never reaches traces or aggregates
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   return result;
 }

@@ -767,18 +767,22 @@ void Platform::SaveCheckpointState(ByteWriter& w) const {
 
   // Arrival stream: 2 = no stream attached; 1 = stream state captured;
   // 0 = stream cannot serialize — restore falls back on the determinism
-  // contract (reopen and discard the consumed days).
-  if (arrival_stream_ == nullptr) {
-    w.U8(2);
-  } else {
+  // contract (reopen and discard the consumed days). The mode byte and the
+  // (possibly empty) state blob are written unconditionally so the write/read
+  // op sequences stay symmetric in every mode (lint:serde-pair).
+  uint8_t stream_mode = 2;
+  std::string stream_state;
+  if (arrival_stream_ != nullptr) {
     ByteWriter sw;
     if (arrival_stream_->SaveState(sw)) {
-      w.U8(1);
-      w.Str(sw.data());
+      stream_mode = 1;
+      stream_state = sw.data();
     } else {
-      w.U8(0);
+      stream_mode = 0;
     }
   }
+  w.U8(stream_mode);
+  w.Str(stream_state);
 }
 
 void Platform::RestoreCheckpointState(
@@ -891,14 +895,14 @@ void Platform::RestoreCheckpointState(
   }
 
   const uint8_t stream_mode = r.U8();
+  const std::string stream_state = r.Str();
   if (stream_mode == 2) {
     COLDSTART_CHECK(stream == nullptr);
   } else {
     COLDSTART_CHECK(stream != nullptr);
     arrival_stream_ = std::move(stream);
     if (stream_mode == 1) {
-      const std::string bytes = r.Str();
-      ByteReader sr(bytes);
+      ByteReader sr(stream_state);
       COLDSTART_CHECK(arrival_stream_->RestoreState(sr));
       COLDSTART_CHECK(sr.AtEnd());
     } else {

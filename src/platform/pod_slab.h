@@ -10,6 +10,10 @@
 // Generations make stale handles detectable: Free bumps the slot's generation, so
 // a handle captured by an in-flight event resolves to nullptr once the slot is
 // freed (or recycled), replacing the old map.find(id) == end() liveness test.
+//
+// Determinism audit (lint:unordered-iter): no hash containers here — slots are
+// indexed by handle and walked in slot order, and SaveSlabStructure serializes
+// slots by index, so nothing in this layer depends on hash-iteration order.
 #ifndef COLDSTART_PLATFORM_POD_SLAB_H_
 #define COLDSTART_PLATFORM_POD_SLAB_H_
 

@@ -100,8 +100,10 @@ class PlatformPolicy {
   // policy non-checkpointable: a checkpointed Run then fails loudly up front
   // instead of writing checkpoints that silently drop policy state.
   //
-  // Implementer contract: (a) serialize hash-map contents in a sorted order —
-  // iteration order must never leak into the blob; (b) floating-point state
+  // Implementer contract (statically checked: coldstart_lint's policy-hooks
+  // rule flags stateful subclasses missing these overrides, and its
+  // unordered-iter rule polices (a)): (a) serialize hash-map contents in a
+  // sorted order — iteration order must never leak into the blob; (b) floating-point state
   // travels by bit pattern (common/byte_serde.h); (c) a checkpointable policy
   // must not schedule its own simulator closures — pending closures cannot be
   // captured (TimerAwarePrewarmPolicy stays non-checkpointable for exactly that

@@ -14,6 +14,10 @@
 
 namespace coldstart::policy {
 
+// Routes cold starts across regions, so it is not region-local and never runs
+// under the sharded runner (is_region_local() == false); offloads_ is
+// diagnostics-only bookkeeping the serial runner reads back at the end.
+// LINT-ALLOW(policy-hooks): not region-local — the sharded runner rejects it, so shard/checkpoint hooks are unreachable
 class CrossRegionPolicy : public platform::PlatformPolicy {
  public:
   struct Options {

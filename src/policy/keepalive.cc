@@ -36,6 +36,7 @@ SimDuration DynamicKeepAlivePolicy::KeepAliveFor(const workload::FunctionSpec& s
 
 bool DynamicKeepAlivePolicy::SavePolicyState(std::string* out) const {
   // Sorted by function id: unordered_map iteration order must not reach the blob.
+  // LINT-ALLOW(unordered-iter): entries are copied out and sorted by function id before any byte is written
   std::vector<std::pair<trace::FunctionId, History>> entries(history_.begin(),
                                                              history_.end());
   std::sort(entries.begin(), entries.end(),

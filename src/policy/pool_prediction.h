@@ -15,6 +15,10 @@
 
 namespace coldstart::policy {
 
+// Predictor state is an opaque SeriesPredictor per (region, config) with no
+// serialization surface, so the policy is deliberately non-checkpointable:
+// Run(..., &checkpoint) rejects it up front (policy_hooks.h).
+// LINT-ALLOW(policy-hooks): SeriesPredictor implementations are not serializable; Run() refuses to checkpoint this policy up front
 class PoolPredictionPolicy : public platform::PlatformPolicy {
  public:
   struct Options {

@@ -1,7 +1,10 @@
 #include "policy/prewarm.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "common/byte_serde.h"
 #include "common/check.h"
 
 namespace coldstart::policy {
@@ -100,6 +103,52 @@ void ProfilePrewarmPolicy::OnMinuteTick(SimTime now) {
     }
     ++it;
   }
+}
+
+bool ProfilePrewarmPolicy::SavePolicyState(std::string* out) const {
+  // Sorted by function id: unordered_map iteration order must not reach the
+  // blob (watch_list_ is a std::set, already ordered).
+  std::vector<trace::FunctionId> fids;
+  fids.reserve(profiles_.size());
+  // LINT-ALLOW(unordered-iter): keys are copied out and sorted before any byte is written
+  for (const auto& [fid, prof] : profiles_) {
+    fids.push_back(fid);
+  }
+  std::sort(fids.begin(), fids.end());
+  ByteWriter w;
+  w.I64(prewarms_issued_);
+  w.U64(watch_list_.size());
+  for (const trace::FunctionId fid : watch_list_) {
+    w.U64(fid);
+  }
+  w.U64(fids.size());
+  for (const trace::FunctionId fid : fids) {
+    const Profile& prof = profiles_.at(fid);
+    w.U64(fid);
+    w.I64(prof.days_observed);
+    w.Raw(prof.per_minute.data(), prof.per_minute.size() * sizeof(float));
+  }
+  *out = w.Take();
+  return true;
+}
+
+bool ProfilePrewarmPolicy::RestorePolicyState(std::string_view blob) {
+  COLDSTART_CHECK(profiles_.empty() && watch_list_.empty());
+  ByteReader r(blob);
+  prewarms_issued_ = r.I64();
+  const uint64_t watched = r.U64();
+  for (uint64_t i = 0; i < watched; ++i) {
+    watch_list_.insert(static_cast<trace::FunctionId>(r.U64()));
+  }
+  const uint64_t n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    const auto fid = static_cast<trace::FunctionId>(r.U64());
+    Profile& prof = profiles_[fid];
+    prof.days_observed = static_cast<int>(r.I64());
+    r.Raw(prof.per_minute.data(), prof.per_minute.size() * sizeof(float));
+  }
+  COLDSTART_CHECK(r.AtEnd());
+  return true;
 }
 
 }  // namespace coldstart::policy

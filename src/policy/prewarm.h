@@ -13,13 +13,17 @@
 #define COLDSTART_POLICY_PREWARM_H_
 
 #include <memory>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "platform/platform.h"
 
 namespace coldstart::policy {
 
+// Prediction state (history_) feeds self-scheduled simulator closures that no
+// serializer can capture, so this policy is deliberately non-checkpointable:
+// Run(..., &checkpoint) rejects it up front (policy_hooks.h).
+// LINT-ALLOW(policy-hooks): prewarm closures live in the event queue; the policy cannot checkpoint by design and Run() refuses it up front
 class TimerAwarePrewarmPolicy : public platform::PlatformPolicy {
  public:
   struct Options {
@@ -76,6 +80,9 @@ class ProfilePrewarmPolicy : public platform::PlatformPolicy {
                    SimDuration total) override;
   void OnMinuteTick(SimTime now) override;
 
+  bool SavePolicyState(std::string* out) const override;
+  bool RestorePolicyState(std::string_view blob) override;
+
   // Per-function minute-of-day profiles only: shards cleanly by region.
   std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
     return std::make_unique<ProfilePrewarmPolicy>(options_);
@@ -97,7 +104,9 @@ class ProfilePrewarmPolicy : public platform::PlatformPolicy {
   Options options_;
   platform::Platform* platform_ = nullptr;
   std::unordered_map<trace::FunctionId, Profile> profiles_;
-  std::unordered_set<trace::FunctionId> watch_list_;  // Cold-started recently.
+  // Cold-started recently. Ordered: OnMinuteTick walks it under a prewarm
+  // budget, so which functions win the budget must not depend on hash order.
+  std::set<trace::FunctionId> watch_list_;
   int64_t prewarms_issued_ = 0;
 };
 

@@ -36,6 +36,7 @@ void WorkflowPrewarmPolicy::OnParentRequestStart(const workload::FunctionSpec& p
 }
 
 bool WorkflowPrewarmPolicy::SavePolicyState(std::string* out) const {
+  // LINT-ALLOW(unordered-iter): entries are copied out and sorted by function id before any byte is written
   std::vector<std::pair<trace::FunctionId, SimTime>> entries(last_prewarm_.begin(),
                                                              last_prewarm_.end());
   std::sort(entries.begin(), entries.end(),

@@ -116,8 +116,8 @@ namespace {
 // can say exactly where the input broke, and carries the (optional) function
 // table size for id validation.
 struct RowReader {
-  explicit RowReader(const TraceStore& store, CsvError* error)
-      : num_functions(store.functions().size()), error(error) {}
+  explicit RowReader(const TraceStore& store, CsvError* err)
+      : num_functions(store.functions().size()), error(err) {}
 
   size_t num_functions;
   CsvError* error;

@@ -149,6 +149,7 @@ SyntheticArrivalStream::SyntheticArrivalStream(
     diurnals_.emplace_back(p.diurnal, calendar);
   }
 
+  functions_.reserve(pop.functions.size());
   for (const auto& spec : pop.functions) {
     COLDSTART_CHECK_LT(spec.region, diurnals_.size());
     if (region.has_value() && spec.region != *region) {

@@ -3,7 +3,11 @@
 #   1. every relative markdown link in README.md and docs/*.md resolves to a file
 #      that exists in the repo;
 #   2. every driver source under bench/ appears in docs/paper-map.md, so the
-#      paper map cannot silently rot as drivers are added or renamed.
+#      paper map cannot silently rot as drivers are added or renamed;
+#   3. every `lint:<rule>` reference in the docs names a rule that coldstart_lint
+#      actually implements (checked against `--list-rules` when a binary is
+#      available — $COLDSTART_LINT_BIN or build*/coldstart_lint — else against
+#      the rule registry in tools/lint/lint.cc).
 # Exits nonzero with a per-violation report.
 set -u
 
@@ -52,8 +56,38 @@ else
   done
 fi
 
+# --- 3. Every lint rule named in the docs exists. ---
+# Docs reference rules as `lint:<rule>` (inline code). The source of truth is
+# the tool itself; the CI docs job has no build, so fall back to the registry
+# literal in tools/lint/lint.cc when no binary is around.
+lint_bin="${COLDSTART_LINT_BIN:-}"
+if [ -z "$lint_bin" ]; then
+  for cand in build/coldstart_lint build-*/coldstart_lint; do
+    if [ -x "$cand" ]; then
+      lint_bin="$cand"
+      break
+    fi
+  done
+fi
+if [ -n "$lint_bin" ] && [ -x "$lint_bin" ]; then
+  known_rules="$("$lint_bin" --list-rules | awk '{print $1}')"
+else
+  known_rules="$(grep -oE '^\s*\{"[a-z-]+",' tools/lint/lint.cc |
+    sed -E 's/^\s*\{"//; s/",$//')"
+fi
+if [ -z "$known_rules" ]; then
+  report "could not determine the lint rule registry (no binary, no parse)"
+fi
+doc_rules="$(grep -ohE '`lint:[a-z-]+`' README.md docs/*.md | sed -E 's/`lint:([a-z-]+)`/\1/' | sort -u)"
+while IFS= read -r rule; do
+  [ -n "$rule" ] || continue
+  if ! printf '%s\n' "$known_rules" | grep -qx "$rule"; then
+    report "docs reference lint rule 'lint:$rule' which coldstart_lint does not implement"
+  fi
+done <<< "$doc_rules"
+
 if [ "$fail" -ne 0 ]; then
   echo "docs-check: FAILED" >&2
   exit 1
 fi
-echo "docs-check: OK (${#docs[@]} docs link-checked; every bench/ driver mapped)"
+echo "docs-check: OK (${#docs[@]} docs link-checked; every bench/ driver mapped; lint-rule refs valid)"

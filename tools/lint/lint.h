@@ -1,0 +1,102 @@
+// coldstart_lint — static analysis for the repo's determinism contracts.
+//
+// The contracts in docs/determinism.md (bit-identical traces across
+// serial/sharded/chunked/checkpointed runs) are enforced at runtime by
+// golden_trace_test and the equivalence tests, but a runtime test only catches
+// a violation on the scenarios it happens to run, long after the offending
+// line was written. This linter moves the common violation classes to a red
+// line on the introducing PR:
+//
+//   wall-clock      wall-clock reads (time(), std::chrono::system_clock, ...)
+//                   anywhere in src/ — simulations must consume SimTime only.
+//   ambient-rng     ambient randomness (std::rand, std::random_device,
+//                   standard engines) outside src/common/rng — all draws must
+//                   flow through the seeded substream tree.
+//   unordered-iter  iteration over std::unordered_{map,set} in
+//                   output-affecting code (src/platform, src/policy,
+//                   src/analysis, src/trace, src/checkpoint) — hash-iteration
+//                   order must never reach a trace, aggregate, or blob.
+//   serde-pair      asymmetric Save*/Restore* (and Write*/Read*)
+//                   ByteWriter/ByteReader pairs — the "added a field to Save,
+//                   forgot Restore" checkpoint-corruption bug class.
+//   policy-hooks    PlatformPolicy subclasses with mutable state but no
+//                   CloneForShard or SavePolicyState/RestorePolicyState —
+//                   state that silently vanishes in sharded or checkpointed
+//                   runs.
+//   stale-allow     a LINT-ALLOW annotation whose rule no longer fires on
+//                   that line (or that is malformed / names an unknown rule).
+//
+// A diagnostic is suppressed by an inline annotation on the flagged line or
+// the line directly above it:
+//
+//   // LINT-ALLOW(rule-name): why this site is provably order/clock-safe
+//
+// Suppressions are recorded and reported (they double as documentation of why
+// a site is safe); an annotation that stops matching anything turns into a
+// stale-allow diagnostic so allows cannot rot.
+//
+// The analysis is deliberately lexical (comments and string literals are
+// stripped; scopes are tracked by brace matching) — it needs no compiler,
+// runs on the whole tree in milliseconds as a tier-1 ctest, and is precise
+// enough for this codebase's house style. Known limitations are documented
+// next to each rule in lint.cc.
+#ifndef COLDSTART_TOOLS_LINT_LINT_H_
+#define COLDSTART_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace coldstart::lint {
+
+struct RuleInfo {
+  std::string name;         // e.g. "wall-clock"; stable, referenced from docs.
+  std::string description;  // One line, shown by --list-rules.
+};
+
+// The rule registry, in reporting order. check_docs.sh cross-checks every
+// `lint:<rule>` reference in docs/ against this list.
+const std::vector<RuleInfo>& Rules();
+
+struct Diagnostic {
+  std::string file;  // As given in FileInput::path.
+  int line = 0;      // 1-based.
+  std::string rule;
+  std::string message;
+};
+
+// A suppressed diagnostic: the LINT-ALLOW annotation that matched plus the
+// reason its author gave.
+struct Suppression {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+struct FileInput {
+  // Repo-relative path; directory components decide which rules apply
+  // (e.g. unordered-iter only fires under the output-affecting src/ dirs).
+  std::string path;
+  std::string content;
+};
+
+struct Result {
+  std::vector<Diagnostic> diagnostics;  // Empty means the tree is clean.
+  std::vector<Suppression> allowed;     // Recorded LINT-ALLOW uses.
+};
+
+// Lints a set of files as one unit. Cross-file context is limited to the
+// paired header: rules linting "x.cc" also read declarations from "x.h" when
+// both are in the set (member containers, serde counterparts).
+Result LintFiles(const std::vector<FileInput>& files);
+
+// Reads every .h/.cc under `root`/src (sorted, so output order is stable) and
+// lints them. Returns false when the directory cannot be read.
+bool LintTree(const std::string& root, Result* result);
+
+// Formats one diagnostic as "path:line: [rule] message".
+std::string FormatDiagnostic(const Diagnostic& d);
+
+}  // namespace coldstart::lint
+
+#endif  // COLDSTART_TOOLS_LINT_LINT_H_

@@ -1,0 +1,57 @@
+// coldstart_lint CLI. Exit codes: 0 = clean, 1 = diagnostics, 2 = usage/IO.
+//
+//   coldstart_lint --root DIR    lint DIR/src (the ctest invocation)
+//   coldstart_lint --list-rules  print "name  description" per rule
+#include <cstdio>
+#include <string>
+
+#include "lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: coldstart_lint --root DIR | --list-rules\n"
+               "  --root DIR    lint every .h/.cc under DIR/src\n"
+               "  --list-rules  print the rule registry and exit\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using coldstart::lint::Result;
+  if (argc == 2 && std::string(argv[1]) == "--list-rules") {
+    for (const auto& rule : coldstart::lint::Rules()) {
+      std::printf("%s  %s\n", rule.name.c_str(), rule.description.c_str());
+    }
+    return 0;
+  }
+  if (argc != 3 || std::string(argv[1]) != "--root") {
+    return Usage();
+  }
+  Result result;
+  if (!coldstart::lint::LintTree(argv[2], &result)) {
+    std::fprintf(stderr, "coldstart_lint: cannot read %s/src\n", argv[2]);
+    return 2;
+  }
+  for (const auto& d : result.diagnostics) {
+    std::printf("%s\n", coldstart::lint::FormatDiagnostic(d).c_str());
+  }
+  if (!result.allowed.empty()) {
+    std::printf("-- %zu LINT-ALLOW suppression(s) in effect:\n",
+                result.allowed.size());
+    for (const auto& a : result.allowed) {
+      std::printf("   %s:%d: [%s] %s\n", a.file.c_str(), a.line, a.rule.c_str(),
+                  a.reason.c_str());
+    }
+  }
+  if (result.diagnostics.empty()) {
+    std::printf("coldstart_lint: clean (%zu suppression(s))\n",
+                result.allowed.size());
+    return 0;
+  }
+  std::fprintf(stderr, "coldstart_lint: %zu diagnostic(s)\n",
+               result.diagnostics.size());
+  return 1;
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every src/ translation unit using
+# a CMake compile_commands.json. Usage:
+#
+#   tools/run_clang_tidy.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to build/. If it has no compile_commands.json yet, the
+# script configures it (CMAKE_EXPORT_COMPILE_COMMANDS is always on in this
+# project). Exit codes: 0 clean, 1 findings, 2 clang-tidy unavailable.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+TIDY=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    TIDY="$cand"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: no clang-tidy executable on PATH." >&2
+  echo "Install clang-tidy (apt-get install clang-tidy) and re-run;" >&2
+  echo "the coldstart_lint determinism checks (ctest -R lint) run without it." >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: configuring $BUILD_DIR for compile_commands.json"
+  cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || exit 2
+fi
+
+# Parallelism: one job per core. Each file's findings print as they complete.
+JOBS="$(nproc 2>/dev/null || echo 1)"
+echo "run_clang_tidy: $TIDY over src/*.cc with -p $BUILD_DIR ($JOBS job(s))"
+find src -name '*.cc' -print0 | sort -z |
+  xargs -0 -n 1 -P "$JOBS" "$TIDY" -p "$BUILD_DIR" --quiet 2>/dev/null
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: findings reported (see above)" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"
