@@ -1,8 +1,9 @@
 // Micro-benchmarks of the simulator hot paths (google-benchmark): event queue
 // throughput (timer wheel vs. the seed's priority-queue baseline), mixed-horizon
 // scheduling, streaming arrival injection, pod slab churn, staged pool
-// acquisition, the cold-start pipeline, and the end-to-end sharded-vs-serial
-// experiment runner.
+// acquisition, the cold-start pipeline, the end-to-end sharded-vs-serial
+// experiment runner, and the paper-scale month driver (serial vs region-sharded
+// vs sub-region-sharded).
 #include <benchmark/benchmark.h>
 
 #include <functional>
@@ -229,7 +230,7 @@ static void BM_PodSlabChurn(benchmark::State& state) {
   size_t next = 0;
   for (auto _ : state) {
     platform::Pod* pod = slab.Resolve(handles[next]);
-    benchmark::DoNotOptimize(pod->slots_used);
+    benchmark::DoNotOptimize(pod->served);
     slab.Free(handles[next]);
     handles[next] = slab.Allocate().second;
     next = (next + 1) & 1023;
@@ -250,7 +251,7 @@ static void BM_PodSlabChurnMapBaseline(benchmark::State& state) {
   size_t next = 0;
   for (auto _ : state) {
     const auto it = pods.find(ids[next]);
-    benchmark::DoNotOptimize(it->second->slots_used);
+    benchmark::DoNotOptimize(it->second->served);
     pods.erase(it);
     pods.emplace(next_id, std::make_unique<platform::Pod>());
     ids[next] = next_id++;
@@ -332,6 +333,43 @@ BENCHMARK(BM_ShardedExperiment)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
+
+// Paper-scale month driver: the PaperScenario geometry (5 regions, 31 days)
+// down-scaled in load so the benchmark stays runnable in CI, in kStreaming mode
+// so trace memory stays O(1) at month scale. The argument pair is
+// (threads, cells_per_region):
+//   {1, 4}  — serial baseline on the cells=4 scenario,
+//   {5, 4}  — region sharding only (planner yields K=1: 5 shards, one/region),
+//   {16, 4} — sub-region sharding (K=4: up to 20 (region, cell-group) shards).
+// All three rows simulate the *same* scenario and produce bit-identical
+// aggregates (the determinism suite pins this), so the wall-clock deltas are
+// pure scheduling gain; on hosts with fewer cores than shards the rows
+// degenerate gracefully toward serial. {1, 1} is the legacy cells=1 scenario
+// for reference — a different scenario by design (per-cell pools), not
+// comparable bit-for-bit with the cells=4 rows.
+static void BM_PaperScaleMonth(benchmark::State& state) {
+  core::ScenarioConfig config = core::PaperScenario();
+  config.scale = 0.05;  // CI-sized month: full calendar, ~5% of the functions.
+  config.trace_mode = core::TraceMode::kStreaming;
+  config.record_requests = false;
+  const int threads = static_cast<int>(state.range(0));
+  config.cells_per_region = static_cast<uint32_t>(state.range(1));
+  for (auto _ : state) {
+    core::Experiment experiment(config);
+    const auto result = experiment.Run(nullptr, threads);
+    benchmark::DoNotOptimize(result.events_processed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PaperScaleMonth)
+    ->Args({1, 1})   // Legacy serial (cells=1 scenario).
+    ->Args({1, 4})   // Serial baseline, cells=4 scenario.
+    ->Args({5, 4})   // Region-sharded (K=1).
+    ->Args({16, 4})  // Sub-region-sharded (K=4).
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime()
+    ->Iterations(1);
 
 // Full-trace vs streaming-sink recording on the identical serial simulation: the
 // argument is the TraceMode (0 = kFull materializes every record in a TraceStore,

@@ -13,13 +13,14 @@ namespace coldstart::checkpoint {
 
 namespace {
 
-// "cckpt_v2" / "cmnft_v1", little-endian. Checkpoint v2 made the platform's
-// arrival-stream tail unconditionally (mode byte, state blob) so the
-// Save/Restore op sequences are symmetric in every mode; v1 files encode the
-// old conditional tail and are rejected here as "bad magic" rather than
-// half-restored.
-constexpr uint64_t kCheckpointMagic = 0x32765F74706B6363ull;
-constexpr uint64_t kManifestMagic = 0x31765F74666E6D63ull;
+// "cckpt_v3" / "cmnft_v3", little-endian. Checkpoint v3 serializes the
+// LogHistogram latency sum as a 128-bit fixed-point integer (two U64 words)
+// instead of an F64, matching the shard-merge-order-invariant accumulator;
+// manifest v3 adds the shards_per_region field for sub-region sharding. Older
+// files encode different layouts and are rejected here as "bad magic" rather
+// than half-restored.
+constexpr uint64_t kCheckpointMagic = 0x33765F74706B6363ull;
+constexpr uint64_t kManifestMagic = 0x33765F74666E6D63ull;
 
 [[noreturn]] void Corrupt(const std::string& path, const char* what) {
   std::fprintf(stderr, "checkpoint: %s: corrupt (%s)\n", path.c_str(), what);
@@ -122,6 +123,7 @@ bool WriteManifest(const std::string& dir, const Manifest& manifest) {
   w.U8(manifest.trace_mode);
   w.U32(manifest.num_regions);
   w.U8(manifest.sharded ? 1 : 0);
+  w.U32(manifest.shards_per_region);
   w.U64(manifest.entries.size());
   for (const ManifestEntry& e : manifest.entries) {
     w.U32(e.shard);
@@ -142,6 +144,7 @@ bool ReadManifest(const std::string& dir, Manifest* manifest) {
   manifest->trace_mode = r.U8();
   manifest->num_regions = r.U32();
   manifest->sharded = r.U8() != 0;
+  manifest->shards_per_region = r.U32();
   manifest->entries.resize(r.U64());
   for (ManifestEntry& e : manifest->entries) {
     e.shard = r.U32();

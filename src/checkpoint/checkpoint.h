@@ -28,7 +28,8 @@ inline constexpr uint32_t kSerialShard = 0xffffffffu;
 struct CheckpointMeta {
   uint64_t fingerprint = 0;  // ScenarioConfig::Fingerprint() of the run.
   uint8_t trace_mode = 0;    // core::TraceMode of the run's sink.
-  uint32_t shard = kSerialShard;  // Region index, or kSerialShard.
+  // region * shards_per_region + cell group, or kSerialShard.
+  uint32_t shard = kSerialShard;
   int64_t day = 0;           // Completed days: state is at day * kDay - 1.
   uint32_t num_regions = 0;
 };
@@ -57,6 +58,11 @@ struct Manifest {
   uint8_t trace_mode = 0;
   uint32_t num_regions = 0;
   bool sharded = false;
+  // Sub-region shard fan-out of the checkpointed run: each region's functions
+  // were split into this many capacity-cell groups (1 = plain region sharding).
+  // A resume must adopt the same geometry — shard ids are region * K + group,
+  // so entries written under a different K do not line up and are rejected.
+  uint32_t shards_per_region = 1;
   std::vector<ManifestEntry> entries;
 };
 

@@ -48,7 +48,7 @@ void LogHistogram::Add(double value, uint64_t count) {
     max_recorded_ = std::max(max_recorded_, value);
   }
   total_count_ += count;
-  sum_ += value * static_cast<double>(count);
+  sum_fp_ += ToFixed(value) * static_cast<__int128>(count);
 }
 
 void LogHistogram::Merge(const LogHistogram& other) {
@@ -66,20 +66,20 @@ void LogHistogram::Merge(const LogHistogram& other) {
     }
   }
   total_count_ += other.total_count_;
-  sum_ += other.sum_;
+  sum_fp_ += other.sum_fp_;
 }
 
 void LogHistogram::Reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_count_ = 0;
-  sum_ = 0;
+  sum_fp_ = 0;
   min_recorded_ = 0;
   max_recorded_ = 0;
 }
 
 double LogHistogram::Mean() const {
   return total_count_ == 0 ? std::numeric_limits<double>::quiet_NaN()
-                           : sum_ / static_cast<double>(total_count_);
+                           : sum() / static_cast<double>(total_count_);
 }
 
 double LogHistogram::bucket_lower(int i) const {
@@ -114,7 +114,9 @@ void LogHistogram::SaveState(ByteWriter& w) const {
     w.U64(c);
   }
   w.U64(total_count_);
-  w.F64(sum_);
+  // The fixed-point sum travels as (low, high) 64-bit halves.
+  w.U64(static_cast<uint64_t>(static_cast<unsigned __int128>(sum_fp_)));
+  w.U64(static_cast<uint64_t>(static_cast<unsigned __int128>(sum_fp_) >> 64));
   w.F64(min_recorded_);
   w.F64(max_recorded_);
 }
@@ -126,7 +128,11 @@ void LogHistogram::RestoreState(ByteReader& r) {
     c = r.U64();
   }
   total_count_ = r.U64();
-  sum_ = r.F64();
+  const uint64_t sum_lo = r.U64();
+  const uint64_t sum_hi = r.U64();
+  sum_fp_ = static_cast<__int128>(
+      (static_cast<unsigned __int128>(sum_hi) << 64) |
+      static_cast<unsigned __int128>(sum_lo));
   min_recorded_ = r.F64();
   max_recorded_ = r.F64();
 }

@@ -28,7 +28,7 @@ class LogHistogram {
   uint64_t total_count() const { return total_count_; }
   double min_recorded() const { return min_recorded_; }
   double max_recorded() const { return max_recorded_; }
-  double sum() const { return sum_; }
+  double sum() const { return static_cast<double>(sum_fp_) / kSumScale; }
   // NaN for an empty histogram.
   double Mean() const;
 
@@ -55,13 +55,23 @@ class LogHistogram {
  private:
   int BucketFor(double value) const;
 
+  // The value sum is accumulated in 2^-20 fixed point inside a 128-bit integer.
+  // Integer addition is associative, so a histogram split across sub-region
+  // shards merges to the exact serial sum regardless of shard count or merge
+  // order — a float accumulator would make the sharded sum order-dependent.
+  // Headroom: 10^9 values of 10^9 each stay below 2^110.
+  static constexpr double kSumScale = 1048576.0;  // 2^20.
+  static __int128 ToFixed(double value) {
+    return static_cast<__int128>(value * kSumScale);
+  }
+
   double log_min_;
   double log_max_;
   double inv_log_step_;
   double log_step_;
   std::vector<uint64_t> counts_;
   uint64_t total_count_ = 0;
-  double sum_ = 0;
+  __int128 sum_fp_ = 0;
   double min_recorded_ = 0;
   double max_recorded_ = 0;
 };

@@ -17,6 +17,7 @@
 #include "core/sweep.h"
 #include "trace/binary_io.h"
 #include "workload/arrivals.h"
+#include "workload/function_cells.h"
 
 namespace coldstart::core {
 
@@ -27,16 +28,31 @@ platform::Platform::Options PlatformOptions(const ScenarioConfig& config) {
   options.seed = config.seed;
   options.record_requests = config.record_requests;
   options.default_keep_alive = config.default_keep_alive;
+  options.cells_per_region = std::max<uint32_t>(config.cells_per_region, 1u);
   return options;
 }
 
+// The function-to-cell map shared by every platform of a cells > 1 run (null
+// otherwise). Each platform instance — serial or any shard — must see the same
+// map, or pod-id/RNG namespaces would disagree across shards.
+std::shared_ptr<const std::vector<uint32_t>> MakeFunctionCells(
+    const ScenarioConfig& config, const workload::Population& population) {
+  if (config.cells_per_region <= 1) {
+    return nullptr;
+  }
+  return std::make_shared<const std::vector<uint32_t>>(
+      workload::ComputeFunctionCells(population, config.cells_per_region));
+}
+
+// Accumulates (+=) so sub-region shards of the same region fold into one row;
+// callers zero the vectors (ResizeStats) first.
 void CollectRegionStats(const platform::Platform& platform, trace::RegionId region,
                         ExperimentResult& result) {
-  result.visible_cold_starts[region] = platform.cold_starts(region);
-  result.prewarm_spawns[region] = platform.load(region).prewarm_spawns;
-  result.delayed_allocations[region] = platform.load(region).delayed_allocations;
-  result.scratch_allocations[region] = platform.scratch_allocations(region);
-  result.cold_start_latency_sum_us[region] = platform.cold_start_latency_sum_us(region);
+  result.visible_cold_starts[region] += platform.cold_starts(region);
+  result.prewarm_spawns[region] += platform.prewarm_spawns(region);
+  result.delayed_allocations[region] += platform.delayed_allocations(region);
+  result.scratch_allocations[region] += platform.scratch_allocations(region);
+  result.cold_start_latency_sum_us[region] += platform.cold_start_latency_sum_us(region);
 }
 
 void ResizeStats(ExperimentResult& result, size_t regions) {
@@ -167,12 +183,14 @@ int64_t RestoreShard(const std::string& dir, const checkpoint::ManifestEntry& en
 class CheckpointCommitter {
  public:
   CheckpointCommitter(const CheckpointPolicy& policy, uint64_t fingerprint,
-                      uint8_t trace_mode, uint32_t num_regions, bool sharded)
+                      uint8_t trace_mode, uint32_t num_regions, bool sharded,
+                      uint32_t shards_per_region)
       : policy_(policy) {
     manifest_.fingerprint = fingerprint;
     manifest_.trace_mode = trace_mode;
     manifest_.num_regions = num_regions;
     manifest_.sharded = sharded;
+    manifest_.shards_per_region = shards_per_region;
     std::error_code ec;
     std::filesystem::create_directories(policy.dir, ec);
   }
@@ -263,16 +281,49 @@ const checkpoint::ManifestEntry* FindEntry(const checkpoint::Manifest* manifest,
   return nullptr;
 }
 
+// Entries are matched by linear (shard, day) scan, so a stale entry — written
+// under a different shard geometry, or duplicated by a corrupt merge — would
+// silently restore the wrong state slice. Reject the whole manifest loudly
+// instead: every entry must name a shard inside the run's regions × K id
+// space (or kSerialShard for a serial manifest), exactly once.
+void ValidateManifestEntries(const checkpoint::Manifest& manifest,
+                             size_t num_regions) {
+  const uint64_t limit =
+      static_cast<uint64_t>(num_regions) * manifest.shards_per_region;
+  std::vector<uint32_t> seen;
+  seen.reserve(manifest.entries.size());
+  for (const checkpoint::ManifestEntry& e : manifest.entries) {
+    if (manifest.sharded) {
+      COLDSTART_CHECK(e.shard < limit &&
+                      "manifest entry names a shard outside regions x "
+                      "shards_per_region (stale entry from a different K?)");
+    } else {
+      COLDSTART_CHECK(e.shard == checkpoint::kSerialShard &&
+                      "serial manifest carries a sharded entry");
+    }
+    COLDSTART_CHECK(std::find(seen.begin(), seen.end(), e.shard) == seen.end() &&
+                    "manifest lists the same shard twice");
+    seen.push_back(e.shard);
+  }
+}
+
 }  // namespace
 
 bool Experiment::CanShard(platform::PlatformPolicy* policy) const {
-  if (config_.profiles.size() < 2) {
+  const bool multi_region = config_.profiles.size() >= 2;
+  const bool multi_cell = config_.cells_per_region > 1;
+  if (!multi_region && !multi_cell) {
     return false;
   }
   if (policy == nullptr) {
     return true;
   }
   if (!policy->is_region_local()) {
+    return false;
+  }
+  // A single-region scenario can only shard along the cell axis, which further
+  // requires the policy to be function-local (no region-wide coupled state).
+  if (!multi_region && !policy->is_function_local()) {
     return false;
   }
   return policy->CloneForShard() != nullptr;
@@ -285,8 +336,13 @@ ExperimentResult Experiment::Run(platform::PlatformPolicy* policy,
       num_threads > 0 ? num_threads : ParallelSweep::DefaultThreads();
   // Clonability is probed inside RunSharded (cloning is the probe), so the hot
   // path never builds a throwaway clone tree.
-  if (threads > 1 && config_.profiles.size() > 1 &&
-      (policy == nullptr || policy->is_region_local())) {
+  const bool region_shardable = config_.profiles.size() > 1 &&
+                                (policy == nullptr || policy->is_region_local());
+  const bool cell_shardable =
+      config_.cells_per_region > 1 &&
+      (policy == nullptr ||
+       (policy->is_region_local() && policy->is_function_local()));
+  if (threads > 1 && (region_shardable || cell_shardable)) {
     return RunSharded(policy, threads, checkpoint);
   }
   return RunSerial(policy, checkpoint);
@@ -305,12 +361,19 @@ ExperimentResult Experiment::ResumeFrom(const std::string& dir,
   COLDSTART_CHECK_EQ(manifest.trace_mode,
                      static_cast<uint8_t>(config_.trace_mode));
   COLDSTART_CHECK_EQ(manifest.num_regions, config_.profiles.size());
+  COLDSTART_CHECK_GE(manifest.shards_per_region, 1u);
+  COLDSTART_CHECK_LE(manifest.shards_per_region,
+                     std::max<uint32_t>(config_.cells_per_region, 1u));
+  ValidateManifestEntries(manifest, config_.profiles.size());
   if (manifest.sharded) {
     COLDSTART_CHECK(CanShard(policy) &&
                     "sharded checkpoint requires a shardable config and policy");
+    // Honor the caller's thread count as-is: the shard loop runs correctly on
+    // one worker (shards execute sequentially), so an explicit num_threads=1
+    // must not be silently promoted to 2.
     const int threads =
         num_threads > 0 ? num_threads : ParallelSweep::DefaultThreads();
-    return RunSharded(policy, std::max(threads, 2), checkpoint, &manifest, dir);
+    return RunSharded(policy, threads, checkpoint, &manifest, dir);
   }
   return RunSerial(policy, checkpoint, &manifest, dir);
 }
@@ -343,6 +406,7 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy,
   }
 
   platform::Platform::Options options = PlatformOptions(config_);
+  options.function_cells = MakeFunctionCells(config_, result.population);
   options.resuming = entry != nullptr;
   sim::Simulator sim;
   platform::Platform platform(result.population, profiles, calendar, sim, sink,
@@ -375,7 +439,8 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy,
     }
     committer.emplace(*checkpoint, config_.Fingerprint(),
                       static_cast<uint8_t>(config_.trace_mode),
-                      static_cast<uint32_t>(profiles.size()), /*sharded=*/false);
+                      static_cast<uint32_t>(profiles.size()), /*sharded=*/false,
+                      /*shards_per_region=*/1);
     if (resume != nullptr) {
       committer->SeedFrom(*resume);
     }
@@ -409,12 +474,38 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
                                         const CheckpointPolicy* checkpoint,
                                         const checkpoint::Manifest* resume,
                                         const std::string& resume_dir) const {
+  const size_t regions = config_.profiles.size();
+  const uint32_t cells = std::max<uint32_t>(config_.cells_per_region, 1u);
+
+  // Shard planner. A shard is (region, contiguous cell group); its id is
+  // region * K + group. K == 1 is plain region sharding — the only geometry
+  // available to capacity-coupled policies, since splitting a region's cells
+  // also splits its pools and load state. K > 1 (sub-region sharding) engages
+  // only when the scenario decomposes (cells > 1) and the policy never reads
+  // region-coupled state (is_function_local), and sizes itself to the thread
+  // budget: just enough groups per region to keep num_threads workers busy.
+  // A resume adopts the checkpointed geometry verbatim — shard ids must line
+  // up with the manifest entries.
+  uint32_t k = 1;
+  if (resume != nullptr) {
+    k = resume->shards_per_region;
+  } else if (cells > 1 && (policy == nullptr || policy->is_function_local())) {
+    const uint32_t want = static_cast<uint32_t>(
+        (static_cast<size_t>(num_threads) + regions - 1) / regions);
+    k = std::min(cells, std::max<uint32_t>(want, 1u));
+  }
+  if (k > 1) {
+    COLDSTART_CHECK((policy == nullptr || policy->is_function_local()) &&
+                    "sub-region (K > 1) geometry with a policy that reads "
+                    "region-coupled state");
+  }
+  const size_t num_shards = regions * k;
+
   // Region-local policies run as one independent clone per shard (the caller's
   // instance is only the configuration prototype). A policy that cannot clone
   // falls back to the serial path — same results, one thread. (A resume never
   // falls back: ResumeFrom checked CanShard before routing here.)
-  std::vector<std::unique_ptr<platform::PlatformPolicy>> clones(
-      config_.profiles.size());
+  std::vector<std::unique_ptr<platform::PlatformPolicy>> clones(num_shards);
   if (policy != nullptr) {
     for (auto& clone : clones) {
       clone = policy->CloneForShard();
@@ -433,26 +524,35 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   const bool streaming = config_.trace_mode == TraceMode::kStreaming;
   const workload::Calendar calendar = config_.MakeCalendar();
   const std::vector<workload::RegionProfile> profiles = config_.ScaledProfiles();
-  const size_t regions = profiles.size();
+  COLDSTART_CHECK_EQ(profiles.size(), regions);
 
   // Workload generation is shared only through immutable inputs: every shard
   // simulates against the same population (read-only) and opens its *own*
-  // region-filtered arrival stream — synthetic or replayed, the runner does not
-  // care. The per-region streams partition the serial stream with relative order
+  // filtered arrival stream — synthetic or replayed, the runner does not care.
+  // The per-shard streams partition the serial stream with relative order
   // preserved (the ArrivalStream contract), so nothing is materialized or
-  // repartitioned up front: each shard pulls one day of its region's arrivals at
+  // repartitioned up front: each shard pulls one day of its slice's arrivals at
   // a time.
   result.population = workload::GeneratePopulation(profiles, config_.seed);
+  const std::shared_ptr<const std::vector<uint32_t>> function_cells =
+      MakeFunctionCells(config_, result.population);
 
-  // One shard per region: own simulator, own platform, own store. Shards share
-  // only immutable inputs, so they are free of data races by construction; the
-  // TSan job pins that.
+  // One shard per (region, cell group): own simulator, own platform, own store.
+  // Shards share only immutable inputs, so they are free of data races by
+  // construction; the TSan job pins that. Region stat rows are written by up to
+  // K shards, so each shard banks its own scalars here and the fold below runs
+  // after the sweep joins.
   struct ShardOutcome {
     trace::TraceStore store;                  // kFull.
     trace::StreamingAggregates streaming;     // kStreaming.
     uint64_t events = 0;
+    int64_t visible_cold_starts = 0;
+    int64_t prewarm_spawns = 0;
+    int64_t delayed_allocations = 0;
+    int64_t scratch_allocations = 0;
+    int64_t cold_start_latency_sum_us = 0;
   };
-  std::vector<ShardOutcome> shards(regions);
+  std::vector<ShardOutcome> shards(num_shards);
   ResizeStats(result, regions);
   const ScenarioConfig& config = config_;
   const workload::Population& population = result.population;
@@ -472,7 +572,7 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
     }
     committer.emplace(*checkpoint, fingerprint,
                       static_cast<uint8_t>(config_.trace_mode),
-                      static_cast<uint32_t>(regions), /*sharded=*/true);
+                      static_cast<uint32_t>(regions), /*sharded=*/true, k);
     if (resume != nullptr) {
       committer->SeedFrom(*resume);
     }
@@ -481,48 +581,66 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   // but shards notice it at their own next day boundary, so an interrupted
   // sharded run's shards may rest at different days — each shard's manifest
   // entry records its own.
-  std::vector<int64_t> stop_days(regions, -1);
+  std::vector<int64_t> stop_days(num_shards, -1);
 
   ParallelSweep sweep(num_threads);
-  for (size_t r = 0; r < regions; ++r) {
-    sweep.Add([&, r] {
+  for (size_t s = 0; s < num_shards; ++s) {
+    sweep.Add([&, s] {
+      const trace::RegionId region = static_cast<trace::RegionId>(s / k);
+      const uint32_t group = static_cast<uint32_t>(s % k);
       trace::TraceSink& sink =
-          streaming ? static_cast<trace::TraceSink&>(shards[r].streaming)
-                    : static_cast<trace::TraceSink&>(shards[r].store);
+          streaming ? static_cast<trace::TraceSink&>(shards[s].streaming)
+                    : static_cast<trace::TraceSink&>(shards[s].store);
       const checkpoint::ManifestEntry* entry =
-          FindEntry(resume, static_cast<uint32_t>(r));
+          FindEntry(resume, static_cast<uint32_t>(s));
       platform::Platform::Options options = PlatformOptions(config);
+      options.function_cells = function_cells;
       options.resuming = entry != nullptr;
       sim::Simulator sim;
       platform::Platform platform(population, profiles, calendar, sim,
-                                  sink, options, clones[r].get());
+                                  sink, options, clones[s].get());
+      // K == 1: region filter only, the legacy per-region partition. K > 1:
+      // the region's cells split into K contiguous groups — group g simulates
+      // cells [g * cells / K, (g + 1) * cells / K).
+      std::optional<workload::CellSlice> slice;
+      if (k > 1) {
+        slice = workload::CellSlice{function_cells,
+                                    static_cast<uint32_t>(group * cells / k),
+                                    static_cast<uint32_t>((group + 1) * cells / k)};
+      }
       auto stream = config.workload_source().OpenStream(
-          population, profiles, calendar, config.seed,
-          static_cast<trace::RegionId>(r));
+          population, profiles, calendar, config.seed, region, slice);
       int64_t start_day = 0;
       if (entry != nullptr) {
         start_day = RestoreShard(resume_dir, *entry, fingerprint,
                                  static_cast<uint8_t>(config.trace_mode),
                                  static_cast<uint32_t>(regions),
-                                 static_cast<uint32_t>(r), sim, clones[r].get(),
-                                 streaming, shards[r].store, shards[r].streaming,
+                                 static_cast<uint32_t>(s), sim, clones[s].get(),
+                                 streaming, shards[s].store, shards[s].streaming,
                                  platform, std::move(stream));
       } else {
         platform.AttachArrivalStream(std::move(stream));
       }
       std::function<void(int64_t)> commit;
       if (checkpoint != nullptr) {
-        commit = [&, r](int64_t day) {
-          committer->Commit(day, static_cast<uint32_t>(r),
-                            BuildCheckpointPayload(sim, clones[r].get(),
-                                                   streaming, shards[r].store,
-                                                   shards[r].streaming, platform));
+        commit = [&, s](int64_t day) {
+          committer->Commit(day, static_cast<uint32_t>(s),
+                            BuildCheckpointPayload(sim, clones[s].get(),
+                                                   streaming, shards[s].store,
+                                                   shards[s].streaming, platform));
         };
       }
-      stop_days[r] = RunShardDays(sim, platform, calendar.horizon(), start_day,
+      stop_days[s] = RunShardDays(sim, platform, calendar.horizon(), start_day,
                                   checkpoint, commit);
-      shards[r].events = sim.events_processed();
-      CollectRegionStats(platform, static_cast<trace::RegionId>(r), result);
+      shards[s].events = sim.events_processed();
+      // This shard's platform only ever saw its own cell group's arrivals, so
+      // its region row holds exactly this shard's contribution.
+      shards[s].visible_cold_starts = platform.cold_starts(region);
+      shards[s].prewarm_spawns = platform.prewarm_spawns(region);
+      shards[s].delayed_allocations = platform.delayed_allocations(region);
+      shards[s].scratch_allocations = platform.scratch_allocations(region);
+      shards[s].cold_start_latency_sum_us =
+          platform.cold_start_latency_sum_us(region);
     });
   }
   sweep.Run();
@@ -541,22 +659,29 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
   // Deterministic merge. kFull: every shard emitted the identical function table,
   // and Seal() orders the event tables by the canonical (time, region, id) key, so
   // the merged store is byte-identical to the serial run's regardless of shard
-  // scheduling. kStreaming: shard aggregates fold region-by-region in index order —
-  // each region's accumulators were fed the same record sequence the serial run
-  // feeds them, so the merged aggregates are identical at any thread count.
+  // scheduling or geometry. kStreaming: shard aggregates fold in shard-id order;
+  // every accumulator is a sum, count, max, or fixed-point total — associative
+  // and commutative — so any partition of the serial record sequence merges to
+  // the identical aggregates at any thread count and any K.
   if (streaming) {
     result.streaming = std::move(shards[0].streaming);
-    for (size_t r = 1; r < regions; ++r) {
-      result.streaming.MergeFrom(shards[r].streaming);
+    for (size_t s = 1; s < num_shards; ++s) {
+      result.streaming.MergeFrom(shards[s].streaming);
     }
   } else {
     result.store = std::move(shards[0].store);
-    for (size_t r = 1; r < regions; ++r) {
-      result.store.AppendFrom(std::move(shards[r].store));
+    for (size_t s = 1; s < num_shards; ++s) {
+      result.store.AppendFrom(std::move(shards[s].store));
     }
   }
-  for (const ShardOutcome& shard : shards) {
-    result.events_processed += shard.events;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t region = s / k;
+    result.events_processed += shards[s].events;
+    result.visible_cold_starts[region] += shards[s].visible_cold_starts;
+    result.prewarm_spawns[region] += shards[s].prewarm_spawns;
+    result.delayed_allocations[region] += shards[s].delayed_allocations;
+    result.scratch_allocations[region] += shards[s].scratch_allocations;
+    result.cold_start_latency_sum_us[region] += shards[s].cold_start_latency_sum_us;
   }
   if (result.interrupted_at_day < 0) {
     result.store.Seal();
@@ -599,11 +724,11 @@ ExperimentResult Experiment::RunCached(const std::string& cache_dir,
   COLDSTART_CHECK(config_.trace_mode == TraceMode::kFull &&
                   "RunCached requires TraceMode::kFull");
   namespace fs = std::filesystem;
-  // v4 filename scheme, bumped with the fingerprint salt: v4 folds the trace
-  // mode into the fingerprint (checkpoints key on it), so files written under
-  // the older schemes are never picked up.
+  // v5 filename scheme, bumped with the fingerprint salt: v5 folds
+  // cells_per_region into the fingerprint (a cells > 1 run is a different
+  // scenario), so files written under the older schemes are never picked up.
   char name[64];
-  std::snprintf(name, sizeof(name), "scenario_v4_%016" PRIx64 ".bin",
+  std::snprintf(name, sizeof(name), "scenario_v5_%016" PRIx64 ".bin",
                 config_.Fingerprint());
   const std::string path = (fs::path(cache_dir) / name).string();
 

@@ -6,10 +6,15 @@
 //
 // Run() executes the full pipeline. When the scenario has several regions and the
 // policy is region-local (the baseline always is), the run is sharded: one
-// Simulator + Platform per region on worker threads, with per-region RNG substreams
+// Simulator + Platform per shard on worker threads, with per-shard RNG substreams
 // and id namespaces, merged back into a single sealed TraceStore that is
-// bit-identical to the serial run. Cross-region policies (and policies that cannot
-// clone per-shard state) fall back to the serial path automatically. Thread count:
+// bit-identical to the serial run. A shard is a region — or, when the scenario
+// decomposes into capacity cells (ScenarioConfig::cells_per_region > 1) and the
+// policy is function-local, a (region, cell group) slice: the planner splits each
+// region into K = min(cells, ceil(threads / regions)) sub-region shards so runs
+// with fewer regions than cores still scale (docs/determinism.md "Sub-region
+// sharding"). Cross-region policies (and policies that cannot clone per-shard
+// state) fall back to the serial path automatically. Thread count:
 // $COLDSTART_THREADS, else hardware_concurrency; pass num_threads = 1 to force the
 // serial path.
 //
@@ -48,7 +53,7 @@ namespace coldstart::core {
 // `every_n_days` completed days: a kill at any instant loses at most the work
 // since the last committed checkpoint, and ResumeFrom() continues the run to a
 // final trace bit-identical to the uninterrupted one. Works serial and
-// sharded (one checkpoint stream per region, merged manifest). Requires a
+// sharded (one checkpoint stream per shard, merged manifest). Requires a
 // checkpointable policy (SavePolicyState) when a policy is attached —
 // enforced loudly up front, not at the first checkpoint.
 struct CheckpointPolicy {
@@ -112,15 +117,19 @@ class Experiment {
   // it to completion (or to the next stop). The config and policy must match
   // the checkpointed run — fingerprint and policy checkpointability are
   // CHECKed. The execution mode follows the manifest: a sharded checkpoint
-  // resumes sharded (one platform per region), a serial one resumes serially.
+  // resumes sharded with the checkpointed shards_per_region geometry, a serial
+  // one resumes serially; manifest entries outside that geometry (stale shard
+  // ids from a different K, duplicates) abort loudly. num_threads is honored
+  // as given — a sharded resume runs fine on one worker.
   // The completed result is bit-identical to the uninterrupted run's.
   ExperimentResult ResumeFrom(const std::string& dir,
                               platform::PlatformPolicy* policy = nullptr,
                               int num_threads = 0,
                               const CheckpointPolicy* checkpoint = nullptr) const;
 
-  // True when Run(policy) may take the sharded path: multiple regions and a policy
-  // that is region-local and shard-clonable (or no policy at all).
+  // True when Run(policy) may take the sharded path: multiple regions (or
+  // cells_per_region > 1 with a function-local policy) and a policy that is
+  // region-local and shard-clonable (or no policy at all).
   bool CanShard(platform::PlatformPolicy* policy) const;
 
   // Baseline run with trace caching under `cache_dir`. Policy runs must use Run()

@@ -132,14 +132,16 @@ uint64_t ScenarioConfig::Fingerprint() const {
   // Versioned salt: bumping it (together with the cache filename scheme) retires
   // every cache file written under an older, under-hashed fingerprint. v3 added
   // the workload-source hash (synthetic vs replay, and the replayed events); v4
-  // adds the trace mode — checkpoints are keyed by the fingerprint, and a
-  // streaming checkpoint cannot resume a full-trace run or vice versa.
-  uint64_t h = MixHash(HashString("scenario-fingerprint-v4"), seed);
+  // added the trace mode — checkpoints are keyed by the fingerprint, and a
+  // streaming checkpoint cannot resume a full-trace run or vice versa; v5 adds
+  // cells_per_region — per-cell pools/loads change the generated trace.
+  uint64_t h = MixHash(HashString("scenario-fingerprint-v5"), seed);
   h = MixHash(h, static_cast<uint64_t>(days));
   h = MixDouble(h, scale);
   h = MixHash(h, record_requests ? 1 : 0);
   h = MixHash(h, static_cast<uint64_t>(trace_mode));
   h = MixHash(h, static_cast<uint64_t>(default_keep_alive));
+  h = MixHash(h, static_cast<uint64_t>(cells_per_region));
   h = MixHash(h, workload_source().Fingerprint());
   h = MixHash(h, profiles.size());
   for (const auto& p : profiles) {

@@ -34,6 +34,15 @@ struct ScenarioConfig {
   TraceMode trace_mode = TraceMode::kFull;
   // Baseline keep-alive granted to idle pods when no policy overrides it (§2.2).
   SimDuration default_keep_alive = kMinute;
+  // Capacity cells per region. 1 (the default) is the paper's model: one shared
+  // resource pool / load state / RNG stream per region. Values > 1 decompose
+  // every capacity-coupled mutable structure into that many independent cells;
+  // functions map to cells by a stable hash of their workflow component, which
+  // is what lets Experiment sub-region-shard a region across threads with
+  // serial == sharded bit for bit (docs/determinism.md). A cells value > 1 is a
+  // *different scenario* (per-cell pools change cold-start times), which is why
+  // the field is part of Fingerprint().
+  uint32_t cells_per_region = 1;
   // Regions to simulate; defaults to the five calibrated profiles.
   std::vector<workload::RegionProfile> profiles;
   // Where arrivals come from: null = the built-in synthetic generator; set a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -38,6 +39,9 @@ void ParallelSweep::Run() {
   }
 
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::atomic<size_t> not_run{0};
+  std::atomic<size_t> suppressed{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   auto worker = [&] {
@@ -46,13 +50,24 @@ void ParallelSweep::Run() {
       if (i >= jobs.size()) {
         return;
       }
+      // Fail fast: once any job has thrown, stop dispatching — the sweep is
+      // going to rethrow anyway, so running the remaining jobs only burns time
+      // and buries the first error under unrelated output. In-flight jobs on
+      // other workers still run to completion (they are joined below).
+      if (failed.load(std::memory_order_acquire)) {
+        not_run.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       try {
         jobs[i]();
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error == nullptr) {
           first_error = std::current_exception();
+        } else {
+          suppressed.fetch_add(1, std::memory_order_relaxed);
         }
+        failed.store(true, std::memory_order_release);
       }
     }
   };
@@ -73,6 +88,17 @@ void ParallelSweep::Run() {
     }
   }
   if (first_error != nullptr) {
+    // Account for everything the first failure displaced so a partial sweep is
+    // never mistaken for a complete one.
+    const size_t extra = suppressed.load(std::memory_order_relaxed);
+    const size_t skipped = not_run.load(std::memory_order_relaxed);
+    if (extra > 0 || skipped > 0) {
+      std::fprintf(stderr,
+                   "sweep: failing fast after first job error (%zu further "
+                   "failure%s suppressed, %zu job%s not run)\n",
+                   extra, extra == 1 ? "" : "s", skipped,
+                   skipped == 1 ? "" : "s");
+    }
     std::rethrow_exception(first_error);
   }
 }

@@ -13,7 +13,10 @@
 //
 // Jobs must be independent: they run on different threads with no ordering between
 // them. Each job's writes are visible to the caller after Run() returns (Run joins
-// all workers). The first exception a job throws is rethrown from Run().
+// all workers). The first exception a job throws is rethrown from Run(); the sweep
+// fails fast — jobs not yet claimed when the first error lands are skipped (never
+// started), in-flight jobs finish, and the count of skipped jobs and suppressed
+// further failures is reported on stderr before the rethrow.
 #ifndef COLDSTART_CORE_SWEEP_H_
 #define COLDSTART_CORE_SWEEP_H_
 

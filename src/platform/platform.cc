@@ -17,6 +17,19 @@ using trace::PodId;
 using trace::RegionId;
 using workload::FunctionSpec;
 
+namespace {
+
+// Smallest b with (1 << b) >= n; 0 for n == 1.
+uint32_t CeilLog2(uint32_t n) {
+  uint32_t bits = 0;
+  while ((uint32_t{1} << bits) < n) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
 Platform::Platform(const workload::Population& population,
                    const std::vector<workload::RegionProfile>& profiles,
                    const workload::Calendar& calendar, sim::Simulator& sim,
@@ -31,32 +44,59 @@ Platform::Platform(const workload::Population& population,
       arrival_cursor_(this) {
   COLDSTART_CHECK(!profiles_.empty());
   // One independent substream, pod-id namespace, and request-id namespace per
-  // region: a region's draw sequence must not depend on what other regions do, or
-  // a per-region sharded run could not reproduce the serial run.
-  // The pod-id region field holds indices 0 .. 2^(32-shift) - 1, so exactly
-  // 2^(32-shift) regions fit.
+  // (region, cell): a cell's draw sequence must not depend on what other cells
+  // (or regions) do, or a sub-region sharded run could not reproduce the serial
+  // run. The pod-id region field holds indices 0 .. 2^(32-shift) - 1, so
+  // exactly 2^(32-shift) regions fit.
   COLDSTART_CHECK_LE(profiles_.size(),
                      static_cast<size_t>(1) << (32 - kPodIdRegionShift));
-  const uint64_t rng_base = MixHash(options.seed, HashString("platform"));
-  rngs_.reserve(profiles_.size());
-  for (size_t r = 0; r < profiles_.size(); ++r) {
-    rngs_.emplace_back(MixHash(rng_base, r));
+  cells_ = options_.cells_per_region;
+  COLDSTART_CHECK_GE(cells_, 1u);
+  if (cells_ > 1) {
+    COLDSTART_CHECK(options_.function_cells != nullptr);
+    COLDSTART_CHECK_EQ(options_.function_cells->size(),
+                       population_.functions.size());
   }
-  next_pod_seq_.assign(profiles_.size(), 0);
-  next_request_seq_.assign(profiles_.size(), 0);
+  cell_bits_ = CeilLog2(cells_);
+  COLDSTART_CHECK_LT(cell_bits_, static_cast<uint32_t>(kPodIdRegionShift));
+  pod_seq_bits_ = static_cast<uint32_t>(kPodIdRegionShift) - cell_bits_;
+  pod_seq_mask_ = (trace::PodId{1} << pod_seq_bits_) - 1;
+  const uint64_t rng_base = MixHash(options.seed, HashString("platform"));
+  const size_t num_states = profiles_.size() * cells_;
+  rngs_.reserve(num_states);
+  for (size_t r = 0; r < profiles_.size(); ++r) {
+    if (cells_ == 1) {
+      // The legacy per-region stream, bit for bit (the golden digest pins it).
+      rngs_.emplace_back(MixHash(rng_base, r));
+    } else {
+      for (uint32_t c = 0; c < cells_; ++c) {
+        rngs_.emplace_back(MixHash(MixHash(rng_base, r), c));
+      }
+    }
+  }
+  next_pod_seq_.assign(num_states, 0);
+  next_request_seq_.assign(num_states, 0);
   pipelines_.reserve(profiles_.size());
-  pools_.reserve(profiles_.size());
+  pools_.reserve(num_states);
   for (const auto& profile : profiles_) {
     pipelines_.emplace_back(profile, calendar_);
-    std::vector<ResourcePool> region_pools;
-    region_pools.reserve(trace::kNumResourceConfigs);
-    for (int c = 0; c < trace::kNumResourceConfigs; ++c) {
-      region_pools.emplace_back(profile.pool_base_size[static_cast<size_t>(c)],
-                                profile.pool_refill_per_min);
+    for (uint32_t cell = 0; cell < cells_; ++cell) {
+      std::vector<ResourcePool> cell_pools;
+      cell_pools.reserve(trace::kNumResourceConfigs);
+      for (int c = 0; c < trace::kNumResourceConfigs; ++c) {
+        const int base = profile.pool_base_size[static_cast<size_t>(c)];
+        // Cells split the region's pool capacity without losing a unit to
+        // rounding: cell k of C gets base*(k+1)/C - base*k/C (the whole base at
+        // C == 1). Refill splits as an exact double division (x / 1.0 == x).
+        const int target =
+            base * static_cast<int>(cell + 1) / static_cast<int>(cells_) -
+            base * static_cast<int>(cell) / static_cast<int>(cells_);
+        cell_pools.emplace_back(target, profile.pool_refill_per_min / cells_);
+      }
+      pools_.push_back(std::move(cell_pools));
     }
-    pools_.push_back(std::move(region_pools));
   }
-  loads_.resize(profiles_.size());
+  loads_.resize(num_states);
   visible_cold_starts_.assign(profiles_.size(), 0);
   cold_start_latency_sum_us_.assign(profiles_.size(), 0);
   states_.resize(population_.functions.size());
@@ -133,13 +173,34 @@ bool Platform::ArrivalCursor::Head(SimTime* time, uint64_t* seq) {
 }
 
 void Platform::ArrivalCursor::RunHead() {
-  const workload::ArrivalEvent& arrival = platform_->chunk_.events[next_++];
+  const workload::ArrivalEvent* events = platform_->chunk_.events.data();
+  const workload::ArrivalEvent& arrival = events[next_];
   // The stream contract requires sorted arrivals (the old per-arrival closures
   // re-ordered them through the queue; the cursor replays them as-is). Fail
   // loudly rather than silently rewinding the clock.
   COLDSTART_CHECK_GE(arrival.time, last_time_);
   last_time_ = arrival.time;
-  platform_->HandleArrival(arrival.function, false);
+  if (!platform_->options_.batched_arrivals) {
+    ++next_;
+    platform_->HandleArrival(arrival.function, false);
+    return;
+  }
+  // Batched drain: dispatch the whole same-timestamp run in one call. The day
+  // chunk's seq range is contiguous and reserved at the day starter, so every
+  // queued event at this timestamp has a seq strictly below the run's first
+  // arrival (it already fired) or strictly above its last (it fires after) —
+  // no queued event can interleave, and nothing the run itself schedules lands
+  // at the same instant (all platform delays are > 0). See docs/determinism.md.
+  const size_t begin = next_;
+  size_t end = begin + 1;
+  while (end < limit_ && events[end].time == arrival.time) {
+    ++end;
+  }
+  next_ = end;
+  platform_->HandleArrivalRun(events + begin, end - begin);
+  // The simulator counted this RunHead as one event; account for the rest of
+  // the run so events_processed matches the per-event path.
+  platform_->sim_.AddProcessedEvents(end - begin - 1);
 }
 
 void Platform::OpenDayChunk(int64_t day) {
@@ -204,15 +265,21 @@ const workload::FunctionSpec& Platform::spec(FunctionId function) const {
 }
 
 ResourcePool& Platform::pool(RegionId region, trace::ResourceConfig config) {
+  // Capacity-coupled policies see one pool per region; cells > 1 would make
+  // this accessor ambiguous, and such policies pin their runs to one cell.
+  COLDSTART_CHECK_EQ(cells_, 1u);
   return pools_.at(region).at(static_cast<size_t>(config));
 }
 
-const RegionLoadState& Platform::load(RegionId region) const { return loads_.at(region); }
+const RegionLoadState& Platform::load(RegionId region) const {
+  COLDSTART_CHECK_EQ(cells_, 1u);
+  return loads_.at(region);
+}
 
 bool Platform::HasAvailablePod(FunctionId function) const {
-  const FunctionSpec& s = population_.functions.at(function);
+  const int concurrency = population_.functions.at(function).pod_concurrency;
   for (const Pod* pod : states_[function].pods) {
-    if (pod->slots_used < s.pod_concurrency) {
+    if (hot(*pod).slots_used < concurrency) {
       return true;
     }
   }
@@ -247,36 +314,63 @@ uint64_t Platform::pods_created() const {
   return total;
 }
 
-trace::PodId Platform::NewPodId(RegionId region) {
-  const trace::PodId seq = next_pod_seq_[region]++;
-  // Strict: the last (region, seq) combination would collide with kInvalidPod.
-  COLDSTART_CHECK_LT(seq, kPodIdSeqMask);
-  return (static_cast<trace::PodId>(region) << kPodIdRegionShift) | seq;
+trace::PodId Platform::NewPodId(RegionId region, uint32_t cell) {
+  const trace::PodId seq = next_pod_seq_[StateIndex(region, cell)]++;
+  // Strict: the last (region, cell, seq) combination would collide with
+  // kInvalidPod. At cells_ == 1 this is the legacy region | seq layout exactly.
+  COLDSTART_CHECK_LT(seq, pod_seq_mask_);
+  return (static_cast<trace::PodId>(region) << kPodIdRegionShift) |
+         (static_cast<trace::PodId>(cell) << pod_seq_bits_) | seq;
 }
 
 int64_t Platform::scratch_allocations(RegionId region) const {
   int64_t total = 0;
-  for (const auto& pool : pools_.at(region)) {
-    total += pool.scratch_count();
+  for (uint32_t cell = 0; cell < cells_; ++cell) {
+    for (const auto& pool : pools_.at(StateIndex(region, cell))) {
+      total += pool.scratch_count();
+    }
   }
   return total;
 }
 
-Pod* Platform::FindPodWithSlot(FunctionState& state, SimTime now) const {
+int64_t Platform::prewarm_spawns(RegionId region) const {
+  int64_t total = 0;
+  for (uint32_t cell = 0; cell < cells_; ++cell) {
+    total += loads_.at(StateIndex(region, cell)).prewarm_spawns;
+  }
+  return total;
+}
+
+int64_t Platform::delayed_allocations(RegionId region) const {
+  int64_t total = 0;
+  for (uint32_t cell = 0; cell < cells_; ++cell) {
+    total += loads_.at(StateIndex(region, cell)).delayed_allocations;
+  }
+  return total;
+}
+
+Pod* Platform::FindPodWithSlot(FunctionState& state, int concurrency,
+                               SimTime now) const {
+  // The scan touches only the SoA hot entries: `concurrency` is hoisted by the
+  // caller, so no per-pod spec lookup, and the cold Pod fields stay untouched.
   Pod* best_warm = nullptr;
   Pod* best_warming = nullptr;
+  SimTime best_warm_lru = 0;
+  SimTime best_warming_ready = 0;
   for (Pod* pod : state.pods) {
-    const FunctionSpec& s = population_.functions[pod->function];
-    if (pod->slots_used >= s.pod_concurrency) {
+    const PodHot& h = hot(*pod);
+    if (h.slots_used >= concurrency) {
       continue;
     }
-    if (pod->ready_time <= now) {
+    if (h.ready_time <= now) {
       // Prefer the warm pod that has been idle longest (LRU keeps the fleet compact).
-      if (best_warm == nullptr || pod->last_busy_end < best_warm->last_busy_end) {
+      if (best_warm == nullptr || h.last_busy_end < best_warm_lru) {
         best_warm = pod;
+        best_warm_lru = h.last_busy_end;
       }
-    } else if (best_warming == nullptr || pod->ready_time < best_warming->ready_time) {
+    } else if (best_warming == nullptr || h.ready_time < best_warming_ready) {
       best_warming = pod;
+      best_warming_ready = h.ready_time;
     }
   }
   return best_warm != nullptr ? best_warm : best_warming;
@@ -291,7 +385,8 @@ trace::ClusterId Platform::PickCluster(const FunctionSpec& spec,
   // random alternative and place the pod where this function has fewer pods (§2.1's
   // "balance traffic between clusters, starting pods in a new cluster").
   const trace::ClusterId alt = static_cast<trace::ClusterId>(
-      (spec.home_cluster + 1 + rng(region).NextBounded(trace::kClustersPerRegion - 1)) %
+      (spec.home_cluster + 1 +
+       rng(region, CellOf(spec.id)).NextBounded(trace::kClustersPerRegion - 1)) %
       trace::kClustersPerRegion);
   int home_count = 0;
   int alt_count = 0;
@@ -312,26 +407,34 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
                               SimDuration extra_sched_us) {
   const SimTime now = sim_.now();
   FunctionState& state = states_[spec.id];
-  RegionLoadState& load = loads_[region];
+  const uint32_t cell = CellOf(spec.id);
+  const size_t idx = StateIndex(region, cell);
+  RegionLoadState& load = loads_[idx];
 
-  ResourcePool& pool = pools_[region][static_cast<size_t>(spec.config)];
+  ResourcePool& pool = pools_[idx][static_cast<size_t>(spec.config)];
   load.ObserveColdStart(now);  // The event contributes to its own congestion window.
   ColdStartComponents comp =
-      pipelines_[region].Compute(spec, pool, load, now, rng(region));
+      pipelines_[region].Compute(spec, pool, load, now, rng(region, cell));
   comp.scheduling += extra_sched_us;
 
   auto [pod, handle] = pod_slab_.Allocate();
+  if (pod_hot_.size() < pod_slab_.capacity()) {
+    pod_hot_.resize(pod_slab_.capacity());
+  }
   pod->self = handle;
-  pod->id = NewPodId(region);
+  pod->id = NewPodId(region, cell);
   pod->function = spec.id;
   pod->region = region;
   pod->cluster = PickCluster(spec, state, region);
   pod->config = spec.config;
   pod->cold_start_begin = now;
-  pod->ready_time = now + comp.total();
   pod->cold_start_us = static_cast<uint32_t>(std::min<SimDuration>(comp.total(), UINT32_MAX));
-  pod->last_busy_end = pod->ready_time;
   pod->prewarmed = prewarmed;
+  // Reset the slot's hot entry (it may carry a freed predecessor's values).
+  PodHot& h = pod_hot_[handle.index];
+  h.ready_time = now + comp.total();
+  h.last_busy_end = h.ready_time;
+  h.slots_used = 0;
 
   // Load counters stay elevated for the duration of the pipeline; the decrements are
   // what make congestion oscillate with the cold-start rate.
@@ -342,7 +445,7 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
     ++load.active_dep_deploys;
   }
   pod->ready_decr_seq = sim_.next_seq();
-  sim_.ScheduleAt(pod->ready_time, MakeLoadDecrementHandler(region, has_deps));
+  sim_.ScheduleAt(h.ready_time, MakeLoadDecrementHandler(idx, has_deps));
   ++load.total_cold_starts;
 
   if (prewarmed) {
@@ -372,10 +475,10 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
   return pod;
 }
 
-sim::Simulator::Handler Platform::MakeLoadDecrementHandler(RegionId region,
+sim::Simulator::Handler Platform::MakeLoadDecrementHandler(size_t load_index,
                                                            bool has_deps) {
-  return [this, region, has_deps] {
-    RegionLoadState& l = loads_[region];
+  return [this, load_index, has_deps] {
+    RegionLoadState& l = loads_[load_index];
     --l.active_cold_starts;
     --l.active_code_deploys;
     if (has_deps) {
@@ -385,13 +488,15 @@ sim::Simulator::Handler Platform::MakeLoadDecrementHandler(RegionId region,
 }
 
 void Platform::AssignRequest(Pod* pod, const FunctionSpec& spec, SimTime arrival) {
-  ++pod->slots_used;
+  PodHot& h = hot(*pod);
+  ++h.slots_used;
   // Any pending keep-alive is void: the pod is busy again.
   ++pod->keepalive_gen;
 
-  const SimTime exec_start = std::max(arrival, pod->ready_time);
+  const SimTime exec_start = std::max(arrival, h.ready_time);
   double exec_us = std::exp(std::log(spec.exec_median_us) +
-                            spec.exec_sigma * rng(pod->region).NextGaussian());
+                            spec.exec_sigma *
+                                rng(pod->region, CellOf(spec.id)).NextGaussian());
   exec_us = std::clamp(exec_us, 100.0, 600e6);
   const uint32_t exec = static_cast<uint32_t>(exec_us);
   const SimTime exec_end = exec_start + exec;
@@ -422,48 +527,60 @@ void Platform::OnRequestComplete(SlabHandle handle, SimTime exec_start,
                                  const FunctionSpec& spec) {
   Pod* pod = pod_slab_.Resolve(handle);
   COLDSTART_CHECK(pod != nullptr);  // A pod with a bound request cannot die.
-  COLDSTART_CHECK_GT(pod->slots_used, 0);
-  --pod->slots_used;
+  PodHot& h = hot(*pod);
+  COLDSTART_CHECK_GT(h.slots_used, 0);
+  --h.slots_used;
   ++pod->served;
-  pod->last_busy_end = std::max(pod->last_busy_end, exec_end);
+  h.last_busy_end = std::max(h.last_busy_end, exec_end);
 
+  // The pod's function equals spec.id here, so one cell lookup covers the id
+  // mint, the resource draws, and the fan-out below.
+  const uint32_t cell = CellOf(spec.id);
+  const size_t idx = StateIndex(pod->region, cell);
   if (options_.record_requests) {
     trace::RequestRecord rec;
     rec.timestamp = exec_start;
-    // Request ids mix a per-region counter under a per-region salt, so the id stream
-    // is identical whether the region ran alone (sharded) or alongside the others.
-    rec.request_id = MixHash(MixHash(0x9e3779b9, pod->region),
-                             next_request_seq_[pod->region]++);
+    // Request ids mix a per-(region, cell) counter under a matching salt, so the
+    // id stream is identical whether the cell ran alone (sharded) or alongside
+    // the others. At cells_ == 1 the salt is the legacy per-region one exactly.
+    uint64_t salt = MixHash(0x9e3779b9, pod->region);
+    if (cells_ > 1) {
+      salt = MixHash(salt, cell);
+    }
+    rec.request_id = MixHash(salt, next_request_seq_[idx]++);
     rec.pod_id = pod->id;
     rec.function_id = spec.id;
     rec.user_id = spec.user;
     rec.region = pod->region;
     rec.cluster = pod->cluster;
     rec.execution_time_us = exec_us;
-    double cpu = spec.cpu_mean_cores * std::exp(0.3 * rng(pod->region).NextGaussian());
+    double cpu =
+        spec.cpu_mean_cores * std::exp(0.3 * rng(pod->region, cell).NextGaussian());
     cpu = std::clamp(cpu, 0.005,
                      static_cast<double>(CpuMillicoresOf(spec.config)) / 1000.0);
     rec.cpu_millicores = static_cast<uint16_t>(cpu * 1000.0);
-    double mem_kb = spec.mem_mean_kb * std::exp(0.25 * rng(pod->region).NextGaussian());
+    double mem_kb =
+        spec.mem_mean_kb * std::exp(0.25 * rng(pod->region, cell).NextGaussian());
     mem_kb = std::clamp(mem_kb, 1024.0,
                         1024.0 * static_cast<double>(MemoryMbOf(spec.config)));
     rec.memory_kb = static_cast<uint32_t>(mem_kb);
     sink_.OnRequest(rec);
   }
-  ++loads_[pod->region].total_requests;
+  ++loads_[idx].total_requests;
 
   // Workflow fan-out: downstream functions are invoked when the parent finishes.
-  // Draws come from the parent's home-region stream (children are wired within the
-  // region, so sharded runs replay exactly this sequence).
+  // Draws come from the parent's home-(region, cell) stream (children are wired
+  // within the region and share the parent's cell by construction —
+  // workload/function_cells.h — so sharded runs replay exactly this sequence).
   for (const auto& edge : spec.children) {
-    Rng& region_rng = rng(spec.region);
-    if (region_rng.NextBool(edge.probability)) {
-      const SimDuration delay = FromSeconds(region_rng.Uniform(0.005, 0.05));
+    Rng& fanout_rng = rng(spec.region, cell);
+    if (fanout_rng.NextBool(edge.probability)) {
+      const SimDuration delay = FromSeconds(fanout_rng.Uniform(0.005, 0.05));
       ScheduleInvoke(exec_end + delay, edge.child, /*delay_exempt=*/false);
     }
   }
 
-  if (pod->slots_used == 0) {
+  if (h.slots_used == 0) {
     ArmKeepAlive(pod);
   }
 }
@@ -494,7 +611,7 @@ sim::Simulator::Handler Platform::MakeKeepAliveHandler(SlabHandle handle,
     if (p == nullptr) {
       return;  // Already dead (the slot's generation moved on).
     }
-    if (p->keepalive_gen != gen || p->slots_used > 0) {
+    if (p->keepalive_gen != gen || hot(*p).slots_used > 0) {
       return;  // Was re-used since; a newer keep-alive owns it.
     }
     KillPod(p, sim_.now());
@@ -514,8 +631,11 @@ void Platform::ArmKeepAlive(Pod* pod) {
 
 void Platform::KillPod(Pod* pod, SimTime death_time) {
   const FunctionSpec& spec = population_.functions[pod->function];
+  const PodHot& h = hot(*pod);
   if (workload::TraitsOf(spec.runtime).pool_backed) {
-    pools_[pod->region][static_cast<size_t>(pod->config)].Release(death_time);
+    pools_[StateIndex(pod->region, CellOf(pod->function))]
+          [static_cast<size_t>(pod->config)]
+              .Release(death_time);
   }
 
   trace::PodLifetimeRecord rec;
@@ -525,8 +645,8 @@ void Platform::KillPod(Pod* pod, SimTime death_time) {
   rec.cluster = pod->cluster;
   rec.config = pod->config;
   rec.cold_start_begin = pod->cold_start_begin;
-  rec.ready_time = pod->ready_time;
-  rec.last_busy_end = pod->last_busy_end;
+  rec.ready_time = h.ready_time;
+  rec.last_busy_end = h.last_busy_end;
   rec.death_time = death_time;
   rec.cold_start_us = pod->cold_start_us;
   rec.requests_served = pod->served;
@@ -541,39 +661,64 @@ void Platform::KillPod(Pod* pod, SimTime death_time) {
 }
 
 void Platform::HandleArrival(FunctionId fid, bool delay_exempt) {
+  HandleArrivalBatch(fid, 1, delay_exempt);
+}
+
+void Platform::HandleArrivalRun(const workload::ArrivalEvent* events, size_t count) {
+  // The chunk is (time, function)-sorted, so a same-timestamp run visits each
+  // function's arrivals as one contiguous group — batching is free.
+  size_t i = 0;
+  while (i < count) {
+    size_t j = i + 1;
+    while (j < count && events[j].function == events[i].function) {
+      ++j;
+    }
+    HandleArrivalBatch(events[i].function, j - i, /*delay_exempt=*/false);
+    i = j;
+  }
+}
+
+void Platform::HandleArrivalBatch(FunctionId fid, size_t count, bool delay_exempt) {
+  // The spec/state/cell lookups are hoisted across the batch; everything else
+  // runs per arrival, in order, exactly as `count` HandleArrival calls would —
+  // each iteration must observe the slot/load mutations of the previous one.
   const FunctionSpec& fspec = population_.functions.at(fid);
   const SimTime now = sim_.now();
-
-  if (policy_ != nullptr) {
-    policy_->OnArrival(fspec, now);
-    if (!fspec.children.empty()) {
-      policy_->OnParentRequestStart(fspec, now);
-    }
-    if (!delay_exempt && !trace::IsSynchronous(fspec.primary_trigger)) {
-      const SimDuration delay = policy_->AdmissionDelay(fspec, now, loads_[fspec.region]);
-      if (delay > 0) {
-        ++loads_[fspec.region].delayed_allocations;
-        ScheduleInvoke(now + delay, fid, /*delay_exempt=*/true);
-        return;
-      }
-    }
-  }
-
+  const size_t load_idx = StateIndex(fspec.region, CellOf(fid));
   FunctionState& state = states_[fid];
-  Pod* pod = FindPodWithSlot(state, now);
-  if (pod == nullptr) {
-    RegionId region = fspec.region;
-    SimDuration extra_sched = 0;
+  const int concurrency = fspec.pod_concurrency;
+
+  for (size_t k = 0; k < count; ++k) {
     if (policy_ != nullptr) {
-      const RegionId routed = policy_->RouteColdStart(fspec, now);
-      if (routed != fspec.region && routed < profiles_.size()) {
-        region = routed;
-        extra_sched = FromSeconds(profiles_[fspec.region].inter_region_rtt_ms / 1000.0);
+      policy_->OnArrival(fspec, now);
+      if (!fspec.children.empty()) {
+        policy_->OnParentRequestStart(fspec, now);
+      }
+      if (!delay_exempt && !trace::IsSynchronous(fspec.primary_trigger)) {
+        const SimDuration delay = policy_->AdmissionDelay(fspec, now, loads_[load_idx]);
+        if (delay > 0) {
+          ++loads_[load_idx].delayed_allocations;
+          ScheduleInvoke(now + delay, fid, /*delay_exempt=*/true);
+          continue;
+        }
       }
     }
-    pod = StartColdStart(fspec, region, /*prewarmed=*/false, extra_sched);
+
+    Pod* pod = FindPodWithSlot(state, concurrency, now);
+    if (pod == nullptr) {
+      RegionId region = fspec.region;
+      SimDuration extra_sched = 0;
+      if (policy_ != nullptr) {
+        const RegionId routed = policy_->RouteColdStart(fspec, now);
+        if (routed != fspec.region && routed < profiles_.size()) {
+          region = routed;
+          extra_sched = FromSeconds(profiles_[fspec.region].inter_region_rtt_ms / 1000.0);
+        }
+      }
+      pod = StartColdStart(fspec, region, /*prewarmed=*/false, extra_sched);
+    }
+    AssignRequest(pod, fspec, now);
   }
-  AssignRequest(pod, fspec, now);
 }
 
 void Platform::SpawnPrewarmedPod(FunctionId function, RegionId region,
@@ -582,7 +727,7 @@ void Platform::SpawnPrewarmedPod(FunctionId function, RegionId region,
   Pod* pod = StartColdStart(fspec, region, /*prewarmed=*/true, 0);
   // The prewarmed pod idles from readiness; give it the requested survival window.
   const uint64_t gen = ++pod->keepalive_gen;
-  pod->ka_time = pod->ready_time + initial_keep_alive;
+  pod->ka_time = hot(*pod).ready_time + initial_keep_alive;
   pod->ka_seq = sim_.next_seq();
   sim_.ScheduleAt(pod->ka_time, MakeKeepAliveHandler(pod->self, gen));
 }
@@ -698,16 +843,17 @@ void Platform::SaveCheckpointState(ByteWriter& w) const {
       continue;
     }
     const Pod& p = pod_slab_.slot_value(i);
+    const PodHot& h = pod_hot_[i];
     w.U64(p.id);
     w.U64(p.function);
     w.U32(p.region);
     w.U32(p.cluster);
     w.U8(static_cast<uint8_t>(p.config));
     w.I64(p.cold_start_begin);
-    w.I64(p.ready_time);
+    w.I64(h.ready_time);
     w.U32(p.cold_start_us);
-    w.I64(p.slots_used);
-    w.I64(p.last_busy_end);
+    w.I64(h.slots_used);
+    w.I64(h.last_busy_end);
     w.U32(p.served);
     w.U64(p.keepalive_gen);
     w.U8(p.prewarmed ? 1 : 0);
@@ -716,7 +862,7 @@ void Platform::SaveCheckpointState(ByteWriter& w) const {
     w.U64(p.ka_seq);
     // An idle alive pod must have a live keep-alive in the future — the event
     // that will kill it. Anything else means the bookkeeping is broken.
-    if (p.slots_used == 0) {
+    if (h.slots_used == 0) {
       COLDSTART_CHECK_GT(p.ka_time, now);
     }
   }
@@ -837,8 +983,10 @@ void Platform::RestoreCheckpointState(
   }
 
   const std::vector<uint32_t> alive_pods = RestoreSlabStructure(pod_slab_, r);
+  pod_hot_.assign(pod_slab_.capacity(), PodHot{});
   for (const uint32_t i : alive_pods) {
     Pod& p = pod_slab_.slot_value(i);
+    PodHot& h = pod_hot_[i];
     p.self = SlabHandle{i, pod_slab_.slot_generation(i)};
     p.id = static_cast<trace::PodId>(r.U64());
     p.function = static_cast<trace::FunctionId>(r.U64());
@@ -846,10 +994,10 @@ void Platform::RestoreCheckpointState(
     p.cluster = static_cast<trace::ClusterId>(r.U32());
     p.config = static_cast<trace::ResourceConfig>(r.U8());
     p.cold_start_begin = r.I64();
-    p.ready_time = r.I64();
+    h.ready_time = r.I64();
     p.cold_start_us = r.U32();
-    p.slots_used = static_cast<int>(r.I64());
-    p.last_busy_end = r.I64();
+    h.slots_used = static_cast<int>(r.I64());
+    h.last_busy_end = r.I64();
     p.served = r.U32();
     p.keepalive_gen = r.U64();
     p.prewarmed = r.U8() != 0;
@@ -933,13 +1081,15 @@ void Platform::RestoreCheckpointState(
   }
   for (const uint32_t i : alive_pods) {
     const Pod& p = pod_slab_.slot_value(i);
-    if (p.ready_time > now) {
+    const PodHot& h = pod_hot_[i];
+    if (h.ready_time > now) {
       // The load-decrement scheduled at the pod's ready time is still pending.
       sim_.RestoreEvent(
-          p.ready_time, p.ready_decr_seq,
-          MakeLoadDecrementHandler(p.region, spec(p.function).dep_size_kb > 0));
+          h.ready_time, p.ready_decr_seq,
+          MakeLoadDecrementHandler(StateIndex(p.region, CellOf(p.function)),
+                                   spec(p.function).dep_size_kb > 0));
     }
-    if (p.slots_used == 0) {
+    if (h.slots_used == 0) {
       // Exactly the current-generation keep-alive is live; earlier generations'
       // events were no-ops and are deliberately not re-queued (only the
       // non-contractual events_processed counter can tell the difference).
@@ -975,7 +1125,8 @@ void Platform::Finalize() {
   for (Pod* pod : remaining) {
     // Censor at the horizon, but never before the pod's own activity (a request can
     // still be executing when the trace ends).
-    KillPod(pod, std::max({calendar_.horizon(), pod->ready_time, pod->last_busy_end}));
+    const PodHot& h = hot(*pod);
+    KillPod(pod, std::max({calendar_.horizon(), h.ready_time, h.last_busy_end}));
   }
 }
 

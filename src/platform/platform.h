@@ -11,11 +11,13 @@
 // pipeline, and bind the request to the pod's ready time. Completions update
 // keep-alive state and fan out workflow children.
 //
-// Region independence: all randomness flows through per-region RNG substreams (forked
-// from the seed by region index) and pod/request ids are drawn from per-region
-// namespaces. A platform that only ever sees one region's arrivals therefore emits
-// exactly the records the full serial platform emits for that region — the invariant
-// core::Experiment's sharded runner is built on.
+// Region independence: all randomness flows through per-(region, cell) RNG
+// substreams (forked from the seed by region index, then by capacity cell when
+// cells_per_region > 1) and pod/request ids are drawn from per-(region, cell)
+// namespaces. A platform that only ever sees one region's (or one cell group's)
+// arrivals therefore emits exactly the records the full serial platform emits
+// for those functions — the invariant core::Experiment's sharded runner is
+// built on.
 #ifndef COLDSTART_PLATFORM_PLATFORM_H_
 #define COLDSTART_PLATFORM_PLATFORM_H_
 
@@ -31,12 +33,16 @@
 #include "sim/simulator.h"
 #include "trace/trace_sink.h"
 #include "workload/arrivals.h"
+#include "workload/function_cells.h"
 
 namespace coldstart::platform {
 
-// A pod instance (warming or warm). slots_used counts requests bound to the pod,
-// whether executing or waiting for readiness. Pods live in a Slab<Pod>; `self` is
-// the generation-checked handle in-flight events use to re-find the pod.
+// A pod instance (warming or warm). Pods live in a Slab<Pod>; `self` is the
+// generation-checked handle in-flight events use to re-find the pod. The three
+// fields the request path touches per event — readiness, free concurrency
+// slots, idle-LRU recency — live in the parallel PodHot array (SoA, indexed by
+// slab slot), not here: FindPodWithSlot scans hot entries without dragging the
+// cold identity/bookkeeping fields through the cache.
 struct Pod {
   SlabHandle self;
   trace::PodId id = 0;
@@ -45,10 +51,7 @@ struct Pod {
   trace::ClusterId cluster = 0;
   trace::ResourceConfig config = trace::ResourceConfig::k300m128;
   SimTime cold_start_begin = 0;
-  SimTime ready_time = 0;
   uint32_t cold_start_us = 0;
-  int slots_used = 0;
-  SimTime last_busy_end = 0;
   uint32_t served = 0;
   uint64_t keepalive_gen = 0;
   bool prewarmed = false;
@@ -63,6 +66,22 @@ struct Pod {
   uint64_t ka_seq = 0;
 };
 
+// The per-pod state the arrival hot path reads and writes, split out of Pod
+// into a dense slot-indexed array. slots_used counts requests bound to the
+// pod, whether executing or waiting for readiness.
+struct PodHot {
+  SimTime ready_time = 0;
+  SimTime last_busy_end = 0;
+  int slots_used = 0;
+};
+
+// Pod ids carry their region in the high bits so per-region id streams never collide
+// and a sharded run mints exactly the ids the serial run would have minted. With
+// cells_per_region > 1 the cell index is packed directly below the region bits
+// (see Platform::cell_bits_), shrinking the per-cell sequence space accordingly.
+inline constexpr int kPodIdRegionShift = 28;
+inline constexpr trace::PodId kPodIdSeqMask = (trace::PodId{1} << kPodIdRegionShift) - 1;
+
 class Platform {
  public:
   struct Options {
@@ -74,6 +93,21 @@ class Platform {
     // performs up front (function-table emission into the sink, the initial
     // policy-tick schedule) — the restored state already accounts for them.
     bool resuming = false;
+    // Capacity cells per region (ScenarioConfig::cells_per_region). 1 keeps the
+    // paper's one-pool-per-region model and the legacy RNG/id streams bit for
+    // bit. Values > 1 decompose every capacity-coupled structure (pools, load
+    // state, RNG substreams, pod/request id namespaces) into independent cells
+    // keyed by `function_cells`, which must then be non-null and map every
+    // function id to its cell (workload/function_cells.h).
+    uint32_t cells_per_region = 1;
+    std::shared_ptr<const std::vector<uint32_t>> function_cells;
+    // Drain runs of same-timestamp arrivals through HandleArrival in one batch
+    // dispatch (grouped by function, spec/state lookups hoisted per group).
+    // Bit-identical to per-event dispatch — day-anchored seq reservation puts
+    // every same-time arrival ahead of every same-time handler-scheduled event
+    // (docs/determinism.md) — so this is purely a throughput knob; false forces
+    // the per-event path (pinned equal by platform_test).
+    bool batched_arrivals = true;
   };
 
   // `sink` receives every emitted record: a TraceStore for exact full-trace runs,
@@ -130,6 +164,9 @@ class Platform {
   // `initial_keep_alive` is how long the idle prewarmed pod survives awaiting traffic.
   void SpawnPrewarmedPod(trace::FunctionId function, trace::RegionId region,
                          SimDuration initial_keep_alive);
+  // Capacity-coupled accessors: a single pool/load per region only exists when
+  // cells_per_region == 1 (CHECKed). Policies that need them declare
+  // is_function_local() == false, which pins their runs to one cell.
   ResourcePool& pool(trace::RegionId region, trace::ResourceConfig config);
   const RegionLoadState& load(trace::RegionId region) const;
   const workload::FunctionSpec& spec(trace::FunctionId function) const;
@@ -147,8 +184,12 @@ class Platform {
   uint64_t pods_created() const;
   // Sum over user-visible cold starts of total cold-start latency, per region (µs).
   int64_t cold_start_latency_sum_us(trace::RegionId region) const;
-  // From-scratch pod creations (pool misses) across the region's pools.
+  // From-scratch pod creations (pool misses) across the region's pools (all cells).
   int64_t scratch_allocations(trace::RegionId region) const;
+  // Region-level load counters summed over the region's cells (cells-safe,
+  // unlike load()): what the experiment runner folds into per-region stats.
+  int64_t prewarm_spawns(trace::RegionId region) const;
+  int64_t delayed_allocations(trace::RegionId region) const;
 
  private:
   struct FunctionState {
@@ -181,16 +222,42 @@ class Platform {
     SimTime last_time_ = 0;  // Guards the sorted-arrivals stream contract.
   };
 
-  // The per-region RNG substream; every draw the platform makes is attributed to a
-  // region so that sharded and serial runs consume identical sequences.
-  Rng& rng(trace::RegionId region) { return rngs_[region]; }
-  trace::PodId NewPodId(trace::RegionId region);
+  // --- Capacity-cell plumbing. ---
+  // All capacity-coupled mutable state (RNGs, pools, loads, id namespaces) is
+  // stored per (region, cell), flattened as region * cells_ + cell. At the
+  // default cells_ == 1 every helper degenerates to the legacy per-region
+  // behavior bit for bit (cell 0, StateIndex == region).
+  uint32_t CellOf(trace::FunctionId fid) const {
+    return cells_ == 1 ? 0 : (*options_.function_cells)[fid];
+  }
+  size_t StateIndex(trace::RegionId region, uint32_t cell) const {
+    return static_cast<size_t>(region) * cells_ + cell;
+  }
+  // The per-(region, cell) RNG substream; every draw the platform makes is
+  // attributed to a cell so that sharded and serial runs consume identical
+  // sequences.
+  Rng& rng(trace::RegionId region, uint32_t cell) {
+    return rngs_[StateIndex(region, cell)];
+  }
+  trace::PodId NewPodId(trace::RegionId region, uint32_t cell);
+  // The pod's SoA hot entry (valid while the pod is alive in the slab).
+  PodHot& hot(const Pod& pod) { return pod_hot_[pod.self.index]; }
+  const PodHot& hot(const Pod& pod) const { return pod_hot_[pod.self.index]; }
 
   // Day-starter body: pulls day `day`'s chunk from arrival_stream_ into chunk_,
   // validates it against the stream contract, and opens the cursor over it.
   void OpenDayChunk(int64_t day);
   void HandleArrival(trace::FunctionId fid, bool delay_exempt);
-  Pod* FindPodWithSlot(FunctionState& state, SimTime now) const;
+  // Batched drain: dispatches `count` same-timestamp arrivals starting at
+  // `events` (already (time, function)-sorted, so same-function arrivals are
+  // contiguous), grouping them into per-function batches. HandleArrivalBatch is
+  // the shared body: `count` arrivals of one function with the spec/state/cell
+  // lookups done once. HandleArrival delegates to a batch of 1.
+  void HandleArrivalRun(const workload::ArrivalEvent* events, size_t count);
+  void HandleArrivalBatch(trace::FunctionId fid, size_t count, bool delay_exempt);
+  // `concurrency` is the function's slot limit, hoisted by the caller so the
+  // per-pod scan touches only the PodHot array.
+  Pod* FindPodWithSlot(FunctionState& state, int concurrency, SimTime now) const;
   Pod* StartColdStart(const workload::FunctionSpec& spec, trace::RegionId region,
                       bool prewarmed, SimDuration extra_sched_us);
   void AssignRequest(Pod* pod, const workload::FunctionSpec& spec, SimTime arrival);
@@ -234,7 +301,7 @@ class Platform {
   void RunInvoke(SlabHandle reg);
   void ScheduleInvoke(SimTime t, trace::FunctionId fid, bool delay_exempt);
   sim::Simulator::Handler MakeKeepAliveHandler(SlabHandle handle, uint64_t gen);
-  sim::Simulator::Handler MakeLoadDecrementHandler(trace::RegionId region,
+  sim::Simulator::Handler MakeLoadDecrementHandler(size_t load_index,
                                                    bool has_deps);
 
   const workload::Population& population_;
@@ -246,8 +313,8 @@ class Platform {
   PlatformPolicy* policy_;  // Not owned; may be null.
 
   std::vector<ColdStartPipeline> pipelines_;                  // Per region.
-  std::vector<std::vector<ResourcePool>> pools_;              // [region][config].
-  std::vector<RegionLoadState> loads_;                        // Per region.
+  std::vector<std::vector<ResourcePool>> pools_;              // [StateIndex][config].
+  std::vector<RegionLoadState> loads_;                        // Per (region, cell).
   std::vector<int64_t> visible_cold_starts_;                  // Per region.
   std::vector<int64_t> cold_start_latency_sum_us_;            // Per region.
   std::vector<FunctionState> states_;                         // Per function.
@@ -256,10 +323,20 @@ class Platform {
   ArrivalCursor arrival_cursor_;
   bool source_attached_ = false;
   Slab<Pod> pod_slab_;                                        // All alive pods.
+  std::vector<PodHot> pod_hot_;  // SoA hot fields, indexed by slab slot.
 
-  std::vector<Rng> rngs_;                 // Per region; forked from the seed.
-  std::vector<trace::PodId> next_pod_seq_;      // Per region pod-id namespace.
-  std::vector<uint64_t> next_request_seq_;      // Per region request-id namespace.
+  // Cell geometry, fixed at construction. pod_seq_bits_ is how many low bits of
+  // a pod id hold the per-cell sequence number; the cell index sits directly
+  // above it, below the region bits. At cells_ == 1, cell_bits_ == 0 and the
+  // layout is the legacy (region << kPodIdRegionShift) | seq exactly.
+  uint32_t cells_ = 1;
+  uint32_t cell_bits_ = 0;
+  uint32_t pod_seq_bits_ = kPodIdRegionShift;
+  trace::PodId pod_seq_mask_ = kPodIdSeqMask;
+
+  std::vector<Rng> rngs_;                 // Per (region, cell); forked from the seed.
+  std::vector<trace::PodId> next_pod_seq_;      // Per (region, cell) pod-id namespace.
+  std::vector<uint64_t> next_request_seq_;      // Per (region, cell) request-id namespace.
 
   // Checkpoint bookkeeping (see the registry comment above).
   Slab<InFlightRequest> inflight_;        // Pending completion events.
@@ -269,11 +346,6 @@ class Platform {
   SimTime policy_tick_time_ = -1;         // Next tick's (time, seq); -1 = none.
   uint64_t policy_tick_seq_ = 0;
 };
-
-// Pod ids carry their region in the high bits so per-region id streams never collide
-// and a sharded run mints exactly the ids the serial run would have minted.
-inline constexpr int kPodIdRegionShift = 28;
-inline constexpr trace::PodId kPodIdSeqMask = (trace::PodId{1} << kPodIdRegionShift) - 1;
 
 }  // namespace coldstart::platform
 

@@ -29,10 +29,22 @@ class PlatformPolicy {
   // built-in policy that must return false.
   virtual bool is_region_local() const { return true; }
 
+  // Stronger locality for sub-region sharding: true when the policy's decisions
+  // for a function depend only on that function's own observations (arrivals,
+  // cold starts, workflow edges — all of which stay inside the function's
+  // capacity cell), never on region-level capacity-coupled state (pools, the
+  // region load aggregate, a region-wide budget). Function-local policies can
+  // run one independent instance per capacity-cell shard; everything else pins
+  // the region to a single cell. Default false: region-level coupling is the
+  // common case (ProfilePrewarm's global budget, PeakShaving's load window,
+  // PoolPrediction's pool targets), so opting in is an explicit claim.
+  virtual bool is_function_local() const { return false; }
+
   // A fresh instance with this policy's configuration (but none of its learned
-  // state) for one region shard of a parallel run. Returning nullptr (the default)
-  // declares the policy non-shardable and forces the serial path. Implementations
-  // must be safe to call before the run starts.
+  // state) for one shard of a parallel run (a region, or a capacity-cell group
+  // when is_function_local()). Returning nullptr (the default) declares the
+  // policy non-shardable and forces the serial path. Implementations must be
+  // safe to call before the run starts.
   virtual std::unique_ptr<PlatformPolicy> CloneForShard() const { return nullptr; }
 
   // Folds a finished shard's observable statistics (prewarm/delay counters and the

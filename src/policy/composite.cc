@@ -17,6 +17,11 @@ bool CompositePolicy::is_region_local() const {
                      [](const auto& p) { return p->is_region_local(); });
 }
 
+bool CompositePolicy::is_function_local() const {
+  return std::all_of(policies_.begin(), policies_.end(),
+                     [](const auto& p) { return p->is_function_local(); });
+}
+
 std::unique_ptr<platform::PlatformPolicy> CompositePolicy::CloneForShard() const {
   auto clone = std::make_unique<CompositePolicy>();
   for (const auto& p : policies_) {

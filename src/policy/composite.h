@@ -28,6 +28,7 @@ class CompositePolicy : public platform::PlatformPolicy {
   // and a shard clone is a composite of the sub-policies' clones (nullptr if any
   // sub-policy cannot clone).
   bool is_region_local() const override;
+  bool is_function_local() const override;
   std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override;
   void AbsorbShardStats(const platform::PlatformPolicy& shard) override;
 

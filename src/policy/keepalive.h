@@ -35,6 +35,9 @@ class DynamicKeepAlivePolicy : public platform::PlatformPolicy {
   std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
     return std::make_unique<DynamicKeepAlivePolicy>(options_);
   }
+  // Keep-alive decisions read only the function's own IAT history — no pools,
+  // no region load — so capacity-cell shards see identical inputs.
+  bool is_function_local() const override { return true; }
 
   // Checkpointable: the learned state is the per-function IAT table, serialized
   // sorted by function id.

@@ -43,6 +43,10 @@ class TimerAwarePrewarmPolicy : public platform::PlatformPolicy {
   std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
     return std::make_unique<TimerAwarePrewarmPolicy>(options_);
   }
+  // Period estimates and prewarm spawns are keyed by the observed function
+  // alone (ProfilePrewarm, by contrast, competes functions for a region-wide
+  // per-tick budget and must stay region-level).
+  bool is_function_local() const override { return true; }
   void AbsorbShardStats(const platform::PlatformPolicy& shard) override {
     prewarms_issued_ +=
         static_cast<const TimerAwarePrewarmPolicy&>(shard).prewarms_issued_;

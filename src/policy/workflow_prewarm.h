@@ -33,6 +33,10 @@ class WorkflowPrewarmPolicy : public platform::PlatformPolicy {
   std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
     return std::make_unique<WorkflowPrewarmPolicy>(options_);
   }
+  // Reads only the parent's edges and the children's pod availability; workflow
+  // components never span capacity cells (workload/function_cells.h), so every
+  // observation stays inside the shard.
+  bool is_function_local() const override { return true; }
   void AbsorbShardStats(const platform::PlatformPolicy& shard) override {
     prewarms_issued_ +=
         static_cast<const WorkflowPrewarmPolicy&>(shard).prewarms_issued_;

@@ -72,6 +72,11 @@ class Simulator {
     return base;
   }
 
+  // Credits `n` extra processed events. An EventSource whose RunHead drains a
+  // run of entries in one dispatch calls this with (run length - 1) so
+  // events_processed matches what per-entry dispatch would have counted.
+  void AddProcessedEvents(uint64_t n) { events_processed_ += n; }
+
   // Attaches (or, with nullptr, detaches) the merged event source. One at a time.
   void AttachSource(EventSource* source) {
     COLDSTART_CHECK(source == nullptr || source_ == nullptr);

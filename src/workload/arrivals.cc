@@ -135,10 +135,11 @@ void FunctionArrivalCursor::RestoreState(ByteReader& r) {
 
 SyntheticArrivalStream::SyntheticArrivalStream(
     const Population& pop, const std::vector<RegionProfile>& profiles,
-    const Calendar& calendar, uint64_t seed, std::optional<trace::RegionId> region)
+    const Calendar& calendar, uint64_t seed, std::optional<trace::RegionId> region,
+    std::optional<CellSlice> cell_slice)
     : calendar_(calendar), num_days_(NumDayChunks(calendar)) {
   // The arrivals root stream; each function forks its own substream off it by id,
-  // so which functions this stream instantiates (the region filter) cannot
+  // so which functions this stream instantiates (the region/cell filter) cannot
   // perturb any other function's draws.
   const Rng root(MixHash(seed, HashString("arrivals")));
 
@@ -153,6 +154,9 @@ SyntheticArrivalStream::SyntheticArrivalStream(
   for (const auto& spec : pop.functions) {
     COLDSTART_CHECK_LT(spec.region, diurnals_.size());
     if (region.has_value() && spec.region != *region) {
+      continue;
+    }
+    if (cell_slice.has_value() && !cell_slice->Contains(spec.id)) {
       continue;
     }
     functions_.push_back(FunctionEntry{

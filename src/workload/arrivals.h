@@ -21,6 +21,7 @@
 #include "workload/arrival_stream.h"
 #include "workload/calendar.h"
 #include "workload/diurnal.h"
+#include "workload/function_cells.h"
 #include "workload/population.h"
 
 namespace coldstart::workload {
@@ -81,13 +82,15 @@ class FunctionArrivalCursor {
 // O(busiest day), independent of the horizon. `pop` is borrowed and must outlive
 // the stream; profiles/calendar are copied. With `region` set, only that region's
 // functions are generated — the same subsequence a full stream would yield for
-// them, since every function draws from its own RNG substream.
+// them, since every function draws from its own RNG substream. `cell_slice`
+// refines the filter to a capacity-cell range the same way.
 class SyntheticArrivalStream final : public ArrivalStream {
  public:
   SyntheticArrivalStream(const Population& pop,
                          const std::vector<RegionProfile>& profiles,
                          const Calendar& calendar, uint64_t seed,
-                         std::optional<trace::RegionId> region = std::nullopt);
+                         std::optional<trace::RegionId> region = std::nullopt,
+                         std::optional<CellSlice> cell_slice = std::nullopt);
 
   bool NextChunk(ArrivalChunk* chunk) override;
   // Checkpoint support: the per-function cursor states plus the day counter.

@@ -1,0 +1,58 @@
+#include "workload/function_cells.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace coldstart::workload {
+
+namespace {
+
+// Path-halving find over a parent array.
+uint32_t Find(std::vector<uint32_t>& parent, uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+// Union by smaller root id: the representative of a component is always its
+// smallest member, which makes the component hash independent of edge order.
+void Union(std::vector<uint32_t>& parent, uint32_t a, uint32_t b) {
+  a = Find(parent, a);
+  b = Find(parent, b);
+  if (a == b) {
+    return;
+  }
+  if (b < a) {
+    std::swap(a, b);
+  }
+  parent[b] = a;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeFunctionCells(const Population& pop,
+                                           uint32_t cells_per_region) {
+  COLDSTART_CHECK_GE(cells_per_region, 1u);
+  const uint32_t n = static_cast<uint32_t>(pop.functions.size());
+  std::vector<uint32_t> parent(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    parent[i] = i;
+  }
+  for (const FunctionSpec& spec : pop.functions) {
+    for (const WorkflowEdge& edge : spec.children) {
+      Union(parent, static_cast<uint32_t>(spec.id),
+            static_cast<uint32_t>(edge.child));
+    }
+  }
+  std::vector<uint32_t> cells(n);
+  const uint64_t salt = HashString("function-cell");
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t rep = Find(parent, i);
+    cells[i] = static_cast<uint32_t>(MixHash(salt, rep) % cells_per_region);
+  }
+  return cells;
+}
+
+}  // namespace coldstart::workload

@@ -1,0 +1,49 @@
+// Capacity-cell assignment: the function -> cell map behind sub-region sharding.
+//
+// A cell is the unit a region's capacity decomposes into when
+// ScenarioConfig::cells_per_region > 1: each cell owns its own resource pools,
+// load state, and RNG stream inside the platform, so disjoint cell groups of one
+// region can be simulated on different threads and merged bit-identically
+// (docs/determinism.md). Functions map to cells by a stable hash of their
+// workflow component: a union-find over the population's WorkflowEdge graph
+// groups every parent with its (transitive) children, and the component hashes
+// by its smallest function id. Keeping a workflow inside one cell is what lets a
+// sub-region shard run its cells without ever invoking a function owned by
+// another shard — runtime fan-out never crosses the cell boundary.
+#ifndef COLDSTART_WORKLOAD_FUNCTION_CELLS_H_
+#define COLDSTART_WORKLOAD_FUNCTION_CELLS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/types.h"
+#include "workload/population.h"
+
+namespace coldstart::workload {
+
+// Cell index of every function, indexed by dense function id; each value is in
+// [0, cells_per_region). Pure function of (pop, cells_per_region): two
+// functions in one workflow component always land in the same cell, and the
+// assignment never depends on region (a component hashes the same wherever its
+// region's id range happens to sit).
+std::vector<uint32_t> ComputeFunctionCells(const Population& pop,
+                                           uint32_t cells_per_region);
+
+// The half-open cell range [begin, end) one sub-region shard simulates, plus
+// the shared function -> cell map. The map is shared_ptr-owned so filtered
+// arrival streams can hold the slice past the planner scope that built it.
+struct CellSlice {
+  std::shared_ptr<const std::vector<uint32_t>> cells;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  bool Contains(trace::FunctionId fid) const {
+    const uint32_t c = (*cells)[fid];
+    return begin <= c && c < end;
+  }
+};
+
+}  // namespace coldstart::workload
+
+#endif  // COLDSTART_WORKLOAD_FUNCTION_CELLS_H_

@@ -194,7 +194,8 @@ class ReplaySource::Stream final : public ArrivalStream {
   // itself), so the caller may move the Population around after opening — only
   // destroying or reallocating it invalidates the stream.
   Stream(const ReplaySource& source, const Population& pop, size_t num_regions,
-         SimTime horizon, uint64_t seed, std::optional<trace::RegionId> region)
+         SimTime horizon, uint64_t seed, std::optional<trace::RegionId> region,
+         std::optional<CellSlice> cell_slice)
       : source_(&source),
         functions_(pop.functions.data()),
         num_functions_(pop.functions.size()),
@@ -202,6 +203,7 @@ class ReplaySource::Stream final : public ArrivalStream {
         num_regions_(num_regions),
         horizon_(horizon),
         region_(region),
+        cell_slice_(std::move(cell_slice)),
         num_days_(NumDayChunks(horizon)),
         // Remapping is salted independently of the seed: the same trace replayed
         // onto the same population hits the same functions across platform-seed
@@ -246,6 +248,9 @@ class ReplaySource::Stream final : public ArrivalStream {
       const size_t raw_index = next_++;  // The rate hash is keyed by raw index.
       if (region_.has_value() && functions_[fid].region != *region_) {
         continue;  // Filtered out before the rate draw (the hash is stateless).
+      }
+      if (cell_slice_.has_value() && !cell_slice_->Contains(fid)) {
+        continue;  // Same stateless filter, refined to the shard's cell range.
       }
       int copies = whole_copies_;
       if (extra_prob_ > 0 &&
@@ -311,6 +316,7 @@ class ReplaySource::Stream final : public ArrivalStream {
   size_t num_regions_;
   SimTime horizon_;
   std::optional<trace::RegionId> region_;
+  std::optional<CellSlice> cell_slice_;
   int64_t num_days_;
   uint64_t remap_salt_;
   uint64_t rate_salt_;
@@ -323,11 +329,12 @@ class ReplaySource::Stream final : public ArrivalStream {
 std::unique_ptr<ArrivalStream> ReplaySource::OpenStream(
     const Population& pop, const std::vector<RegionProfile>& profiles,
     const Calendar& calendar, uint64_t seed,
-    std::optional<trace::RegionId> region) const {
+    std::optional<trace::RegionId> region,
+    std::optional<CellSlice> cell_slice) const {
   COLDSTART_CHECK(!pop.functions.empty());
   COLDSTART_CHECK_EQ(pop.region_begin.size(), profiles.size() + 1);
   return std::make_unique<Stream>(*this, pop, profiles.size(), calendar.horizon(),
-                                  seed, region);
+                                  seed, region, std::move(cell_slice));
 }
 
 bool WriteArrivalsCsv(const std::vector<ArrivalEvent>& arrivals,

@@ -95,7 +95,8 @@ class ReplaySource final : public WorkloadSource {
   std::unique_ptr<ArrivalStream> OpenStream(
       const Population& pop, const std::vector<RegionProfile>& profiles,
       const Calendar& calendar, uint64_t seed,
-      std::optional<trace::RegionId> region = std::nullopt) const override;
+      std::optional<trace::RegionId> region = std::nullopt,
+      std::optional<CellSlice> cell_slice = std::nullopt) const override;
 
   size_t raw_event_count() const { return events_.size(); }
   const ReplayOptions& options() const { return options_; }

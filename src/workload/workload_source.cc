@@ -22,9 +22,10 @@ uint64_t SyntheticSource::Fingerprint() const {
 std::unique_ptr<ArrivalStream> SyntheticSource::OpenStream(
     const Population& pop, const std::vector<RegionProfile>& profiles,
     const Calendar& calendar, uint64_t seed,
-    std::optional<trace::RegionId> region) const {
+    std::optional<trace::RegionId> region,
+    std::optional<CellSlice> cell_slice) const {
   return std::make_unique<SyntheticArrivalStream>(pop, profiles, calendar, seed,
-                                                  region);
+                                                  region, std::move(cell_slice));
 }
 
 const WorkloadSource& DefaultSyntheticSource() {

@@ -25,6 +25,7 @@
 #include "workload/arrival_stream.h"
 #include "workload/arrivals.h"
 #include "workload/calendar.h"
+#include "workload/function_cells.h"
 #include "workload/population.h"
 
 namespace coldstart::workload {
@@ -46,17 +47,20 @@ class WorkloadSource {
   // [0, calendar.horizon()): ceil(horizon / kDay) chunks, each sorted by
   // (time, function) with every function id < pop.functions.size(). With `region`
   // set, the stream yields only that region's functions — the order-preserving
-  // per-region partition the sharded runner consumes, one stream per shard.
+  // per-region partition the sharded runner consumes, one stream per shard. With
+  // `cell_slice` additionally set, only functions whose capacity cell falls in
+  // the slice are yielded — the sub-region refinement of the same partition.
   //
   // Determinism contract (docs/determinism.md): the chunk sequence is a pure
-  // function of (source state, pop, profiles, calendar, seed, region); reopening
-  // yields bit-identical chunks, and the region-filtered streams partition the
-  // unfiltered one. `pop` (and any recorded buffer inside the source) is borrowed:
-  // both must outlive the returned stream.
+  // function of (source state, pop, profiles, calendar, seed, region,
+  // cell_slice); reopening yields bit-identical chunks, and the filtered streams
+  // partition the unfiltered one. `pop` (and any recorded buffer inside the
+  // source) is borrowed: both must outlive the returned stream.
   virtual std::unique_ptr<ArrivalStream> OpenStream(
       const Population& pop, const std::vector<RegionProfile>& profiles,
       const Calendar& calendar, uint64_t seed,
-      std::optional<trace::RegionId> region = std::nullopt) const = 0;
+      std::optional<trace::RegionId> region = std::nullopt,
+      std::optional<CellSlice> cell_slice = std::nullopt) const = 0;
 
   // Eager compatibility shim: the concatenation of every chunk of
   // OpenStream(pop, profiles, calendar, seed) — all arrivals sorted by
@@ -77,7 +81,8 @@ class SyntheticSource final : public WorkloadSource {
   std::unique_ptr<ArrivalStream> OpenStream(
       const Population& pop, const std::vector<RegionProfile>& profiles,
       const Calendar& calendar, uint64_t seed,
-      std::optional<trace::RegionId> region = std::nullopt) const override;
+      std::optional<trace::RegionId> region = std::nullopt,
+      std::optional<CellSlice> cell_slice = std::nullopt) const override;
 };
 
 // Shared immutable instance for configs that do not carry their own source.

@@ -177,6 +177,47 @@ TEST_F(CheckpointTest, KillAndResumeShardedFullTrace) {
   EXPECT_EQ(uninterrupted.visible_cold_starts, resumed.visible_cold_starts);
 }
 
+TEST_F(CheckpointTest, KillAndResumeSubRegionShardedFullTrace) {
+  // Sub-region geometry: 4 cells per region, 20 threads -> K=4, so the child
+  // commits one checkpoint stream per (region, cell group) — 20 shard ids —
+  // and the resume must stitch all of them back bit-identically.
+  ScenarioConfig config = TinyScenario();
+  config.cells_per_region = 4;
+  const Experiment experiment(config);
+  ASSERT_TRUE(experiment.CanShard(nullptr));
+  const ExperimentResult uninterrupted = experiment.Run(nullptr, 20);
+
+  RunAndKillAtDay(config, dir_, /*kill_day=*/1, /*num_threads=*/20);
+  checkpoint::Manifest manifest;
+  ASSERT_TRUE(checkpoint::ReadManifest(dir_, &manifest));
+  EXPECT_TRUE(manifest.sharded);
+  EXPECT_EQ(manifest.shards_per_region, 4u);
+
+  const ExperimentResult resumed = experiment.ResumeFrom(dir_, nullptr, 20);
+  EXPECT_EQ(resumed.interrupted_at_day, -1);
+  EXPECT_EQ(trace::Digest(uninterrupted.store), trace::Digest(resumed.store));
+  EXPECT_EQ(uninterrupted.visible_cold_starts, resumed.visible_cold_starts);
+
+  // And the whole thing must also match the serial run of the same scenario.
+  const ExperimentResult serial = experiment.Run(nullptr, 1);
+  EXPECT_EQ(trace::Digest(serial.store), trace::Digest(resumed.store));
+}
+
+TEST_F(CheckpointTest, ShardedResumeHonorsSingleThread) {
+  // The satellite bugfix this pins: ResumeFrom used to force
+  // max(num_threads, 2), overriding an explicit single-threaded request. A
+  // sharded manifest must resume correctly on exactly one worker.
+  const ScenarioConfig config = TinyScenario();
+  const Experiment experiment(config);
+  const ExperimentResult uninterrupted = experiment.Run(nullptr, 4);
+
+  RunAndKillAtDay(config, dir_, /*kill_day=*/1, /*num_threads=*/4);
+  const ExperimentResult resumed = experiment.ResumeFrom(dir_, nullptr,
+                                                         /*num_threads=*/1);
+  EXPECT_EQ(resumed.interrupted_at_day, -1);
+  EXPECT_EQ(trace::Digest(uninterrupted.store), trace::Digest(resumed.store));
+}
+
 TEST_F(CheckpointTest, KillAndResumeStreamingMode) {
   const ScenarioConfig config = TinyScenario(core::TraceMode::kStreaming);
   const Experiment experiment(config);
@@ -267,6 +308,45 @@ TEST_F(CheckpointTest, ResumeWithMismatchedConfigDies) {
   ScenarioConfig other = config;
   other.seed = 43;
   EXPECT_DEATH(Experiment(other).ResumeFrom(dir_), "fingerprint");
+}
+
+TEST_F(CheckpointTest, StaleShardEntryFromDifferentGeometryDies) {
+  // The satellite bugfix this pins: manifest entries are matched by a linear
+  // (shard, day) scan, so an entry written under a larger K used to survive a
+  // resume with a smaller one and silently restore the wrong state slice. The
+  // resume must instead reject any entry outside regions x shards_per_region.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ScenarioConfig config = TinyScenario();
+  config.cells_per_region = 4;
+  RunAndKillAtDay(config, dir_, /*kill_day=*/1, /*num_threads=*/20);
+
+  checkpoint::Manifest manifest;
+  ASSERT_TRUE(checkpoint::ReadManifest(dir_, &manifest));
+  ASSERT_EQ(manifest.shards_per_region, 4u);
+  ASSERT_FALSE(manifest.entries.empty());
+  // Rewrite the manifest claiming K=1, with an entry whose shard id only
+  // existed under the larger geometry — a stale leftover. (The kill fires at
+  // the first commit, so which shard ids committed is scheduling-dependent;
+  // fabricate the out-of-range one deterministically.)
+  manifest.shards_per_region = 1;
+  checkpoint::ManifestEntry stale = manifest.entries.front();
+  stale.shard = manifest.num_regions + 2;  // >= regions x K once K claims 1.
+  manifest.entries = {stale};
+  ASSERT_TRUE(checkpoint::WriteManifest(dir_, manifest));
+  EXPECT_DEATH(Experiment(config).ResumeFrom(dir_), "stale");
+}
+
+TEST_F(CheckpointTest, DuplicateManifestEntryDies) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const ScenarioConfig config = TinyScenario();
+  RunAndKillAtDay(config, dir_, /*kill_day=*/1, /*num_threads=*/4);
+
+  checkpoint::Manifest manifest;
+  ASSERT_TRUE(checkpoint::ReadManifest(dir_, &manifest));
+  ASSERT_FALSE(manifest.entries.empty());
+  manifest.entries.push_back(manifest.entries.front());
+  ASSERT_TRUE(checkpoint::WriteManifest(dir_, manifest));
+  EXPECT_DEATH(Experiment(config).ResumeFrom(dir_), "twice");
 }
 
 // --- Satellite: corrupted checkpoints die loudly, naming the file. ---

@@ -5,7 +5,9 @@
 
 #include <filesystem>
 #include <set>
+#include <utility>
 
+#include "common/byte_serde.h"
 #include "core/coldstart_lab.h"
 
 namespace coldstart {
@@ -153,6 +155,136 @@ TEST(ShardedExperimentTest, RegionLocalPolicyBitIdenticalToSerial) {
   ExpectAggregatesIdentical(serial, sharded);
 }
 
+// --- Tentpole: sub-region sharding (cells_per_region > 1) is bit-identical ---
+// --- across every geometry: serial, region-sharded (K=1), and K=2 / K=4.  ---
+
+TEST(SubRegionShardingTest, BaselineBitIdenticalAcrossGeometries) {
+  ScenarioConfig config = core::SmallScenario();
+  config.days = 3;
+  config.cells_per_region = 4;
+  const Experiment experiment(config);
+  ASSERT_TRUE(experiment.CanShard(nullptr));
+
+  // The planner sizes K = min(cells, ceil(threads / regions)); with 5 regions,
+  // 5 threads yield K=1 (plain region sharding), 10 yield K=2, 20 yield K=4.
+  const ExperimentResult serial = experiment.Run(nullptr, /*num_threads=*/1);
+  const ExperimentResult region_sharded = experiment.Run(nullptr, 5);
+  const ExperimentResult k2 = experiment.Run(nullptr, 10);
+  const ExperimentResult k4 = experiment.Run(nullptr, 20);
+
+  ASSERT_GT(serial.store.requests().size(), 10000u);
+  ExpectStoresIdentical(serial.store, region_sharded.store);
+  ExpectStoresIdentical(serial.store, k2.store);
+  ExpectStoresIdentical(serial.store, k4.store);
+  ExpectAggregatesIdentical(serial, region_sharded);
+  ExpectAggregatesIdentical(serial, k2);
+  ExpectAggregatesIdentical(serial, k4);
+}
+
+TEST(SubRegionShardingTest, StreamingAggregatesBitIdenticalAcrossGeometries) {
+  // kStreaming merges per-shard accumulators instead of record tables; every
+  // accumulator must be partition-invariant for K > 1 to be exact.
+  ScenarioConfig config = core::SmallScenario();
+  config.days = 3;
+  config.record_requests = false;
+  config.cells_per_region = 4;
+  config.trace_mode = core::TraceMode::kStreaming;
+  const Experiment experiment(config);
+  const ExperimentResult serial = experiment.Run(nullptr, 1);
+  const ExperimentResult k4 = experiment.Run(nullptr, 20);
+  ExpectAggregatesIdentical(serial, k4);
+  // Byte-level identity of the full aggregate state (counters, fixed-point
+  // latency sums, histogram buckets), not just the headline numbers.
+  ByteWriter serial_bytes;
+  serial.streaming.SaveState(serial_bytes);
+  ByteWriter k4_bytes;
+  k4.streaming.SaveState(k4_bytes);
+  EXPECT_EQ(serial_bytes.data(), k4_bytes.data());
+}
+
+TEST(SubRegionShardingTest, FunctionLocalPolicyBitIdenticalAcrossGeometries) {
+  ScenarioConfig config = core::SmallScenario();
+  config.days = 3;
+  config.record_requests = false;
+  config.cells_per_region = 4;
+  const Experiment experiment(config);
+
+  // Every member is function-local, so the composite clears the K > 1 gate.
+  auto make_policy = [] {
+    auto combo = std::make_unique<policy::CompositePolicy>();
+    combo->Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
+        .Add(std::make_unique<policy::DynamicKeepAlivePolicy>())
+        .Add(std::make_unique<policy::WorkflowPrewarmPolicy>());
+    return combo;
+  };
+  auto serial_policy = make_policy();
+  ASSERT_TRUE(serial_policy->is_function_local());
+  const ExperimentResult serial = experiment.Run(serial_policy.get(), 1);
+  auto k4_policy = make_policy();
+  const ExperimentResult k4 = experiment.Run(k4_policy.get(), 20);
+
+  int64_t prewarms = 0;
+  for (const int64_t p : k4.prewarm_spawns) {
+    prewarms += p;
+  }
+  EXPECT_GT(prewarms, 0);
+  ExpectStoresIdentical(serial.store, k4.store);
+  ExpectAggregatesIdentical(serial, k4);
+}
+
+TEST(SubRegionShardingTest, RegionCoupledPolicyKeepsRegionGeometry) {
+  // PeakShaving reads region-wide load, so it must never be split below a
+  // region: the planner keeps K=1 (still region-shardable) and results match
+  // serial exactly.
+  ScenarioConfig config = core::SmallScenario();
+  config.days = 2;
+  config.scale = 0.2;
+  config.record_requests = false;
+  config.cells_per_region = 4;
+  const Experiment experiment(config);
+  policy::PeakShavingPolicy serial_policy;
+  EXPECT_FALSE(serial_policy.is_function_local());
+  const ExperimentResult serial = experiment.Run(&serial_policy, 1);
+  policy::PeakShavingPolicy sharded_policy;
+  const ExperimentResult sharded = experiment.Run(&sharded_policy, 20);
+  ExpectStoresIdentical(serial.store, sharded.store);
+  ExpectAggregatesIdentical(serial, sharded);
+}
+
+// --- Tentpole: batched arrival draining == per-event dispatch, bit for bit. ---
+
+TEST(BatchedArrivalsTest, BatchedPipelineBitIdenticalToPerEvent) {
+  const ScenarioConfig config = core::SmallScenario();
+  const workload::Calendar calendar = config.MakeCalendar();
+  const auto profiles = config.ScaledProfiles();
+  const workload::Population pop =
+      workload::GeneratePopulation(profiles, config.seed);
+
+  auto run = [&](bool batched) {
+    trace::TraceStore store;
+    sim::Simulator sim;
+    platform::Platform::Options options;
+    options.seed = config.seed;
+    options.record_requests = config.record_requests;
+    options.default_keep_alive = config.default_keep_alive;
+    options.batched_arrivals = batched;
+    platform::Platform platform(pop, profiles, calendar, sim, store, options);
+    platform.AttachArrivalStream(config.workload_source().OpenStream(
+        pop, profiles, calendar, config.seed));
+    sim.RunUntil(calendar.horizon());
+    platform.Finalize();
+    store.Seal();
+    return std::make_pair(std::move(store), sim.events_processed());
+  };
+
+  auto [batched_store, batched_events] = run(true);
+  auto [per_event_store, per_event_events] = run(false);
+  ASSERT_GT(batched_store.requests().size(), 10000u);
+  ExpectStoresIdentical(per_event_store, batched_store);
+  // AddProcessedEvents credits drained runs, so even the event *count* agrees.
+  EXPECT_EQ(per_event_events, batched_events);
+}
+
 TEST(ShardedExperimentTest, ShardedRunFoldsPolicyCountersIntoPrototype) {
   // policy.prewarms_issued() must read the same total whether the run sharded
   // (counters accumulate in per-shard clones, folded back via AbsorbShardStats)
@@ -243,6 +375,12 @@ TEST(ScenarioFingerprintTest, DistinguishesEveryFieldClass) {
   c = base;
   c.default_keep_alive = 2 * kMinute;
   expect_fresh(c, "default_keep_alive");
+  c = base;
+  // cells_per_region entered the fingerprint in v5: a cells > 1 run decomposes
+  // per-region pools, so it is a different scenario and must never share cache
+  // entries or checkpoints with the cells = 1 run.
+  c.cells_per_region = 4;
+  expect_fresh(c, "cells_per_region");
   c = base;
   c.profiles.pop_back();
   expect_fresh(c, "profile count");
@@ -352,6 +490,28 @@ TEST(ParallelSweepTest, RethrowsJobException) {
   sweep.Add([] { throw std::runtime_error("boom"); });
   sweep.Add([] {});
   EXPECT_THROW(sweep.Run(), std::runtime_error);
+}
+
+TEST(ParallelSweepTest, FailsFastAfterFirstError) {
+  // The regression this pins: a throwing job used to leave the queue draining —
+  // a 100-scenario sweep whose first job failed still ran the other 99 before
+  // reporting. With one worker the order is deterministic: job 0 throws, so
+  // jobs 1..N-1 must never start.
+  std::vector<int> hits(8, 0);
+  core::ParallelSweep sweep(1);
+  sweep.Add([] { throw std::runtime_error("boom"); });
+  for (size_t i = 1; i < hits.size(); ++i) {
+    sweep.Add([&hits, i] { hits[i] += 1; });
+  }
+  EXPECT_THROW(sweep.Run(), std::runtime_error);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 0) << "job " << i << " ran after the sweep failed";
+  }
+  // The sweep object stays reusable after a failed run.
+  bool ran = false;
+  sweep.Add([&ran] { ran = true; });
+  sweep.Run();
+  EXPECT_TRUE(ran);
 }
 
 TEST(ParallelSweepTest, DefaultThreadsRespectsEnvOverride) {
