@@ -278,7 +278,7 @@ BENCHMARK(BM_PoolAcquireRelease);
 static void BM_ColdStartPipeline(benchmark::State& state) {
   const auto& profiles = workload::DefaultRegionProfiles();
   const workload::Calendar calendar;
-  platform::ColdStartPipeline pipeline(profiles[0], calendar);
+  platform::YuanRongModel pipeline(profiles[0], calendar);
   platform::ResourcePool pool(32, 4.0);
   platform::RegionLoadState load;
   load.active_cold_starts = 5;
@@ -298,6 +298,36 @@ static void BM_ColdStartPipeline(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ColdStartPipeline);
+
+// Same hot path driven through the ColdStartModel vtable, the way Platform
+// dispatches it since the model layer landed. The delta against
+// BM_ColdStartPipeline is the virtual-dispatch cost of the refactor — the
+// acceptance bar is <2%, which an indirect call against a compute kernel of
+// ~10 RNG draws and several exp() calls clears easily.
+static void BM_ColdStartModel(benchmark::State& state) {
+  const auto& profiles = workload::DefaultRegionProfiles();
+  const workload::Calendar calendar;
+  std::unique_ptr<platform::ColdStartModel> model =
+      std::make_unique<platform::YuanRongModel>(profiles[0], calendar);
+  platform::ResourcePool pool(32, 4.0);
+  platform::RegionLoadState load;
+  load.active_cold_starts = 5;
+  load.active_code_deploys = 5;
+  load.active_dep_deploys = 2;
+  workload::FunctionSpec spec;
+  spec.code_size_kb = 2048;
+  spec.dep_size_kb = 8192;
+  Rng rng(11);
+  SimTime now = 0;
+  for (auto _ : state) {
+    now += kSecond;
+    const auto comp = model->Compute(spec, pool, load, now, rng);
+    benchmark::DoNotOptimize(comp.total());
+    pool.Release(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColdStartModel);
 
 static void BM_PopulationGeneration(benchmark::State& state) {
   const auto& profiles = workload::DefaultRegionProfiles();

@@ -1,0 +1,172 @@
+// Provider comparison: prices the same workload on different cold-start
+// architectures (YuanRong baseline, AWS-like, GCP-like, Azure-like presets) and
+// crosses each with the mitigation axis — none, provisioned concurrency,
+// snapshot/restore, timer-aware prewarm. The resource-cost ledger supplies the
+// other side of every trade: pod-hours, warm-idle share, and the snapshot
+// memory bill that a pure latency table would hide.
+//
+// Runs in streaming mode (quantiles from the merged cold-start histograms), all
+// provider x mitigation cells concurrently on the ParallelSweep work queue.
+//
+// Usage: provider_comparison [days] [scale]
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/coldstart_lab.h"
+
+using namespace coldstart;
+
+namespace {
+
+struct Row {
+  std::string provider;
+  std::string mitigation;
+  int64_t cold_starts = 0;
+  double p50 = 0, p99 = 0;
+  trace::RegionCostRecord cost;  // Ledger totals across regions.
+};
+
+enum class Mitigation { kNone, kProvisioned, kSnapshot, kPrewarm };
+
+const char* MitigationName(Mitigation m) {
+  switch (m) {
+    case Mitigation::kNone:
+      return "baseline";
+    case Mitigation::kProvisioned:
+      return "provisioned";
+    case Mitigation::kSnapshot:
+      return "snapshot";
+    case Mitigation::kPrewarm:
+      return "prewarm";
+  }
+  return "?";
+}
+
+Row Evaluate(const core::ScenarioConfig& base, workload::ColdStartModelKind kind,
+             const char* provider_name, Mitigation mitigation, int num_threads) {
+  core::ScenarioConfig config = base;
+  for (auto& profile : config.profiles) {
+    profile.model.kind = kind;
+    // Snapshot/restore is a model property, not a policy: the platform pages a
+    // pre-initialized image back in instead of deploying code + dependencies.
+    profile.model.snapshot_restore = (mitigation == Mitigation::kSnapshot);
+  }
+  std::unique_ptr<platform::PlatformPolicy> policy;
+  if (mitigation == Mitigation::kProvisioned) {
+    policy = std::make_unique<policy::ProvisionedConcurrencyPolicy>();
+  } else if (mitigation == Mitigation::kPrewarm) {
+    policy = std::make_unique<policy::TimerAwarePrewarmPolicy>();
+  }
+
+  const core::Experiment experiment(config);
+  const auto result = experiment.Run(policy.get(), num_threads);
+
+  Row row;
+  row.provider = provider_name;
+  row.mitigation = MitigationName(mitigation);
+  row.cold_starts = std::accumulate(result.visible_cold_starts.begin(),
+                                    result.visible_cold_starts.end(), int64_t{0});
+  const LogHistogram hist = result.streaming.MergedColdStartHist();
+  if (hist.total_count() > 0) {
+    row.p50 = hist.Quantile(0.5);
+    row.p99 = hist.Quantile(0.99);
+  }
+  row.cost = result.cost_ledger.TotalRecord();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ScenarioConfig config;
+  config.days = argc > 1 ? std::atoi(argv[1]) : 3;
+  config.scale = argc > 2 ? std::atof(argv[2]) : 0.2;
+  config.record_requests = false;
+  config.trace_mode = core::TraceMode::kStreaming;
+
+  const struct {
+    workload::ColdStartModelKind kind;
+    const char* name;
+  } kProviders[] = {
+      {workload::ColdStartModelKind::kYuanRong, "yuanrong"},
+      {workload::ColdStartModelKind::kAwsLike, "aws-like"},
+      {workload::ColdStartModelKind::kGcpLike, "gcp-like"},
+      {workload::ColdStartModelKind::kAzureLike, "azure-like"},
+  };
+  const Mitigation kMitigations[] = {Mitigation::kNone, Mitigation::kProvisioned,
+                                     Mitigation::kSnapshot, Mitigation::kPrewarm};
+  constexpr size_t kNumCells = std::size(kProviders) * std::size(kMitigations);
+
+  std::printf(
+      "Pricing %zu provider x mitigation cells on %d days at %.2fx scale "
+      "(%d threads)...\n\n",
+      kNumCells, config.days, config.scale, core::ParallelSweep::DefaultThreads());
+
+  std::vector<Row> rows(kNumCells);
+  core::ParallelSweep sweep;
+  const int inner_threads =
+      std::max(1, sweep.num_threads() / static_cast<int>(kNumCells));
+  size_t cell = 0;
+  for (const auto& provider : kProviders) {
+    for (const Mitigation mitigation : kMitigations) {
+      const size_t i = cell++;
+      sweep.Add([&, i, provider, mitigation] {
+        rows[i] = Evaluate(config, provider.kind, provider.name, mitigation,
+                           inner_threads);
+      });
+    }
+  }
+  sweep.Run();
+
+  // One table: latency picture on the left, the ledger's cost columns on the
+  // right. Baseline for the delta column is each provider's own unmitigated run.
+  std::vector<std::string> headers = {"provider", "mitigation", "cold starts",
+                                      "p50 (s)", "p99 (s)", "vs baseline"};
+  for (const std::string& h : analysis::CostHeaders("x")) {
+    if (h != "x") {
+      headers.push_back(h);
+    }
+  }
+  TextTable t(headers);
+  for (size_t i = 0; i < kNumCells; ++i) {
+    const Row& r = rows[i];
+    const Row& base = rows[i - i % std::size(kMitigations)];
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+.1f%%",
+                  100.0 * (static_cast<double>(r.cold_starts) /
+                               static_cast<double>(std::max<int64_t>(1, base.cold_starts)) -
+                           1.0));
+    const double pod_hours = r.cost.pod_seconds() / 3600.0;
+    const double idle_hours = r.cost.warm_idle_seconds() / 3600.0;
+    t.Row()
+        .Cell(r.provider)
+        .Cell(r.mitigation)
+        .Cell(r.cold_starts)
+        .Cell(r.p50, 3)
+        .Cell(r.p99, 2)
+        .Cell(std::string(delta))
+        .Cell(pod_hours, 1)
+        .Cell(idle_hours, 1)
+        .Cell(pod_hours > 0 ? idle_hours / pod_hours : 0.0, 3)
+        .Cell(r.cost.snapshot_mb_seconds() / (1024.0 * 3600.0), 2)
+        .Cell(static_cast<uint64_t>(r.cost.scratch_creations));
+  }
+  std::printf("%s\n", t.Render().c_str());
+
+  // Per-region ledger breakdown for the least and most expensive architectures'
+  // snapshot runs, through the shared report helpers.
+  for (size_t i = 0; i < kNumCells; ++i) {
+    if (rows[i].mitigation != std::string("snapshot") ||
+        rows[i].provider != std::string("yuanrong")) {
+      continue;
+    }
+    std::printf("yuanrong + snapshot, total resource cost:\n");
+    TextTable cost_table(analysis::CostHeaders("scope"));
+    analysis::AddCostRow(cost_table, "all regions", rows[i].cost);
+    std::printf("%s", cost_table.Render().c_str());
+  }
+  return 0;
+}

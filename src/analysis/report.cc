@@ -46,6 +46,24 @@ TextTable CdfCurveTable(const std::string& x_header, const stats::Ecdf& ecdf, in
   return table;
 }
 
+std::vector<std::string> CostHeaders(const std::string& label_header) {
+  return {label_header, "pod_hours", "warm_idle_hours", "idle_frac",
+          "snapshot_gb_hours", "scratch_creations"};
+}
+
+void AddCostRow(TextTable& table, const std::string& label,
+                const trace::RegionCostRecord& cost) {
+  const double pod_hours = cost.pod_seconds() / 3600.0;
+  const double idle_hours = cost.warm_idle_seconds() / 3600.0;
+  table.Row()
+      .Cell(label)
+      .Cell(pod_hours, 2)
+      .Cell(idle_hours, 2)
+      .Cell(pod_hours > 0 ? idle_hours / pod_hours : 0.0, 3)
+      .Cell(cost.snapshot_mb_seconds() / (1024.0 * 3600.0), 2)
+      .Cell(static_cast<uint64_t>(cost.scratch_creations));
+}
+
 TextTable CorrelationTable(const std::vector<std::string>& names,
                            const std::vector<std::vector<stats::CorrelationResult>>& m) {
   COLDSTART_CHECK_EQ(names.size(), m.size());

@@ -10,6 +10,7 @@
 #include "common/table.h"
 #include "stats/correlation.h"
 #include "stats/ecdf.h"
+#include "trace/records.h"
 
 namespace coldstart::analysis {
 
@@ -33,6 +34,14 @@ TextTable CdfCurveTable(const std::string& x_header, const stats::Ecdf& ecdf,
 // suffix like the paper's Figure 12.
 TextTable CorrelationTable(const std::vector<std::string>& names,
                            const std::vector<std::vector<stats::CorrelationResult>>& m);
+
+// Resource-cost rows (platform::ResourceCostLedger records): pod-hours of total
+// pod lifetime, warm-idle-hours spent holding requests nobody sent, snapshot
+// GB-hours of resident snapshot memory, and from-scratch pod creations. The
+// table must have been created with CostHeaders().
+std::vector<std::string> CostHeaders(const std::string& label_header);
+void AddCostRow(TextTable& table, const std::string& label,
+                const trace::RegionCostRecord& cost);
 
 }  // namespace coldstart::analysis
 

@@ -13,13 +13,14 @@ namespace coldstart::checkpoint {
 
 namespace {
 
-// "cckpt_v3" / "cmnft_v3", little-endian. Checkpoint v3 serializes the
-// LogHistogram latency sum as a 128-bit fixed-point integer (two U64 words)
-// instead of an F64, matching the shard-merge-order-invariant accumulator;
-// manifest v3 adds the shards_per_region field for sub-region sharding. Older
-// files encode different layouts and are rejected here as "bad magic" rather
-// than half-restored.
-constexpr uint64_t kCheckpointMagic = 0x33765F74706B6363ull;
+// "cckpt_v4" / "cmnft_v3", little-endian. Checkpoint v4 frames the cold-start
+// model layer into the platform payload — per-(region, cell) model identity plus
+// a mutable-state blob, the resource-cost ledger's 128-bit sums, and the per-pod
+// warm-idle accumulator. (v3 switched the LogHistogram latency sum to 128-bit
+// fixed point; manifest v3 added shards_per_region and is layout-unchanged by
+// v4.) Older files encode different layouts and are rejected here as "bad
+// magic" rather than half-restored.
+constexpr uint64_t kCheckpointMagic = 0x34765F74706B6363ull;
 constexpr uint64_t kManifestMagic = 0x33765F74666E6D63ull;
 
 [[noreturn]] void Corrupt(const std::string& path, const char* what) {

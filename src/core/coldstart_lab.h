@@ -22,12 +22,14 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "core/sweep.h"
+#include "platform/provider_models.h"
 #include "policy/composite.h"
 #include "policy/cross_region.h"
 #include "policy/keepalive.h"
 #include "policy/peak_shaving.h"
 #include "policy/pool_prediction.h"
 #include "policy/prewarm.h"
+#include "policy/provisioned.h"
 #include "policy/workflow_prewarm.h"
 #include "workload/replay_source.h"
 #include "workload/workload_source.h"

@@ -61,6 +61,7 @@ void ResizeStats(ExperimentResult& result, size_t regions) {
   result.delayed_allocations.assign(regions, 0);
   result.scratch_allocations.assign(regions, 0);
   result.cold_start_latency_sum_us.assign(regions, 0);
+  result.cost_ledger = platform::ResourceCostLedger(regions);
 }
 
 // --- Checkpoint plumbing -----------------------------------------------------
@@ -462,6 +463,7 @@ ExperimentResult Experiment::RunSerial(platform::PlatformPolicy* policy,
   for (size_t r = 0; r < profiles.size(); ++r) {
     CollectRegionStats(platform, static_cast<trace::RegionId>(r), result);
   }
+  result.cost_ledger.MergeFrom(platform.cost_ledger());
   result.events_processed = sim.events_processed();
   result.sim_wall_seconds =
       // LINT-ALLOW(wall-clock): diagnostics-only wall timing for sim_wall_seconds; never reaches traces or aggregates
@@ -551,6 +553,7 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
     int64_t delayed_allocations = 0;
     int64_t scratch_allocations = 0;
     int64_t cold_start_latency_sum_us = 0;
+    platform::ResourceCostLedger cost_ledger;
   };
   std::vector<ShardOutcome> shards(num_shards);
   ResizeStats(result, regions);
@@ -641,6 +644,7 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
       shards[s].scratch_allocations = platform.scratch_allocations(region);
       shards[s].cold_start_latency_sum_us =
           platform.cold_start_latency_sum_us(region);
+      shards[s].cost_ledger = platform.cost_ledger();
     });
   }
   sweep.Run();
@@ -682,6 +686,9 @@ ExperimentResult Experiment::RunSharded(platform::PlatformPolicy* policy,
     result.delayed_allocations[region] += shards[s].delayed_allocations;
     result.scratch_allocations[region] += shards[s].scratch_allocations;
     result.cold_start_latency_sum_us[region] += shards[s].cold_start_latency_sum_us;
+    // Integer (and 128-bit fixed-point) adds: fold order cannot change the sums,
+    // so the merged ledger matches the serial run bit for bit.
+    result.cost_ledger.MergeFrom(shards[s].cost_ledger);
   }
   if (result.interrupted_at_day < 0) {
     result.store.Seal();
@@ -724,11 +731,12 @@ ExperimentResult Experiment::RunCached(const std::string& cache_dir,
   COLDSTART_CHECK(config_.trace_mode == TraceMode::kFull &&
                   "RunCached requires TraceMode::kFull");
   namespace fs = std::filesystem;
-  // v5 filename scheme, bumped with the fingerprint salt: v5 folds
-  // cells_per_region into the fingerprint (a cells > 1 run is a different
-  // scenario), so files written under the older schemes are never picked up.
+  // v6 filename scheme, bumped with the fingerprint salt: v6 folds the
+  // per-profile cold-start model selection into the fingerprint and persists
+  // the resource-cost ledger, so files written under the older schemes are
+  // never picked up.
   char name[64];
-  std::snprintf(name, sizeof(name), "scenario_v5_%016" PRIx64 ".bin",
+  std::snprintf(name, sizeof(name), "scenario_v6_%016" PRIx64 ".bin",
                 config_.Fingerprint());
   const std::string path = (fs::path(cache_dir) / name).string();
 
@@ -747,6 +755,11 @@ ExperimentResult Experiment::RunCached(const std::string& cache_dir,
       result.cold_start_latency_sum_us =
           std::move(aggregates.cold_start_latency_sum_us);
       result.events_processed = aggregates.events_processed;
+      if (!aggregates.cost_ledger.empty()) {
+        ByteReader cost(aggregates.cost_ledger);
+        result.cost_ledger.RestoreState(cost);
+        COLDSTART_CHECK(cost.AtEnd());
+      }
       return result;
     }
     // Corrupt or stale-format cache: fall through to a fresh run and rewrite.
@@ -761,6 +774,11 @@ ExperimentResult Experiment::RunCached(const std::string& cache_dir,
   aggregates.scratch_allocations = result.scratch_allocations;
   aggregates.cold_start_latency_sum_us = result.cold_start_latency_sum_us;
   aggregates.events_processed = result.events_processed;
+  {
+    ByteWriter cost;
+    result.cost_ledger.SaveState(cost);
+    aggregates.cost_ledger = cost.Take();
+  }
   if (!trace::WriteBinaryTrace(result.store, path, &aggregates)) {
     std::fprintf(stderr, "warning: failed to write trace cache at %s\n", path.c_str());
   }

@@ -86,6 +86,10 @@ struct ExperimentResult {
   std::vector<int64_t> delayed_allocations;
   std::vector<int64_t> scratch_allocations;   // Pool misses.
   std::vector<int64_t> cold_start_latency_sum_us;
+  // Resource-cost ledger (pod-seconds, warm-idle, snapshot MB·s, from-scratch
+  // creations), merged from shards by exact integer addition — bit-identical at
+  // any thread count, and restored from the cache file on cache hits.
+  platform::ResourceCostLedger cost_ledger;
   // Total simulator events. Note: a sharded run processes a handful more events
   // than a serial one (per-shard day starters and policy ticks); the traces and the
   // per-region aggregates above are nevertheless identical.

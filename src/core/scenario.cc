@@ -100,6 +100,14 @@ uint64_t MixProfile(uint64_t h, const workload::RegionProfile& p) {
   }
   h = MixDouble(h, p.pool_refill_per_min);
   h = MixArchitecture(h, p.arch);
+  // Cold-start model selection: a different model (or snapshot-restore setting)
+  // produces a different trace, so it must invalidate caches and checkpoints.
+  h = MixHash(h, static_cast<uint64_t>(p.model.kind));
+  h = MixHash(h, p.model.snapshot_restore ? 1 : 0);
+  h = MixDouble(h, p.model.restore_base_s);
+  h = MixDouble(h, p.model.restore_bandwidth_mb_per_s);
+  h = MixDouble(h, p.model.restore_sigma);
+  h = MixDouble(h, p.model.snapshot_memory_mb);
   h = MixDouble(h, p.inter_region_rtt_ms);
   h = MixDouble(h, p.single_cluster_fraction);
   return h;
@@ -133,9 +141,11 @@ uint64_t ScenarioConfig::Fingerprint() const {
   // every cache file written under an older, under-hashed fingerprint. v3 added
   // the workload-source hash (synthetic vs replay, and the replayed events); v4
   // added the trace mode — checkpoints are keyed by the fingerprint, and a
-  // streaming checkpoint cannot resume a full-trace run or vice versa; v5 adds
-  // cells_per_region — per-cell pools/loads change the generated trace.
-  uint64_t h = MixHash(HashString("scenario-fingerprint-v5"), seed);
+  // streaming checkpoint cannot resume a full-trace run or vice versa; v5 added
+  // cells_per_region — per-cell pools/loads change the generated trace; v6 adds
+  // the per-profile cold-start model selection (provider presets, snapshot
+  // restore) and covers the v4 checkpoint layout with its cost ledger.
+  uint64_t h = MixHash(HashString("scenario-fingerprint-v6"), seed);
   h = MixHash(h, static_cast<uint64_t>(days));
   h = MixDouble(h, scale);
   h = MixHash(h, record_requests ? 1 : 0);

@@ -1,0 +1,81 @@
+// The cold-start model layer: a pluggable interface over the paper's 4-component
+// pipeline (Figure 2), so the same workload can be priced on different provider
+// architectures (AWS-like, GCP-like, Azure-like) or under snapshot/restore.
+//
+// The concrete YuanRong calibration lives in coldstart_pipeline.h (`YuanRongModel`,
+// the default); provider presets and the snapshot decorator in provider_models.h.
+// Model selection is part of the scenario fingerprint (workload/region_profile.h
+// `ColdStartModelConfig`), and model identity plus any mutable model state is
+// framed into checkpoints — see docs/determinism.md.
+#ifndef COLDSTART_PLATFORM_COLDSTART_MODEL_H_
+#define COLDSTART_PLATFORM_COLDSTART_MODEL_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/byte_serde.h"
+#include "platform/load_state.h"
+#include "platform/resource_pool.h"
+#include "workload/function_model.h"
+
+namespace coldstart::platform {
+
+struct ColdStartComponents {
+  SimDuration pod_alloc = 0;
+  SimDuration deploy_code = 0;
+  SimDuration deploy_dep = 0;
+  SimDuration scheduling = 0;
+  int pool_stage = 1;
+  bool from_scratch = false;
+
+  SimDuration total() const { return pod_alloc + deploy_code + deploy_dep + scheduling; }
+};
+
+// One cold-start model instance exists per (region, cell): Platform constructs a
+// fresh instance for every capacity cell (and every shard platform re-creates its
+// own), so mutable model state is automatically cell-scoped and serial ==
+// region-sharded == sub-region-sharded runs stay bit-identical — the same
+// contract policies satisfy through CloneForShard.
+//
+// Contract (mirrors policy_hooks.h):
+//  - Compute draws all randomness from the `rng` argument, in a fixed order per
+//    call; no wall clock, no ambient RNG.
+//  - Compute is deliberately non-const: models may mutate both the pool (through
+//    Acquire) and their own state (e.g. the snapshot decorator's restore
+//    counter). Stateless models stay trivially cloneable.
+//  - Mutable state must round-trip through SaveModelState/RestoreModelState with
+//    deterministic (sorted, bit-pattern) serialization; checkpoints frame the
+//    blob per (region, cell) together with name() and refuse to restore under a
+//    different model (lint:policy-hooks and lint:serde-pair watch subclasses).
+class ColdStartModel {
+ public:
+  virtual ~ColdStartModel() = default;
+
+  // Computes component times for one cold start of `spec` at `now`, drawing a pod
+  // from `pool` (mutates pool occupancy).
+  virtual ColdStartComponents Compute(const workload::FunctionSpec& spec,
+                                      ResourcePool& pool, const RegionLoadState& load,
+                                      SimTime now, Rng& rng) = 0;
+
+  // Stable identity written into checkpoints and compared on restore. Must be a
+  // pure function of the model's configuration (never of accumulated state).
+  virtual std::string_view name() const = 0;
+
+  // A fresh instance with identical configuration and default-initialized mutable
+  // state, used to stamp out one instance per capacity cell.
+  virtual std::unique_ptr<ColdStartModel> Clone() const = 0;
+
+  // Per-pod resident memory surcharge in MB (0 for models that keep nothing
+  // warm). The cost ledger integrates it over each pod's lifetime into
+  // snapshot-memory MB·s.
+  virtual double snapshot_memory_mb_per_pod() const { return 0.0; }
+
+  // Serde for mutable model state only (configuration is re-created from the
+  // scenario). The default empty pair is correct for stateless models.
+  virtual void SaveModelState(ByteWriter& w) const { (void)w; }
+  virtual void RestoreModelState(ByteReader& r) { (void)r; }
+};
+
+}  // namespace coldstart::platform
+
+#endif  // COLDSTART_PLATFORM_COLDSTART_MODEL_H_

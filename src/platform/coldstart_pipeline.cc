@@ -20,11 +20,11 @@ SimDuration Dur(double seconds) {
 
 }  // namespace
 
-ColdStartPipeline::ColdStartPipeline(const workload::RegionProfile& profile,
-                                     const workload::Calendar& calendar)
+YuanRongModel::YuanRongModel(const workload::RegionProfile& profile,
+                             const workload::Calendar& calendar)
     : profile_(profile), calendar_(calendar) {}
 
-double ColdStartPipeline::PostHolidayDepMultiplier(SimTime now) const {
+double YuanRongModel::PostHolidayDepMultiplier(SimTime now) const {
   const int64_t day = DayIndex(now);
   const int64_t since = calendar_.DaysSinceHolidayEnd(day);
   if (since < 0) {
@@ -35,10 +35,10 @@ double ColdStartPipeline::PostHolidayDepMultiplier(SimTime now) const {
   return 1.0 + extra;
 }
 
-ColdStartComponents ColdStartPipeline::Compute(const workload::FunctionSpec& spec,
-                                               ResourcePool& pool,
-                                               const RegionLoadState& load, SimTime now,
-                                               Rng& rng) const {
+ColdStartComponents YuanRongModel::Compute(const workload::FunctionSpec& spec,
+                                           ResourcePool& pool,
+                                           const RegionLoadState& load, SimTime now,
+                                           Rng& rng) {
   const auto& arch = profile_.arch;
   const workload::RuntimeTraits& traits = workload::TraitsOf(spec.runtime);
   ColdStartComponents out;

@@ -1,4 +1,4 @@
-// The cold-start pipeline: computes the four component latencies of Figure 2.
+// The default cold-start model: the YuanRong-calibrated pipeline of Figure 2.
 //
 // Component model (per DESIGN.md §5):
 //   pod allocation  = staged pool search (depth from live pool occupancy) or
@@ -11,36 +11,42 @@
 //   scheduling      = base x runtime placement factor + queueing term per in-flight
 //                     cold start.
 // All noise is multiplicative LogNormal so components stay positive and long-tailed.
+//
+// This is one implementation of the ColdStartModel interface (coldstart_model.h);
+// the provider presets in provider_models.h reuse the same engine with published
+// AWS/GCP/Azure latency constants.
 #ifndef COLDSTART_PLATFORM_COLDSTART_PIPELINE_H_
 #define COLDSTART_PLATFORM_COLDSTART_PIPELINE_H_
 
-#include "platform/load_state.h"
-#include "platform/resource_pool.h"
+#include <memory>
+#include <string_view>
+
+#include "platform/coldstart_model.h"
 #include "workload/calendar.h"
 #include "workload/region_profile.h"
 
 namespace coldstart::platform {
 
-struct ColdStartComponents {
-  SimDuration pod_alloc = 0;
-  SimDuration deploy_code = 0;
-  SimDuration deploy_dep = 0;
-  SimDuration scheduling = 0;
-  int pool_stage = 1;
-  bool from_scratch = false;
-
-  SimDuration total() const { return pod_alloc + deploy_code + deploy_dep + scheduling; }
-};
-
-class ColdStartPipeline {
+class YuanRongModel : public ColdStartModel {
  public:
-  ColdStartPipeline(const workload::RegionProfile& profile,
-                    const workload::Calendar& calendar);
+  YuanRongModel(const workload::RegionProfile& profile,
+                const workload::Calendar& calendar);
 
-  // Computes component times for one cold start of `spec` at `now`, drawing a pod from
-  // `pool` (mutates pool occupancy).
+  // Draws from `rng` in a fixed order (alloc noise, optional http noise, congestion
+  // uniform, code noise, optional dep noise, sched noise, queue uniform) — the
+  // golden trace digest pins this order bit for bit.
   ColdStartComponents Compute(const workload::FunctionSpec& spec, ResourcePool& pool,
-                              const RegionLoadState& load, SimTime now, Rng& rng) const;
+                              const RegionLoadState& load, SimTime now,
+                              Rng& rng) override;
+
+  std::string_view name() const override { return "yuanrong"; }
+  std::unique_ptr<ColdStartModel> Clone() const override {
+    return std::make_unique<YuanRongModel>(*this);
+  }
+  // profile_/calendar_ are construction-time configuration, not mutable state, so
+  // the inherited empty SaveModelState/RestoreModelState pair is correct.
+  void SaveModelState(ByteWriter& w) const override { (void)w; }
+  void RestoreModelState(ByteReader& r) override { (void)r; }
 
  private:
   // Multiplier > 1 on dependency deployment right after the holiday (cold caches and

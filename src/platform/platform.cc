@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "platform/provider_models.h"
 
 namespace coldstart::platform {
 
@@ -76,11 +77,15 @@ Platform::Platform(const workload::Population& population,
   }
   next_pod_seq_.assign(num_states, 0);
   next_request_seq_.assign(num_states, 0);
-  pipelines_.reserve(profiles_.size());
+  models_.reserve(num_states);
   pools_.reserve(num_states);
   for (const auto& profile : profiles_) {
-    pipelines_.emplace_back(profile, calendar_);
     for (uint32_t cell = 0; cell < cells_; ++cell) {
+      // One model instance per cell (not per region): any mutable model state is
+      // cell-scoped, so serial and sub-region-sharded runs accumulate it
+      // identically. Stateless models make the per-cell copies indistinguishable
+      // from the old one-pipeline-per-region layout.
+      models_.push_back(MakeColdStartModel(profile, calendar_));
       std::vector<ResourcePool> cell_pools;
       cell_pools.reserve(trace::kNumResourceConfigs);
       for (int c = 0; c < trace::kNumResourceConfigs; ++c) {
@@ -99,6 +104,7 @@ Platform::Platform(const workload::Population& population,
   loads_.resize(num_states);
   visible_cold_starts_.assign(profiles_.size(), 0);
   cold_start_latency_sum_us_.assign(profiles_.size(), 0);
+  cost_ledger_ = ResourceCostLedger(profiles_.size());
   states_.resize(population_.functions.size());
 
   // Function-level table (one row per function, like the paper's third stream).
@@ -414,8 +420,11 @@ Pod* Platform::StartColdStart(const FunctionSpec& spec, RegionId region, bool pr
   ResourcePool& pool = pools_[idx][static_cast<size_t>(spec.config)];
   load.ObserveColdStart(now);  // The event contributes to its own congestion window.
   ColdStartComponents comp =
-      pipelines_[region].Compute(spec, pool, load, now, rng(region, cell));
+      models_[idx]->Compute(spec, pool, load, now, rng(region, cell));
   comp.scheduling += extra_sched_us;
+  if (comp.from_scratch) {
+    cost_ledger_.AddScratchCreation(region);
+  }
 
   auto [pod, handle] = pod_slab_.Allocate();
   if (pod_hot_.size() < pod_slab_.capacity()) {
@@ -489,11 +498,15 @@ sim::Simulator::Handler Platform::MakeLoadDecrementHandler(size_t load_index,
 
 void Platform::AssignRequest(Pod* pod, const FunctionSpec& spec, SimTime arrival) {
   PodHot& h = hot(*pod);
+  const SimTime exec_start = std::max(arrival, h.ready_time);
+  if (h.slots_used == 0 && exec_start > h.last_busy_end) {
+    // The pod sat warm and empty from its last busy end until this request;
+    // the interval is warm-idle capacity the cost ledger charges at death.
+    pod->idle_us += exec_start - h.last_busy_end;
+  }
   ++h.slots_used;
   // Any pending keep-alive is void: the pod is busy again.
   ++pod->keepalive_gen;
-
-  const SimTime exec_start = std::max(arrival, h.ready_time);
   double exec_us = std::exp(std::log(spec.exec_median_us) +
                             spec.exec_sigma *
                                 rng(pod->region, CellOf(spec.id)).NextGaussian());
@@ -651,6 +664,19 @@ void Platform::KillPod(Pod* pod, SimTime death_time) {
   rec.cold_start_us = pod->cold_start_us;
   rec.requests_served = pod->served;
   sink_.OnPodLifetime(rec);
+
+  // Resource accounting: lifetime, warm-idle total (completed intervals plus the
+  // final idle tail), and the model's snapshot surcharge over the lifetime. All
+  // integer µs, so the ledger's sums are order-invariant across geometries.
+  const int64_t lifetime_us = death_time - pod->cold_start_begin;
+  int64_t warm_idle_us = pod->idle_us;
+  if (death_time > h.last_busy_end && h.slots_used == 0) {
+    warm_idle_us += death_time - h.last_busy_end;
+  }
+  const double snapshot_mb =
+      models_[StateIndex(pod->region, CellOf(pod->function))]
+          ->snapshot_memory_mb_per_pod();
+  cost_ledger_.AddPodDeath(pod->region, lifetime_us, warm_idle_us, snapshot_mb);
 
   auto& pods = states_[pod->function].pods;
   const auto it = std::find(pods.begin(), pods.end(), pod);
@@ -835,6 +861,19 @@ void Platform::SaveCheckpointState(ByteWriter& w) const {
     }
   }
 
+  // Cold-start models, per (region, cell): identity plus any mutable model
+  // state as a framed blob. Restore re-creates the models from the scenario and
+  // refuses to load state written under a different model.
+  for (const auto& model : models_) {
+    w.Str(std::string(model->name()));
+    ByteWriter mw;
+    model->SaveModelState(mw);
+    w.Str(mw.data());
+  }
+
+  // Resource-cost ledger (order-invariant 128-bit sums, two words each).
+  cost_ledger_.SaveState(w);
+
   // Pod slab: structure, then the alive pods field by field (slot index order).
   // `self` is not written — it is re-derived from (index, generation) on restore.
   SaveSlabStructure(pod_slab_, w);
@@ -857,6 +896,7 @@ void Platform::SaveCheckpointState(ByteWriter& w) const {
     w.U32(p.served);
     w.U64(p.keepalive_gen);
     w.U8(p.prewarmed ? 1 : 0);
+    w.I64(p.idle_us);
     w.U64(p.ready_decr_seq);
     w.I64(p.ka_time);
     w.U64(p.ka_seq);
@@ -982,6 +1022,20 @@ void Platform::RestoreCheckpointState(
     }
   }
 
+  for (auto& model : models_) {
+    // Identity check: the checkpoint must have been written under the same model
+    // configuration this platform was constructed with.
+    const std::string saved_name = r.Str();
+    COLDSTART_CHECK(saved_name == model->name());
+    const std::string model_state = r.Str();
+    ByteReader mr(model_state);
+    model->RestoreModelState(mr);
+    COLDSTART_CHECK(mr.AtEnd());
+  }
+
+  cost_ledger_.RestoreState(r);
+  COLDSTART_CHECK_EQ(cost_ledger_.num_regions(), profiles_.size());
+
   const std::vector<uint32_t> alive_pods = RestoreSlabStructure(pod_slab_, r);
   pod_hot_.assign(pod_slab_.capacity(), PodHot{});
   for (const uint32_t i : alive_pods) {
@@ -1001,6 +1055,7 @@ void Platform::RestoreCheckpointState(
     p.served = r.U32();
     p.keepalive_gen = r.U64();
     p.prewarmed = r.U8() != 0;
+    p.idle_us = r.I64();
     p.ready_decr_seq = r.U64();
     p.ka_time = r.I64();
     p.ka_seq = r.U64();
@@ -1127,6 +1182,12 @@ void Platform::Finalize() {
     // still be executing when the trace ends).
     const PodHot& h = hot(*pod);
     KillPod(pod, std::max({calendar_.horizon(), h.ready_time, h.last_busy_end}));
+  }
+  // Cost-ledger totals, one record per region in index order — after the pod
+  // flush so censored pods are included. Shards emit their partial sums; the
+  // sink-side merge is integer addition, so geometry cannot perturb a bit.
+  for (size_t r = 0; r < profiles_.size(); ++r) {
+    sink_.OnRegionCost(cost_ledger_.region_record(static_cast<trace::RegionId>(r)));
   }
 }
 

@@ -1,7 +1,9 @@
 // The multi-region serverless platform (YuanRong-like; Fig. 2 life cycle).
 //
 // One Platform instance hosts all five regions: per-region resource pools, cold-start
-// pipelines, and load state, plus per-function pod sets with keep-alive management.
+// models (coldstart_model.h; the YuanRong pipeline by default, provider presets and
+// snapshot restore via RegionProfile::model), and load state, plus per-function pod
+// sets with keep-alive management and a per-region resource-cost ledger.
 // Driven by a Simulator; emits the Table 1 trace streams into a TraceSink (an exact
 // TraceStore, or a StreamingAggregates for O(1)-memory runs).
 //
@@ -25,7 +27,8 @@
 #include <vector>
 
 #include "common/byte_serde.h"
-#include "platform/coldstart_pipeline.h"
+#include "platform/coldstart_model.h"
+#include "platform/cost_ledger.h"
 #include "platform/load_state.h"
 #include "platform/pod_slab.h"
 #include "platform/policy_hooks.h"
@@ -55,6 +58,9 @@ struct Pod {
   uint32_t served = 0;
   uint64_t keepalive_gen = 0;
   bool prewarmed = false;
+  // Accumulated warm-idle time (µs): completed idle intervals between busy
+  // periods; the final idle tail is added at death. Feeds the cost ledger.
+  int64_t idle_us = 0;
   // Checkpoint bookkeeping: the (time, seq) keys of this pod's pending events,
   // so a restore can re-queue them under their original total-order positions.
   // ready_decr_seq is the load-decrement event at ready_time (pending iff
@@ -190,6 +196,16 @@ class Platform {
   // unlike load()): what the experiment runner folds into per-region stats.
   int64_t prewarm_spawns(trace::RegionId region) const;
   int64_t delayed_allocations(trace::RegionId region) const;
+  // Resource-cost accumulators (pod-seconds, warm-idle-seconds, snapshot MB·s,
+  // from-scratch creations), per region; order-invariant integer sums so serial
+  // and sharded runs agree bit for bit. Finalize() also emits the totals into
+  // the sink (TraceSink::OnRegionCost).
+  const ResourceCostLedger& cost_ledger() const { return cost_ledger_; }
+  // The (region, cell) cold-start model instance (tests and drivers; cell 0 is
+  // the only cell at the default geometry).
+  const ColdStartModel& coldstart_model(trace::RegionId region, uint32_t cell) const {
+    return *models_[StateIndex(region, cell)];
+  }
 
  private:
   struct FunctionState {
@@ -312,7 +328,9 @@ class Platform {
   Options options_;
   PlatformPolicy* policy_;  // Not owned; may be null.
 
-  std::vector<ColdStartPipeline> pipelines_;                  // Per region.
+  // One model instance per (region, cell), like pools: mutable model state is
+  // cell-scoped so sub-region sharding stays bit-identical (coldstart_model.h).
+  std::vector<std::unique_ptr<ColdStartModel>> models_;       // Per (region, cell).
   std::vector<std::vector<ResourcePool>> pools_;              // [StateIndex][config].
   std::vector<RegionLoadState> loads_;                        // Per (region, cell).
   std::vector<int64_t> visible_cold_starts_;                  // Per region.
@@ -339,6 +357,7 @@ class Platform {
   std::vector<uint64_t> next_request_seq_;      // Per (region, cell) request-id namespace.
 
   // Checkpoint bookkeeping (see the registry comment above).
+  ResourceCostLedger cost_ledger_;        // Per region; order-invariant sums.
   Slab<InFlightRequest> inflight_;        // Pending completion events.
   Slab<PendingInvoke> invokes_;           // Pending child fan-outs / retries.
   uint64_t starter_seq_base_ = 0;         // Seq of day 0's starter event.

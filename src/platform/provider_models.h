@@ -1,0 +1,109 @@
+// Provider cold-start presets and the snapshot/restore decorator.
+//
+// The AWS/GCP/Azure presets reuse the 4-component engine (coldstart_pipeline.h)
+// with architecture constants fitted to published cold/warm latency benchmarks
+// (see the per-preset notes in provider_models.cc). They answer "what would this
+// workload's cold-start picture look like on another platform?" — the same
+// workload, arrival stream, and pool dynamics, priced under a different
+// component-latency architecture.
+//
+// SnapshotRestoreModel wraps any inner model and collapses deploy-code +
+// deploy-dep into a single restore term (checkpoint/restore systems page a
+// pre-initialized sandbox image back in instead of re-deploying), charging a
+// per-pod resident-memory surcharge that the cost ledger integrates over pod
+// lifetimes into snapshot-memory MB·s.
+#ifndef COLDSTART_PLATFORM_PROVIDER_MODELS_H_
+#define COLDSTART_PLATFORM_PROVIDER_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "platform/coldstart_pipeline.h"
+
+namespace coldstart::platform {
+
+// Shared implementation of the provider presets: the YuanRong engine with the
+// preset's ColdStartArchitecture substituted into the region profile. Pool
+// dynamics (sizes, refill) stay the region's own — providers differ in latency
+// architecture, not in this workload's capacity plan.
+class ProviderPresetModel : public ColdStartModel {
+ public:
+  ProviderPresetModel(std::string_view name, const workload::RegionProfile& profile,
+                      const workload::Calendar& calendar,
+                      const workload::ColdStartArchitecture& arch);
+
+  ColdStartComponents Compute(const workload::FunctionSpec& spec, ResourcePool& pool,
+                              const RegionLoadState& load, SimTime now,
+                              Rng& rng) override;
+
+  std::string_view name() const override { return name_; }
+  std::unique_ptr<ColdStartModel> Clone() const override {
+    return std::make_unique<ProviderPresetModel>(*this);
+  }
+  // name_/engine_ are construction-time configuration, not mutable state.
+  void SaveModelState(ByteWriter& w) const override { (void)w; }
+  void RestoreModelState(ByteReader& r) override { (void)r; }
+
+ private:
+  std::string name_;
+  YuanRongModel engine_;
+};
+
+// The published-benchmark architecture constants behind each preset.
+workload::ColdStartArchitecture AwsLikeArchitecture();
+workload::ColdStartArchitecture GcpLikeArchitecture();
+workload::ColdStartArchitecture AzureLikeArchitecture();
+
+std::unique_ptr<ColdStartModel> MakeAwsLikeModel(const workload::RegionProfile& profile,
+                                                 const workload::Calendar& calendar);
+std::unique_ptr<ColdStartModel> MakeGcpLikeModel(const workload::RegionProfile& profile,
+                                                 const workload::Calendar& calendar);
+std::unique_ptr<ColdStartModel> MakeAzureLikeModel(const workload::RegionProfile& profile,
+                                                   const workload::Calendar& calendar);
+
+// Decorator: inner model computes components as usual (including its pool draw),
+// then deploy-code/deploy-dep are replaced by one snapshot-restore term. Carries
+// mutable state (the restore counter) — the checkpoint hooks and lint rule are
+// exercised for real here.
+class SnapshotRestoreModel : public ColdStartModel {
+ public:
+  struct Options {
+    double restore_base_s = 0.15;
+    double restore_bandwidth_mb_per_s = 800;
+    double restore_sigma = 0.25;
+    double snapshot_memory_mb = 128.0;
+  };
+
+  SnapshotRestoreModel(std::unique_ptr<ColdStartModel> inner, const Options& options);
+
+  ColdStartComponents Compute(const workload::FunctionSpec& spec, ResourcePool& pool,
+                              const RegionLoadState& load, SimTime now,
+                              Rng& rng) override;
+
+  std::string_view name() const override { return name_; }
+  std::unique_ptr<ColdStartModel> Clone() const override;
+  double snapshot_memory_mb_per_pod() const override {
+    return options_.snapshot_memory_mb;
+  }
+  void SaveModelState(ByteWriter& w) const override;
+  void RestoreModelState(ByteReader& r) override;
+
+  int64_t restores() const { return restores_; }
+
+ private:
+  std::unique_ptr<ColdStartModel> inner_;
+  Options options_;
+  std::string name_;  // "snapshot(<inner>)" — configuration-derived identity.
+  int64_t restores_ = 0;
+};
+
+// Builds the model a region profile asks for: the kind preset, wrapped in
+// SnapshotRestoreModel when `profile.model.snapshot_restore` is set. Platform
+// calls this once per (region, cell).
+std::unique_ptr<ColdStartModel> MakeColdStartModel(const workload::RegionProfile& profile,
+                                                   const workload::Calendar& calendar);
+
+}  // namespace coldstart::platform
+
+#endif  // COLDSTART_PLATFORM_PROVIDER_MODELS_H_

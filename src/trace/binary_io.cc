@@ -17,7 +17,9 @@ namespace {
 // v5 adds a CRC32 over every post-header byte (in reserved0) and atomic
 // (tmp + fsync + rename) writes, so a torn or bit-flipped cache file is
 // rejected loudly instead of feeding corrupt records into an analysis.
-constexpr uint64_t kMagic = 0x434C5342'00000005ull;  // "CSLB" + format version.
+// v6 appends the resource-cost ledger as an opaque length-prefixed blob
+// (cost_blob_size in the header) so cache hits restore cost data too.
+constexpr uint64_t kMagic = 0x434C5342'00000006ull;  // "CSLB" + format version.
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -37,17 +39,20 @@ struct Header {
   uint64_t pod_count = 0;
   // Regions covered by the aggregate block; 0 = no block present.
   uint64_t aggregate_region_count = 0;
+  // Bytes of the opaque cost-ledger blob trailing the aggregate block (v6);
+  // 0 = no blob.
+  uint64_t cost_blob_size = 0;
   uint32_t request_size = sizeof(RequestRecord);
   uint32_t cold_start_size = sizeof(ColdStartRecord);
   uint32_t function_size = sizeof(FunctionRecord);
   uint32_t pod_size = sizeof(PodLifetimeRecord);
   // CRC32 over every byte after the header, in file order (v5). The second
-  // word stays reserved and keeps sizeof(Header) == 80 with no trailing
+  // word stays reserved and keeps sizeof(Header) == 88 with no trailing
   // padding, so fwrite of the whole struct never emits indeterminate bytes.
   uint32_t payload_crc = 0;
   uint32_t reserved1 = 0;
 };
-static_assert(sizeof(Header) == 7 * sizeof(uint64_t) + 6 * sizeof(uint32_t),
+static_assert(sizeof(Header) == 8 * sizeof(uint64_t) + 6 * sizeof(uint32_t),
               "Header must be padding-free: it is written raw to disk");
 
 // The aggregate block is kNumAggregateSeries int64 arrays of aggregate_region_count
@@ -84,6 +89,9 @@ bool ExpectedFileSize(const Header& h, uint64_t* size) {
         !AccumulateArrayBytes(&total, 1, sizeof(uint64_t))) {
       return false;
     }
+  }
+  if (!AccumulateArrayBytes(&total, h.cost_blob_size, 1)) {
+    return false;
   }
   *size = total;
   return true;
@@ -124,6 +132,7 @@ bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
   h.pod_count = store.pods().size();
   h.aggregate_region_count =
       aggregates != nullptr ? aggregates->visible_cold_starts.size() : 0;
+  h.cost_blob_size = aggregates != nullptr ? aggregates->cost_ledger.size() : 0;
   if (h.aggregate_region_count > 0) {
     const size_t n = aggregates->visible_cold_starts.size();
     if (aggregates->prewarm_spawns.size() != n ||
@@ -147,6 +156,9 @@ bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
     crc = CrcArray(aggregates->cold_start_latency_sum_us, crc);
     crc = Crc32(&aggregates->events_processed, sizeof(uint64_t), crc);
   }
+  if (h.cost_blob_size > 0) {
+    crc = Crc32(aggregates->cost_ledger.data(), aggregates->cost_ledger.size(), crc);
+  }
   h.payload_crc = crc;
 
   // Atomic replacement: a crash mid-write leaves the previous cache file (or
@@ -168,6 +180,10 @@ bool WriteBinaryTrace(const TraceStore& store, const std::string& path,
         !f.Write(&aggregates->events_processed, sizeof(uint64_t))) {
       return false;
     }
+  }
+  if (h.cost_blob_size > 0 &&
+      !f.Write(aggregates->cost_ledger.data(), aggregates->cost_ledger.size())) {
+    return false;
   }
   return f.Commit();
 }
@@ -220,6 +236,13 @@ bool ReadBinaryTrace(const std::string& path, TraceStore& store,
       return false;
     }
   }
+  if (h.cost_blob_size > 0) {
+    agg.cost_ledger.resize(h.cost_blob_size);
+    if (std::fread(agg.cost_ledger.data(), 1, h.cost_blob_size, f.get()) !=
+        h.cost_blob_size) {
+      return false;
+    }
+  }
   // The size check above already pinned the payload length; confirm we are exactly
   // at EOF so a short read cannot slip through.
   if (std::fgetc(f.get()) != EOF) {
@@ -239,6 +262,9 @@ bool ReadBinaryTrace(const std::string& path, TraceStore& store,
     crc = CrcArray(agg.scratch_allocations, crc);
     crc = CrcArray(agg.cold_start_latency_sum_us, crc);
     crc = Crc32(&agg.events_processed, sizeof(uint64_t), crc);
+  }
+  if (h.cost_blob_size > 0) {
+    crc = Crc32(agg.cost_ledger.data(), agg.cost_ledger.size(), crc);
   }
   if (crc != h.payload_crc) {
     std::fprintf(stderr,

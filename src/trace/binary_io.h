@@ -25,6 +25,10 @@ struct TraceAggregates {
   std::vector<int64_t> scratch_allocations;
   std::vector<int64_t> cold_start_latency_sum_us;
   uint64_t events_processed = 0;
+  // Opaque resource-cost ledger state (platform::ResourceCostLedger::SaveState
+  // bytes). The trace layer cannot depend on platform/, so it round-trips the
+  // blob verbatim; empty = the file predates cost tracking or carried none.
+  std::string cost_ledger;
 };
 
 // Writes the whole store (and, when given, the aggregate block); returns false on

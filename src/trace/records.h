@@ -70,6 +70,25 @@ struct PodLifetimeRecord {
   uint32_t requests_served = 0;
 };
 
+// Resource-cost totals for one region, emitted once per region at Finalize by
+// the platform's ResourceCostLedger (simulator-internal; not part of the paper's
+// dataset schema). The accumulators are order-invariant integer sums — exact
+// microsecond counts plus one 2^-20 fixed-point MB·s sum — carried as 128-bit
+// values so shard merges are plain additions that commute bit for bit.
+struct RegionCostRecord {
+  RegionId region = 0;
+  __int128 pod_us = 0;             // Σ pod lifetime (cold-start begin → death), µs.
+  __int128 warm_idle_us = 0;       // Σ time pods sat warm with zero requests, µs.
+  __int128 snapshot_mb_us_fp = 0;  // Σ snapshot MB × lifetime µs, in 2^-20 units.
+  int64_t scratch_creations = 0;   // From-scratch pod creations (incl. custom images).
+
+  double pod_seconds() const { return static_cast<double>(pod_us) * 1e-6; }
+  double warm_idle_seconds() const { return static_cast<double>(warm_idle_us) * 1e-6; }
+  double snapshot_mb_seconds() const {
+    return static_cast<double>(snapshot_mb_us_fp) / (1048576.0 * 1e6);
+  }
+};
+
 // Reproduces the dataset's hashed-ID form for CSV export ("a3f9..." style, 16 hex chars).
 std::string HashedId(uint64_t raw);
 

@@ -114,6 +114,14 @@ void StreamingAggregates::OnHorizon(SimTime horizon) {
   horizon_ = std::max(horizon_, horizon);
 }
 
+void StreamingAggregates::OnRegionCost(const RegionCostRecord& r) {
+  RegionCostRecord& cost = Slot(r.region).cost;
+  cost.pod_us += r.pod_us;
+  cost.warm_idle_us += r.warm_idle_us;
+  cost.snapshot_mb_us_fp += r.snapshot_mb_us_fp;
+  cost.scratch_creations += r.scratch_creations;
+}
+
 void StreamingAggregates::MergeFrom(const StreamingAggregates& other) {
   // Function tables are replicated per shard, never concatenated: either side may
   // be empty (a sink that saw no function records), otherwise they must agree —
@@ -139,6 +147,10 @@ void StreamingAggregates::MergeFrom(const StreamingAggregates& other) {
     }
     // Shards register the full population each: keep the max, don't add.
     dst.functions = std::max(dst.functions, src.functions);
+    dst.cost.pod_us += src.cost.pod_us;
+    dst.cost.warm_idle_us += src.cost.warm_idle_us;
+    dst.cost.snapshot_mb_us_fp += src.cost.snapshot_mb_us_fp;
+    dst.cost.scratch_creations += src.cost.scratch_creations;
   }
   horizon_ = std::max(horizon_, other.horizon_);
 }
@@ -165,6 +177,33 @@ void RestoreCounters(ByteReader& r, StreamCounters& c) {
   c.pod_requests_served = r.U64();
 }
 
+// 128-bit cost sums travel as two U64 words (lo, hi), the histogram-sum idiom.
+void WriteI128(ByteWriter& w, __int128 v) {
+  w.U64(static_cast<uint64_t>(static_cast<unsigned __int128>(v)));
+  w.U64(static_cast<uint64_t>(static_cast<unsigned __int128>(v) >> 64));
+}
+
+__int128 ReadI128(ByteReader& r) {
+  const uint64_t lo = r.U64();
+  const uint64_t hi = r.U64();
+  return static_cast<__int128>((static_cast<unsigned __int128>(hi) << 64) |
+                               static_cast<unsigned __int128>(lo));
+}
+
+void SaveCost(ByteWriter& w, const RegionCostRecord& c) {
+  WriteI128(w, c.pod_us);
+  WriteI128(w, c.warm_idle_us);
+  WriteI128(w, c.snapshot_mb_us_fp);
+  w.I64(c.scratch_creations);
+}
+
+void RestoreCost(ByteReader& r, RegionCostRecord& c) {
+  c.pod_us = ReadI128(r);
+  c.warm_idle_us = ReadI128(r);
+  c.snapshot_mb_us_fp = ReadI128(r);
+  c.scratch_creations = r.I64();
+}
+
 }  // namespace
 
 void StreamingAggregates::SaveState(ByteWriter& w) const {
@@ -176,6 +215,7 @@ void StreamingAggregates::SaveState(ByteWriter& w) const {
   w.U64(regions_.size());
   for (const RegionSlot& slot : regions_) {
     SaveCounters(w, slot.counters);
+    SaveCost(w, slot.cost);
     w.U64(slot.functions);
     slot.cold_start_hist.SaveState(w);
     slot.request_hist.SaveState(w);
@@ -198,6 +238,7 @@ void StreamingAggregates::RestoreState(ByteReader& r) {
   regions_.resize(r.U64());
   for (RegionSlot& slot : regions_) {
     RestoreCounters(r, slot.counters);
+    RestoreCost(r, slot.cost);
     slot.functions = r.U64();
     slot.cold_start_hist.RestoreState(r);
     slot.request_hist.RestoreState(r);
@@ -220,6 +261,23 @@ const StreamCounters& StreamingAggregates::region(RegionId region) const {
 const StreamCounters& StreamingAggregates::group(RegionId region,
                                                  TriggerGroup group) const {
   return SlotOrEmpty(region).group_counters[static_cast<size_t>(group)];
+}
+
+RegionCostRecord StreamingAggregates::region_cost(RegionId region) const {
+  RegionCostRecord out = SlotOrEmpty(region).cost;
+  out.region = region;
+  return out;
+}
+
+RegionCostRecord StreamingAggregates::TotalCost() const {
+  RegionCostRecord total;
+  for (const RegionSlot& slot : regions_) {
+    total.pod_us += slot.cost.pod_us;
+    total.warm_idle_us += slot.cost.warm_idle_us;
+    total.snapshot_mb_us_fp += slot.cost.snapshot_mb_us_fp;
+    total.scratch_creations += slot.cost.scratch_creations;
+  }
+  return total;
 }
 
 StreamCounters StreamingAggregates::Totals() const {

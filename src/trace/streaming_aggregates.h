@@ -51,6 +51,8 @@ class StreamingAggregates final : public TraceSink {
   void OnColdStart(const ColdStartRecord& r) override;
   void OnPodLifetime(const PodLifetimeRecord& r) override;
   void OnHorizon(SimTime horizon) override;
+  // Cost-ledger totals (one record per region at Finalize); shard partials add.
+  void OnRegionCost(const RegionCostRecord& r) override;
 
   // Merges another shard of the same scenario. Shards carry identical function
   // tables (every shard's platform registers the full population); event state is
@@ -70,6 +72,11 @@ class StreamingAggregates final : public TraceSink {
   // Cross-region rollups, folded in region-index order.
   StreamCounters Totals() const;
   StreamCounters GroupTotals(TriggerGroup group) const;
+
+  // Resource-cost totals (platform/cost_ledger.h) as delivered via OnRegionCost.
+  // Zero-valued for runs that never finalized a platform into this sink.
+  RegionCostRecord region_cost(RegionId region) const;
+  RegionCostRecord TotalCost() const;
 
   // Histograms record seconds. Cold-start latency spans 1ms..10^4s, request
   // execution 10us..10^4s, pod lifetime 10ms..10^9s (decades beyond a year).
@@ -102,6 +109,9 @@ class StreamingAggregates final : public TraceSink {
     LogHistogram pod_lifetime_hist;
     std::array<LogHistogram, kNumTriggerGroups> group_cold_start_hists;
     uint64_t functions = 0;
+    // Order-invariant 128-bit cost sums (see RegionCostRecord); plain addition
+    // on merge, so shard partials fold exactly.
+    RegionCostRecord cost;
   };
 
   RegionSlot& Slot(RegionId region);

@@ -11,7 +11,9 @@
 // OnRequest/OnColdStart/OnPodLifetime arrive in simulation emission order, which for
 // any single region is identical between a serial run and that region's shard — the
 // invariant that lets per-region streaming accumulators merge deterministically.
-// OnHorizon is called once per run, at Finalize().
+// OnHorizon is called once per run, at Finalize(). OnRegionCost arrives after it,
+// once per region in region-index order, carrying the resource-cost ledger totals;
+// the default no-op keeps sinks that only care about Table 1 records unchanged.
 #ifndef COLDSTART_TRACE_TRACE_SINK_H_
 #define COLDSTART_TRACE_TRACE_SINK_H_
 
@@ -28,6 +30,9 @@ class TraceSink {
   virtual void OnColdStart(const ColdStartRecord& r) = 0;
   virtual void OnPodLifetime(const PodLifetimeRecord& r) = 0;
   virtual void OnHorizon(SimTime horizon) = 0;
+  // Cost totals are additive across shards; a shard emits its own partial sums
+  // and the merge is integer addition (see RegionCostRecord).
+  virtual void OnRegionCost(const RegionCostRecord& r) { (void)r; }
 };
 
 }  // namespace coldstart::trace

@@ -82,6 +82,31 @@ struct ColdStartArchitecture {
   double post_holiday_dep_penalty = 1.6;
 };
 
+// Which cold-start model prices this region's cold starts. kYuanRong is the
+// paper-calibrated default (platform/coldstart_pipeline.h); the *Like presets are
+// parameterized from published cold/warm latency benchmarks of the respective
+// public clouds (platform/provider_models.h). Selection is part of the scenario
+// fingerprint: changing the model invalidates the trace cache.
+enum class ColdStartModelKind : uint8_t {
+  kYuanRong = 0,
+  kAwsLike = 1,
+  kGcpLike = 2,
+  kAzureLike = 3,
+};
+
+struct ColdStartModelConfig {
+  ColdStartModelKind kind = ColdStartModelKind::kYuanRong;
+
+  // Snapshot/restore decorator (arXiv 2105.13894): collapse deploy-code and
+  // deploy-dep into one restore term, paying `snapshot_memory_mb` of resident
+  // memory per pod (the cost ledger integrates it over pod lifetimes).
+  bool snapshot_restore = false;
+  double restore_base_s = 0.15;             // Fixed restore orchestration cost.
+  double restore_bandwidth_mb_per_s = 800;  // Snapshot page-in bandwidth.
+  double restore_sigma = 0.25;              // LogNormal sigma on the restore term.
+  double snapshot_memory_mb = 128.0;        // Per-pod resident snapshot surcharge.
+};
+
 struct RegionProfile {
   trace::RegionId region = 0;
   int num_functions = 500;
@@ -142,6 +167,10 @@ struct RegionProfile {
   double pool_refill_per_min = 4.0;
 
   ColdStartArchitecture arch;
+
+  // Cold-start model selection (provider presets, snapshot restore). The default
+  // reproduces the YuanRong pipeline bit for bit.
+  ColdStartModelConfig model;
 
   // Round-trip latency to the closest peer region (cross-region policy experiments).
   double inter_region_rtt_ms = 40.0;

@@ -76,6 +76,11 @@ void ExpectAggregatesIdentical(const ExperimentResult& a, const ExperimentResult
   EXPECT_EQ(a.delayed_allocations, b.delayed_allocations);
   EXPECT_EQ(a.scratch_allocations, b.scratch_allocations);
   EXPECT_EQ(a.cold_start_latency_sum_us, b.cold_start_latency_sum_us);
+  // Cost ledgers compare as serialized bytes: every 128-bit sum bit-identical.
+  ByteWriter cost_a, cost_b;
+  a.cost_ledger.SaveState(cost_a);
+  b.cost_ledger.SaveState(cost_b);
+  EXPECT_EQ(cost_a.data(), cost_b.data());
 }
 
 // --- Tentpole: the sharded runner reproduces the serial run bit for bit. ---

@@ -343,6 +343,52 @@ TEST(PolicyHooks, ConfigOnlyPolicyIsClean) {
   EXPECT_TRUE(r.diagnostics.empty());
 }
 
+TEST(PolicyHooks, StatefulModelWithoutHooksIsFlagged) {
+  const Result r = Lint("src/platform/bad.h",
+                        "class MyModel : public ColdStartModel {\n"
+                        " public:\n"
+                        "  ColdStartComponents Compute(const F& spec, ResourcePool& pool,\n"
+                        "                              const RegionLoadState& load,\n"
+                        "                              SimTime now, Rng& rng) override;\n"
+                        " private:\n"
+                        "  int64_t restores_ = 0;\n"
+                        "};\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "policy-hooks");
+  EXPECT_EQ(r.diagnostics[0].line, 1);
+  EXPECT_NE(r.diagnostics[0].message.find("restores_"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("cold-start model"), std::string::npos);
+}
+
+TEST(PolicyHooks, CompleteModelIsClean) {
+  const Result r =
+      Lint("src/platform/ok.h",
+           "class MyModel : public ColdStartModel {\n"
+           " public:\n"
+           "  std::unique_ptr<ColdStartModel> Clone() const override;\n"
+           "  void SaveModelState(ByteWriter& w) const override;\n"
+           "  void RestoreModelState(ByteReader& r) override;\n"
+           " private:\n"
+           "  int64_t restores_ = 0;\n"
+           "};\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(PolicyHooks, ModelMissingOnlySerdeHooksIsFlagged) {
+  const Result r =
+      Lint("src/platform/bad.h",
+           "class MyModel : public ColdStartModel {\n"
+           " public:\n"
+           "  std::unique_ptr<ColdStartModel> Clone() const override;\n"
+           " private:\n"
+           "  int64_t restores_ = 0;\n"
+           "};\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "policy-hooks");
+  EXPECT_NE(r.diagnostics[0].message.find("SaveModelState/RestoreModelState"),
+            std::string::npos);
+}
+
 TEST(PolicyHooks, AllowOnClassLineSuppresses) {
   const Result r =
       Lint("src/policy/ok.h",

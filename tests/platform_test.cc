@@ -2,6 +2,7 @@
 // autoscaling, and workflow fan-out. Small hand-built scenarios with exact assertions.
 #include <gtest/gtest.h>
 
+#include "platform/coldstart_pipeline.h"
 #include "platform/platform.h"
 #include "trace/trace_store.h"
 #include "workload/arrivals.h"
@@ -96,7 +97,7 @@ class PipelineTest : public ::testing::Test {
         rng_(9) {}
 
   workload::RegionProfile profile_;
-  ColdStartPipeline pipeline_;
+  YuanRongModel pipeline_;
   ResourcePool pool_;
   RegionLoadState load_;
   Rng rng_;

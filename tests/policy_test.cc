@@ -1,6 +1,9 @@
 // Tests for predictors and mitigation policies.
 #include <gtest/gtest.h>
 
+#include "common/byte_serde.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
 #include "policy/composite.h"
 #include "policy/cross_region.h"
 #include "policy/keepalive.h"
@@ -8,6 +11,7 @@
 #include "policy/pool_prediction.h"
 #include "policy/predictors.h"
 #include "policy/prewarm.h"
+#include "policy/provisioned.h"
 #include "policy/workflow_prewarm.h"
 #include "trace/trace_store.h"
 
@@ -288,6 +292,84 @@ TEST(WorkflowPrewarmTest, PrewarmsChildrenOnParentStart) {
   // The child's request lands on the prewarmed pod: only the parent cold-starts
   // user-visibly.
   EXPECT_EQ(platform.cold_starts(0), 1);
+}
+
+// --- Provisioned concurrency. ----------------------------------------------
+
+TEST(ProvisionedConcurrencyTest, FloorAbsorbsRepeatColdStarts) {
+  const auto baseline = RunTimerScenario(nullptr);
+  ProvisionedConcurrencyPolicy policy;
+  const auto with_policy = RunTimerScenario(&policy);
+
+  // Every function enrolls on its first cold start; from then on the minute
+  // tick keeps a ready pod ahead of the 5-minute timers.
+  EXPECT_EQ(policy.enrolled_functions(), 20);
+  EXPECT_LT(with_policy.cold_starts, baseline.cold_starts / 3);
+  EXPECT_GT(policy.floor_spawns(), 100);
+  EXPECT_GT(policy.floor_hits(), 1000);
+  // Hits + misses account for every enrolled arrival that the policy observed.
+  EXPECT_GT(policy.floor_hits() + policy.floor_misses(), 5000);
+}
+
+TEST(ProvisionedConcurrencyTest, EnrollmentBudgetCaps) {
+  ProvisionedConcurrencyPolicy::Options options;
+  options.max_provisioned_functions = 5;
+  ProvisionedConcurrencyPolicy policy(options);
+  RunTimerScenario(&policy);
+  EXPECT_EQ(policy.enrolled_functions(), 5);  // 20 candidates, 5 slots.
+}
+
+TEST(ProvisionedConcurrencyTest, PolicyStateRoundTrips) {
+  ProvisionedConcurrencyPolicy policy;
+  RunTimerScenario(&policy);
+  std::string blob;
+  ASSERT_TRUE(policy.SavePolicyState(&blob));
+  EXPECT_FALSE(blob.empty());
+
+  ProvisionedConcurrencyPolicy restored;
+  ASSERT_TRUE(restored.RestorePolicyState(blob));
+  EXPECT_EQ(restored.enrolled_functions(), policy.enrolled_functions());
+  EXPECT_EQ(restored.floor_spawns(), policy.floor_spawns());
+  EXPECT_EQ(restored.floor_hits(), policy.floor_hits());
+  EXPECT_EQ(restored.floor_misses(), policy.floor_misses());
+  std::string blob2;
+  ASSERT_TRUE(restored.SavePolicyState(&blob2));
+  EXPECT_EQ(blob, blob2);  // Byte-stable round trip (sorted enrollment set).
+}
+
+TEST(ProvisionedConcurrencyTest, SerialAndRegionShardedRunsAgree) {
+  // Region-local but not function-local: the enrollment budget pins each region
+  // to one capacity cell, and serial vs. one-shard-per-region runs must still
+  // be bit-identical — including the absorbed utilization counters.
+  core::ScenarioConfig config = core::SmallScenario();
+  config.days = 2;
+  config.scale = 0.1;
+  config.record_requests = false;
+  config.trace_mode = core::TraceMode::kStreaming;
+  const core::Experiment experiment(config);
+
+  ProvisionedConcurrencyPolicy serial_policy;
+  const core::ExperimentResult serial = experiment.Run(&serial_policy, 1);
+  ProvisionedConcurrencyPolicy sharded_policy;
+  ASSERT_TRUE(experiment.CanShard(&sharded_policy));
+  const core::ExperimentResult sharded = experiment.Run(&sharded_policy, 5);
+
+  EXPECT_EQ(serial.visible_cold_starts, sharded.visible_cold_starts);
+  EXPECT_EQ(serial.prewarm_spawns, sharded.prewarm_spawns);
+  ByteWriter a, b;
+  serial.streaming.SaveState(a);
+  sharded.streaming.SaveState(b);
+  EXPECT_EQ(a.data(), b.data());
+  ByteWriter ca, cb;
+  serial.cost_ledger.SaveState(ca);
+  sharded.cost_ledger.SaveState(cb);
+  EXPECT_EQ(ca.data(), cb.data());
+
+  EXPECT_GT(serial_policy.enrolled_functions(), 0);
+  EXPECT_EQ(serial_policy.enrolled_functions(), sharded_policy.enrolled_functions());
+  EXPECT_EQ(serial_policy.floor_spawns(), sharded_policy.floor_spawns());
+  EXPECT_EQ(serial_policy.floor_hits(), sharded_policy.floor_hits());
+  EXPECT_EQ(serial_policy.floor_misses(), sharded_policy.floor_misses());
 }
 
 }  // namespace

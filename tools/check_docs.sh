@@ -2,8 +2,9 @@
 # Docs integrity gate (run by CI and by the `docs_check` ctest):
 #   1. every relative markdown link in README.md and docs/*.md resolves to a file
 #      that exists in the repo;
-#   2. every driver source under bench/ appears in docs/paper-map.md, so the
-#      paper map cannot silently rot as drivers are added or renamed;
+#   2. every driver source under bench/ and every example under examples/
+#      appears in docs/paper-map.md, so the paper map cannot silently rot as
+#      drivers are added or renamed;
 #   3. every `lint:<rule>` reference in the docs names a rule that coldstart_lint
 #      actually implements (checked against `--list-rules` when a binary is
 #      available — $COLDSTART_LINT_BIN or build*/coldstart_lint — else against
@@ -54,6 +55,13 @@ else
       report "$map: bench driver '$src' is not mentioned — add its row"
     fi
   done
+  for src in examples/*.cpp; do
+    [ -e "$src" ] || continue
+    name="$(basename "$src")"
+    if ! grep -qF "$name" "$map"; then
+      report "$map: example '$src' is not mentioned — add its row"
+    fi
+  done
 fi
 
 # --- 3. Every lint rule named in the docs exists. ---
@@ -90,4 +98,4 @@ if [ "$fail" -ne 0 ]; then
   echo "docs-check: FAILED" >&2
   exit 1
 fi
-echo "docs-check: OK (${#docs[@]} docs link-checked; every bench/ driver mapped; lint-rule refs valid)"
+echo "docs-check: OK (${#docs[@]} docs link-checked; every bench/ driver and example mapped; lint-rule refs valid)"
