@@ -1,0 +1,91 @@
+// Micro-benchmarks of the frontier configuration path (google-benchmark):
+// the InterArrivalForecaster observe/predict hot loop that
+// ForecastPrewarmPolicy runs on every arrival, the policy's keep-alive
+// decision, and the ParetoFrontier computation over large candidate sets.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "analysis/pareto.h"
+#include "common/rng.h"
+#include "policy/forecast.h"
+
+using namespace coldstart;
+
+namespace {
+
+// Deterministic jittered-timer arrival times: period +- 5% uniform.
+std::vector<SimTime> JitteredTimerArrivals(size_t n, SimDuration period,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SimTime> arrivals(n);
+  SimTime t = 0;
+  for (auto& a : arrivals) {
+    t += static_cast<SimDuration>(static_cast<double>(period) *
+                                  rng.Uniform(0.95, 1.05));
+    a = t;
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+static void BM_ForecasterObserve(benchmark::State& state) {
+  const auto arrivals =
+      JitteredTimerArrivals(static_cast<size_t>(state.range(0)), 5 * kMinute, 11);
+  for (auto _ : state) {
+    policy::InterArrivalForecaster forecaster;
+    for (const SimTime t : arrivals) {
+      forecaster.ObserveArrival(t);
+    }
+    benchmark::DoNotOptimize(forecaster.sample_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForecasterObserve)->Arg(256)->Arg(16384);
+
+static void BM_ForecasterPredict(benchmark::State& state) {
+  policy::InterArrivalForecaster forecaster;
+  for (const SimTime t : JitteredTimerArrivals(256, 5 * kMinute, 13)) {
+    forecaster.ObserveArrival(t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forecaster.Confidence());
+    benchmark::DoNotOptimize(forecaster.PredictedIat());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForecasterPredict);
+
+static void BM_ForecastKeepAliveDecision(benchmark::State& state) {
+  policy::ForecastPrewarmPolicy policy;
+  workload::FunctionSpec spec;
+  spec.id = 1;
+  spec.region = 0;
+  SimTime t = 0;
+  for (int i = 0; i < 64; ++i) {
+    policy.OnArrival(spec, t);
+    t += 30 * kSecond;  // Short-IAT path: the headroom keep-alive branch.
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.KeepAliveFor(spec, t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForecastKeepAliveDecision);
+
+static void BM_ParetoFrontierCompute(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<analysis::ParetoPoint> points(static_cast<size_t>(state.range(0)));
+  for (auto& p : points) {
+    p.cost = rng.Uniform(1e3, 1e6);
+    p.latency = rng.Uniform(0.1, 30.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::ParetoFrontier(points).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParetoFrontierCompute)->Arg(64)->Arg(4096);
+
+BENCHMARK_MAIN();

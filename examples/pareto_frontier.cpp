@@ -1,0 +1,163 @@
+// Cost-vs-latency Pareto frontier over the full mitigation policy family —
+// fig17's utility ratio turned into the complete trade-off study. Every
+// candidate (baseline, each §5 mitigation, composites, and the SPES-style
+// forecaster at several confidence/horizon settings) runs over the same
+// scenario on a ParallelSweep; each becomes one point with cost = the
+// resource-cost ledger's pod-seconds + warm-idle-seconds and latency = p99
+// cold-start from the streaming histogram. The non-dominated frontier is
+// rendered as a table and the full point set written as CSV.
+//
+// Every evaluation is a deterministic Experiment::Run: the table, frontier,
+// and CSV are bit-identical at any thread count (serial == K=4 sharded).
+//
+// Usage: pareto_frontier [days] [scale] [cache_dir]
+//   cache_dir (optional) persists per-point evaluations keyed by
+//   (scenario, policy config) fingerprints — see core/frontier.h.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/env.h"
+#include "core/coldstart_lab.h"
+#include "core/frontier.h"
+#include "policy/forecast.h"
+
+using namespace coldstart;
+
+namespace {
+
+core::FrontierCandidate Forecast(const std::string& name,
+                                 double min_confidence, SimDuration horizon) {
+  policy::ForecastPrewarmPolicy::Options options;
+  options.forecaster.min_confidence = min_confidence;
+  options.max_horizon = horizon;
+  return {name,
+          [options] { return std::make_unique<policy::ForecastPrewarmPolicy>(options); },
+          options.Fingerprint()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ScenarioConfig config;
+  config.days = 3;
+  config.scale = 0.2;
+  if (argc > 1) {
+    const auto days = ParseInt(argv[1]);
+    if (!days || *days < 1) {
+      std::fprintf(stderr, "pareto_frontier: bad days '%s'\n", argv[1]);
+      return 2;
+    }
+    config.days = static_cast<int>(*days);
+  }
+  if (argc > 2) {
+    const auto scale = ParseDouble(argv[2]);
+    if (!scale || *scale <= 0) {
+      std::fprintf(stderr, "pareto_frontier: bad scale '%s'\n", argv[2]);
+      return 2;
+    }
+    config.scale = *scale;
+  }
+  const std::string cache_dir = argc > 3 ? argv[3] : std::string();
+
+  std::vector<core::FrontierCandidate> candidates;
+  candidates.push_back({"baseline", nullptr, 0});
+  candidates.push_back({"keepalive-dynamic",
+                        [] { return std::make_unique<policy::DynamicKeepAlivePolicy>(); },
+                        HashString("keepalive-dynamic")});
+  candidates.push_back({"prewarm-timer",
+                        [] { return std::make_unique<policy::TimerAwarePrewarmPolicy>(); },
+                        HashString("prewarm-timer")});
+  candidates.push_back({"prewarm-profile",
+                        [] { return std::make_unique<policy::ProfilePrewarmPolicy>(); },
+                        HashString("prewarm-profile")});
+  candidates.push_back({"workflow-prewarm",
+                        [] { return std::make_unique<policy::WorkflowPrewarmPolicy>(); },
+                        HashString("workflow-prewarm")});
+  candidates.push_back({"provisioned",
+                        [] { return std::make_unique<policy::ProvisionedConcurrencyPolicy>(); },
+                        HashString("provisioned")});
+  candidates.push_back({"peak-shaving",
+                        [] { return std::make_unique<policy::PeakShavingPolicy>(); },
+                        HashString("peak-shaving")});
+  candidates.push_back({"pool-prediction",
+                        [] { return std::make_unique<policy::PoolPredictionPolicy>(); },
+                        HashString("pool-prediction")});
+  candidates.push_back({"composite-classic",
+                        [] {
+                          auto combo = std::make_unique<policy::CompositePolicy>();
+                          combo->Add(std::make_unique<policy::TimerAwarePrewarmPolicy>())
+                              .Add(std::make_unique<policy::DynamicKeepAlivePolicy>())
+                              .Add(std::make_unique<policy::WorkflowPrewarmPolicy>())
+                              .Add(std::make_unique<policy::PeakShavingPolicy>());
+                          return combo;
+                        },
+                        HashString("composite-classic")});
+  candidates.push_back(Forecast("forecast-c50-h6h", 0.5, 6 * kHour));
+  candidates.push_back(Forecast("forecast-c70-h12h", 0.7, 12 * kHour));
+  candidates.push_back(Forecast("forecast-c90-h24h", 0.9, 24 * kHour));
+  {
+    policy::ForecastPrewarmPolicy::Options options;
+    candidates.push_back(
+        {"forecast+workflow",
+         [options] {
+           auto combo = std::make_unique<policy::CompositePolicy>();
+           combo->Add(std::make_unique<policy::ForecastPrewarmPolicy>(options))
+               .Add(std::make_unique<policy::WorkflowPrewarmPolicy>());
+           return combo;
+         },
+         MixHash(options.Fingerprint(), HashString("forecast+workflow"))});
+  }
+
+  std::printf(
+      "Sweeping %zu policy candidates over %d days at %.2fx scale "
+      "(%d threads)...\n\n",
+      candidates.size(), config.days, config.scale,
+      core::ParallelSweep::DefaultThreads());
+
+  const core::FrontierResult result =
+      core::RunFrontier(config, candidates, /*num_threads=*/0, cache_dir);
+
+  TextTable all({"policy", "cold starts", "p50 (s)", "p99 (s)", "pod-hours",
+                 "idle-hours", "cost (pod+idle h)", "frontier"});
+  for (const core::FrontierPoint& p : result.points) {
+    all.Row()
+        .Cell(p.name)
+        .Cell(p.cold_starts)
+        .Cell(p.p50_cold_start_s, 3)
+        .Cell(p.p99_cold_start_s, 2)
+        .Cell(p.pod_seconds / 3600.0, 1)
+        .Cell(p.warm_idle_seconds / 3600.0, 1)
+        .Cell(p.cost() / 3600.0, 1)
+        .Cell(std::string(p.on_frontier ? "*" : ""));
+  }
+  std::printf("%s\n", all.Render().c_str());
+
+  std::printf("Non-dominated frontier (cost ascending, p99 descending):\n");
+  TextTable frontier({"policy", "cost (pod+idle h)", "p99 (s)", "cold starts"});
+  for (const size_t idx : result.frontier) {
+    const core::FrontierPoint& p = result.points[idx];
+    frontier.Row()
+        .Cell(p.name)
+        .Cell(p.cost() / 3600.0, 1)
+        .Cell(p.p99_cold_start_s, 2)
+        .Cell(p.cold_starts);
+  }
+  std::printf("%s\n", frontier.Render().c_str());
+
+  const std::string csv_path = "pareto_frontier.csv";
+  const std::string csv = core::FrontierCsv(result);
+  AtomicFile csv_file(csv_path);
+  if (csv_file.ok() && csv_file.Write(csv.data(), csv.size()) &&
+      csv_file.Commit()) {
+    std::printf("Wrote %zu points to %s\n", result.points.size(),
+                csv_path.c_str());
+  } else {
+    std::fprintf(stderr, "pareto_frontier: failed to write %s\n",
+                 csv_path.c_str());
+    return 1;
+  }
+  return 0;
+}

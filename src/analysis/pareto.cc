@@ -1,0 +1,45 @@
+#include "analysis/pareto.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace coldstart::analysis {
+
+bool Dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.cost > b.cost || a.latency > b.latency) {
+    return false;
+  }
+  return a.cost < b.cost || a.latency < b.latency;
+}
+
+std::vector<size_t> ParetoFrontier(const std::vector<ParetoPoint>& points) {
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // Sort by (cost, latency, index): the index tiebreak makes duplicate points
+  // resolve to the lowest input index no matter the sort implementation.
+  std::sort(order.begin(), order.end(), [&points](size_t a, size_t b) {
+    const ParetoPoint& pa = points[a];
+    const ParetoPoint& pb = points[b];
+    if (pa.cost != pb.cost) {
+      return pa.cost < pb.cost;
+    }
+    if (pa.latency != pb.latency) {
+      return pa.latency < pb.latency;
+    }
+    return a < b;
+  });
+  // Sweep cost-ascending keeping strict latency improvements. Equal-cost
+  // points sort fastest-first, so only the best of each cost level can
+  // survive — the frontier is strictly monotone on both axes.
+  std::vector<size_t> frontier;
+  double best_latency = 0;
+  for (const size_t i : order) {
+    if (frontier.empty() || points[i].latency < best_latency) {
+      frontier.push_back(i);
+      best_latency = points[i].latency;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace coldstart::analysis

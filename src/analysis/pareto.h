@@ -1,0 +1,31 @@
+// Non-dominated (Pareto) frontier over (cost, latency) points, both
+// lower-is-better. The geometry behind the cost-vs-p99 mitigation study
+// (core/frontier.h, examples/pareto_frontier.cpp): a policy configuration is
+// on the frontier exactly when no other configuration is at least as cheap
+// AND at least as fast, and strictly better on one axis.
+#ifndef COLDSTART_ANALYSIS_PARETO_H_
+#define COLDSTART_ANALYSIS_PARETO_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace coldstart::analysis {
+
+struct ParetoPoint {
+  double cost = 0;     // e.g. ledger pod-seconds + warm-idle-seconds.
+  double latency = 0;  // e.g. p99 cold-start seconds.
+};
+
+// True when `a` dominates `b`: a.cost <= b.cost and a.latency <= b.latency
+// with at least one strict inequality.
+bool Dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+// Indices of the non-dominated points, sorted by cost ascending. The result
+// is strictly monotone — cost strictly increases and latency strictly
+// decreases along it — and deterministic: of several identical points the
+// lowest input index survives, the rest are reported dominated.
+std::vector<size_t> ParetoFrontier(const std::vector<ParetoPoint>& points);
+
+}  // namespace coldstart::analysis
+
+#endif  // COLDSTART_ANALYSIS_PARETO_H_

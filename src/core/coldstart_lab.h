@@ -14,17 +14,20 @@
 #include "analysis/group_cdfs.h"
 #include "analysis/groups.h"
 #include "analysis/holiday.h"
+#include "analysis/pareto.h"
 #include "analysis/peaks.h"
 #include "analysis/pool_size.h"
 #include "analysis/region_stats.h"
 #include "analysis/report.h"
 #include "analysis/utility.h"
 #include "core/experiment.h"
+#include "core/frontier.h"
 #include "core/scenario.h"
 #include "core/sweep.h"
 #include "platform/provider_models.h"
 #include "policy/composite.h"
 #include "policy/cross_region.h"
+#include "policy/forecast.h"
 #include "policy/keepalive.h"
 #include "policy/peak_shaving.h"
 #include "policy/pool_prediction.h"

@@ -1,0 +1,178 @@
+// Forecasting prewarm (SPES-style, arXiv 2403.17574): predict each function's
+// next invocation from its own invocation history and act ahead of it.
+//
+// InterArrivalForecaster is the per-function estimator: a sliding window of
+// recent inter-arrival times bucketed into a log2 histogram. When the
+// histogram mass concentrates around one modal bucket the function is
+// *predictable* (timers, steady drips) and the trimmed mean of the modal
+// neighborhood is the next-IAT estimate; dispersed (Poisson-like) histograms
+// fail the confidence gate and the policy leaves the function alone. A
+// 24-bin hour-of-day profile adds a coarse diurnal fallback for sparse
+// functions whose IATs never concentrate but whose *active hours* do.
+//
+// ForecastPrewarmPolicy turns predictions into mitigation, choosing per
+// function between two moves:
+//   - predicted IAT beyond the keep-alive horizon -> prewarm: arm a pending
+//     fire time and spawn a short-lived pod from the minute tick just ahead
+//     of it (and release served pods after a minimal keep-alive — the pod
+//     for the *next* fire will be prewarmed, so holding this one is waste);
+//   - predicted IAT short -> extend (or shrink) keep-alive to headroom x IAT,
+//     the dynamic keep-alive move, but gated on forecast confidence.
+//
+// Unlike TimerAwarePrewarmPolicy this policy is fully checkpointable: it
+// never schedules its own simulator closures — pending prewarms live in an
+// ordered map walked from the platform-managed minute tick, so the whole
+// learned state serializes (policy_hooks.h contract (c)).
+#ifndef COLDSTART_POLICY_FORECAST_H_
+#define COLDSTART_POLICY_FORECAST_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/byte_serde.h"
+#include "platform/platform.h"
+
+namespace coldstart::policy {
+
+// Sliding-window inter-arrival histogram + diurnal profile for one function.
+// Pure observation state: no platform access, deterministic, serializable.
+class InterArrivalForecaster {
+ public:
+  struct Options {
+    int window = 48;              // IAT samples retained.
+    int min_samples = 6;          // Below this no prediction is offered.
+    double min_confidence = 0.7;  // Modal-neighborhood mass share to act on.
+    int diurnal_min_count = 3;    // Arrivals in the peak hour before the
+                                  // diurnal fallback speaks.
+    // The diurnal fallback only covers *sparse* functions (window mean IAT at
+    // least this): a busy-but-bursty function is badly served by "next active
+    // hour" prewarms — most would idle out unused and only add pod-seconds.
+    SimDuration diurnal_min_mean_iat = kHour;
+  };
+
+  // Log2 buckets over IAT microseconds: bucket = floor(log2(iat_us)),
+  // clamped. 64 buckets cover every representable IAT.
+  static constexpr int kNumBuckets = 64;
+  static int BucketOf(SimDuration iat);
+
+  InterArrivalForecaster() : InterArrivalForecaster(Options{}) {}
+  explicit InterArrivalForecaster(Options options);
+
+  void ObserveArrival(SimTime now);
+
+  int sample_count() const { return static_cast<int>(filled_); }
+  SimTime last_arrival() const { return last_arrival_; }
+
+  // Index of the fullest histogram bucket (ties -> lowest bucket, so the
+  // answer never depends on evaluation order); -1 with no samples.
+  int ModalBucket() const;
+  // Share of window samples inside the modal bucket +-1. 0 below min_samples.
+  double Confidence() const;
+  bool Confident() const;
+  // Trimmed mean (exact integer mean of window samples inside the modal
+  // neighborhood) — exact for strict timers, robust to stray outliers.
+  // 0 when below min_samples.
+  SimDuration PredictedIat() const;
+  // Untrimmed mean over the whole window — the sparsity signal for the
+  // diurnal gate. 0 with no samples.
+  SimDuration MeanIat() const;
+  // last_arrival + PredictedIat when confident, else -1.
+  SimTime PredictNextArrival() const;
+  // Diurnal fallback: the start of the next hour-of-day whose historical
+  // arrival count is at least half the peak hour's (peak must have at least
+  // diurnal_min_count arrivals); -1 when the profile is too thin.
+  SimTime PredictDiurnalNext(SimTime now) const;
+
+  // Serde: the ring and profile travel; the histogram is derived state,
+  // rebuilt from the ring on restore. Round trips are bit-exact.
+  void SaveState(ByteWriter& w) const;
+  void RestoreState(ByteReader& r);
+
+ private:
+  Options options_;
+  SimTime last_arrival_ = -1;
+  std::vector<int64_t> ring_;  // IAT microseconds, circular.
+  uint64_t next_ = 0;
+  uint64_t filled_ = 0;
+  std::array<uint32_t, kNumBuckets> hist_{};  // Counts over ring contents.
+  std::array<uint32_t, 24> hour_counts_{};    // All-history arrivals per hour.
+};
+
+class ForecastPrewarmPolicy : public platform::PlatformPolicy {
+ public:
+  struct Options {
+    InterArrivalForecaster::Options forecaster;
+    // Prewarm move: arm when the predicted IAT is in (prewarm_min_iat,
+    // max_horizon]; the minute tick spawns once the fire is at most one tick
+    // plus lead_time away, with the pod surviving post_fire_margin past it.
+    // The default horizon is deliberately short: prediction error grows with
+    // distance, and long-horizon prewarms mostly idle out unused — a 30 min
+    // cap is what keeps the policy's ledger cost at or under the fixed
+    // keep-alive baseline (tests/forecast_policy_test.cc). Sweeps that want
+    // the latency-greedy end of the frontier raise it explicitly
+    // (examples/pareto_frontier.cpp).
+    SimDuration prewarm_min_iat = 3 * kMinute;
+    SimDuration max_horizon = 30 * kMinute;
+    SimDuration lead_time = 5 * kSecond;
+    SimDuration post_fire_margin = 10 * kSecond;
+    // Keep-alive move: confident short-IAT functions get headroom x IAT
+    // (clamped); confident long-IAT functions release pods after
+    // min_keep_alive — the next fire is prewarmed, holding the pod is waste.
+    double keep_alive_headroom = 1.25;
+    SimDuration min_keep_alive = 5 * kSecond;
+    SimDuration max_keep_alive = 10 * kMinute;
+    SimDuration default_keep_alive = kMinute;
+    bool use_diurnal = true;
+
+    // Stable hash of every knob (fingerprint-style, doubles by bit pattern):
+    // keys frontier point caches so a config change can never serve a stale
+    // cached evaluation (core/frontier.h).
+    uint64_t Fingerprint() const;
+  };
+
+  ForecastPrewarmPolicy();
+  explicit ForecastPrewarmPolicy(Options options);
+
+  void OnAttach(platform::Platform& platform) override { platform_ = &platform; }
+  void OnArrival(const workload::FunctionSpec& spec, SimTime now) override;
+  void OnMinuteTick(SimTime now) override;
+  SimDuration KeepAliveFor(const workload::FunctionSpec& spec, SimTime now) override;
+
+  // Per-function forecasters and pending fires only — no pools, no region
+  // budget — so capacity-cell shards see identical inputs.
+  bool is_function_local() const override { return true; }
+  std::unique_ptr<platform::PlatformPolicy> CloneForShard() const override {
+    return std::make_unique<ForecastPrewarmPolicy>(options_);
+  }
+  void AbsorbShardStats(const platform::PlatformPolicy& shard) override;
+
+  bool SavePolicyState(std::string* out) const override;
+  bool RestorePolicyState(std::string_view blob) override;
+
+  const Options& options() const { return options_; }
+  int64_t prewarms_issued() const { return prewarms_issued_; }
+  int64_t keepalive_extended() const { return keepalive_extended_; }
+  int64_t keepalive_curtailed() const { return keepalive_curtailed_; }
+  int64_t tracked_functions() const {
+    return static_cast<int64_t>(forecasters_.size());
+  }
+
+ private:
+  Options options_;
+  platform::Platform* platform_ = nullptr;
+  std::unordered_map<trace::FunctionId, InterArrivalForecaster> forecasters_;
+  // Predicted next fire per armed function. Ordered: OnMinuteTick walks it to
+  // spawn pods, so spawn order must not depend on hash order.
+  std::map<trace::FunctionId, SimTime> pending_;
+  int64_t prewarms_issued_ = 0;
+  int64_t keepalive_extended_ = 0;
+  int64_t keepalive_curtailed_ = 0;
+};
+
+}  // namespace coldstart::policy
+
+#endif  // COLDSTART_POLICY_FORECAST_H_

@@ -17,6 +17,16 @@ void MovingAveragePredictor::Observe(double value) {
   ring_[next_] = value;
   next_ = (next_ + 1) % ring_.size();
   filled_ = std::min(filled_ + 1, ring_.size());
+  if (next_ == 0) {
+    // Re-derive the running sum once per wraparound: the incremental update
+    // accumulates floating-point drift over unbounded streams, and a fresh
+    // sum every `window` observations keeps the error bounded by one pass.
+    double sum = 0;
+    for (const double v : ring_) {
+      sum += v;
+    }
+    sum_ = sum;
+  }
 }
 
 double MovingAveragePredictor::Predict() const {

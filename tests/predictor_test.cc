@@ -1,0 +1,341 @@
+// Dedicated forecaster test suite: direct unit coverage for the
+// SeriesPredictor family (moving average, seasonal naive, Holt-Winters) and
+// the inter-arrival forecaster's histogram/confidence math that
+// ForecastPrewarmPolicy acts on. Complements the scenario-level checks in
+// policy_test.cc with exact, input-controlled expectations: ring wraparound,
+// partially-filled windows, sum drift over long streams, season boundaries,
+// warm-up and fixed-point behavior, bucket geometry, confidence gating, and
+// bit-exact serde round trips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/byte_serde.h"
+#include "policy/forecast.h"
+#include "policy/predictors.h"
+
+namespace coldstart::policy {
+namespace {
+
+// --- MovingAveragePredictor. ------------------------------------------------
+
+TEST(MovingAveragePredictorTest, RingWraparoundEvictsOldest) {
+  MovingAveragePredictor p(3);
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
+    p.Observe(v);
+  }
+  // Two full wraps: only {4, 5, 6} remain in the window.
+  EXPECT_DOUBLE_EQ(p.Predict(), 5.0);
+  p.Observe(9.0);  // Evicts the 4.
+  EXPECT_DOUBLE_EQ(p.Predict(), (5.0 + 6.0 + 9.0) / 3.0);
+}
+
+TEST(MovingAveragePredictorTest, PartiallyFilledWindowAveragesOnlySeen) {
+  MovingAveragePredictor p(8);
+  double sum = 0;
+  for (int i = 1; i <= 5; ++i) {
+    p.Observe(static_cast<double>(i));
+    sum += i;
+    // The divisor is the number of observations, never the window size.
+    EXPECT_DOUBLE_EQ(p.Predict(), sum / i);
+  }
+}
+
+TEST(MovingAveragePredictorTest, SumDriftBoundedOverLongStreams) {
+  // A long stream of awkward decimals: the incremental add/subtract update
+  // would accumulate floating-point drift without the periodic re-derivation.
+  // After a million observations the prediction must still match the exact
+  // mean of the last `window` values to near machine precision.
+  constexpr int kWindow = 32;
+  constexpr int kStream = 1'000'000;
+  MovingAveragePredictor p(kWindow);
+  std::vector<double> tail(kWindow);
+  for (int i = 0; i < kStream; ++i) {
+    const double v = 0.1 * static_cast<double>(i % 7) + 0.0003;
+    p.Observe(v);
+    tail[static_cast<size_t>(i % kWindow)] = v;
+  }
+  double exact = 0;
+  for (const double v : tail) {
+    exact += v;
+  }
+  exact /= kWindow;
+  EXPECT_NEAR(p.Predict(), exact, 1e-9);
+}
+
+TEST(MovingAveragePredictorTest, WindowOneTracksLastValue) {
+  MovingAveragePredictor p(1);
+  for (const double v : {3.5, -2.0, 100.0}) {
+    p.Observe(v);
+    EXPECT_DOUBLE_EQ(p.Predict(), v);
+  }
+}
+
+// --- SeasonalNaivePredictor. ------------------------------------------------
+
+TEST(SeasonalNaivePredictorTest, PreSeasonFallbackUsesLastObservation) {
+  SeasonalNaivePredictor p(4);
+  p.Observe(1.0);
+  p.Observe(2.0);
+  p.Observe(3.0);
+  // Three of four season slots seen: still the last-value fallback.
+  EXPECT_DOUBLE_EQ(p.Predict(), 3.0);
+}
+
+TEST(SeasonalNaivePredictorTest, ExactSeasonBoundarySwitchesToSeasonal) {
+  SeasonalNaivePredictor p(4);
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) {
+    p.Observe(v);
+  }
+  // The fourth observation completes the season: the very next prediction is
+  // the same-phase value from one season ago, not the last observation.
+  EXPECT_DOUBLE_EQ(p.Predict(), 1.0);
+}
+
+TEST(SeasonalNaivePredictorTest, TracksSeasonAcrossCycles) {
+  SeasonalNaivePredictor p(3);
+  const double cycle[] = {10.0, 20.0, 30.0};
+  for (int i = 0; i < 9; ++i) {
+    p.Observe(cycle[i % 3]);
+  }
+  // After three full cycles every prediction repeats the periodic pattern.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(p.Predict(), cycle[i % 3]);
+    p.Observe(cycle[i % 3]);
+  }
+}
+
+// --- HoltWintersPredictor. --------------------------------------------------
+
+TEST(HoltWintersPredictorTest, WarmUpMatchesFirstObservation) {
+  HoltWintersPredictor p(4, 0.3, 0.05, 0.15);
+  p.Observe(42.0);
+  // Warm-up seeds level to the first value with zero trend and seasonality:
+  // the one-observation prediction is exactly that value.
+  EXPECT_DOUBLE_EQ(p.Predict(), 42.0);
+}
+
+TEST(HoltWintersPredictorTest, ConstantSeriesFixedPoint) {
+  HoltWintersPredictor p(6, 0.3, 0.05, 0.15);
+  for (int i = 0; i < 500; ++i) {
+    p.Observe(5.0);
+  }
+  // A constant series is a fixed point: level converges to the constant,
+  // trend and seasonal components decay to zero.
+  EXPECT_NEAR(p.Predict(), 5.0, 1e-6);
+  p.Observe(5.0);
+  EXPECT_NEAR(p.Predict(), 5.0, 1e-6);
+}
+
+TEST(HoltWintersPredictorTest, TrendTrackingWithinTolerance) {
+  HoltWintersPredictor p(4, 0.5, 0.3, 0.1);
+  constexpr double kSlope = 3.0;
+  int i = 0;
+  for (; i < 300; ++i) {
+    p.Observe(kSlope * i);
+  }
+  // The one-step-ahead forecast follows the ramp within a few slopes' error.
+  EXPECT_NEAR(p.Predict(), kSlope * i, 5.0 * kSlope);
+}
+
+TEST(MakePredictorTest, NamesMatchKinds) {
+  for (const char* kind : {"moving-average", "seasonal-naive", "holt-winters"}) {
+    const auto p = MakePredictor(kind, 12);
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), kind);
+  }
+}
+
+// --- InterArrivalForecaster: histogram and confidence math. ------------------
+
+TEST(InterArrivalForecasterTest, BucketOfIsFloorLog2OfMicroseconds) {
+  EXPECT_EQ(InterArrivalForecaster::BucketOf(1), 0);
+  EXPECT_EQ(InterArrivalForecaster::BucketOf(2), 1);
+  EXPECT_EQ(InterArrivalForecaster::BucketOf(3), 1);
+  EXPECT_EQ(InterArrivalForecaster::BucketOf(4), 2);
+  EXPECT_EQ(InterArrivalForecaster::BucketOf(1023), 9);
+  EXPECT_EQ(InterArrivalForecaster::BucketOf(1024), 10);
+  // One second = 1e6 us: floor(log2) = 19.
+  EXPECT_EQ(InterArrivalForecaster::BucketOf(kSecond), 19);
+  // Non-positive IATs clamp into the lowest bucket instead of misindexing.
+  EXPECT_EQ(InterArrivalForecaster::BucketOf(0), 0);
+  // The largest representable IAT stays in range.
+  EXPECT_LT(InterArrivalForecaster::BucketOf(INT64_MAX),
+            InterArrivalForecaster::kNumBuckets);
+}
+
+TEST(InterArrivalForecasterTest, NoPredictionBelowMinSamples) {
+  InterArrivalForecaster f;
+  EXPECT_EQ(f.ModalBucket(), -1);
+  EXPECT_DOUBLE_EQ(f.Confidence(), 0.0);
+  EXPECT_FALSE(f.Confident());
+  EXPECT_EQ(f.PredictedIat(), 0);
+  EXPECT_EQ(f.PredictNextArrival(), -1);
+  // Five IATs is one short of the default min_samples = 6 gate.
+  SimTime t = 0;
+  for (int i = 0; i < 6; ++i) {
+    f.ObserveArrival(t);
+    t += 5 * kMinute;
+  }
+  EXPECT_EQ(f.sample_count(), 5);
+  EXPECT_DOUBLE_EQ(f.Confidence(), 0.0);
+  EXPECT_EQ(f.PredictNextArrival(), -1);
+}
+
+TEST(InterArrivalForecasterTest, PeriodicSeriesFullConfidenceExactIat) {
+  InterArrivalForecaster f;
+  SimTime t = 0;
+  for (int i = 0; i < 20; ++i) {
+    f.ObserveArrival(t);
+    t += 5 * kMinute;
+  }
+  // A strict timer concentrates all mass in one bucket; the trimmed mean over
+  // identical integer samples is exact, not approximate.
+  EXPECT_DOUBLE_EQ(f.Confidence(), 1.0);
+  EXPECT_TRUE(f.Confident());
+  EXPECT_EQ(f.PredictedIat(), 5 * kMinute);
+  EXPECT_EQ(f.PredictNextArrival(), f.last_arrival() + 5 * kMinute);
+}
+
+TEST(InterArrivalForecasterTest, ZeroIatArrivalsAddNoSamples) {
+  InterArrivalForecaster f;
+  f.ObserveArrival(kMinute);
+  f.ObserveArrival(kMinute);  // Concurrent duplicate: no inter-arrival gap.
+  f.ObserveArrival(kMinute);
+  EXPECT_EQ(f.sample_count(), 0);
+  EXPECT_EQ(f.last_arrival(), kMinute);
+}
+
+TEST(InterArrivalForecasterTest, WindowEvictionKeepsHistogramConsistent) {
+  InterArrivalForecaster::Options options;
+  options.window = 8;
+  InterArrivalForecaster f(options);
+  SimTime t = 0;
+  // Fill the window with 1-second IATs, then overwrite it entirely with
+  // 100-second IATs: eviction must fully drain the old bucket's counts.
+  for (int i = 0; i < 9; ++i) {
+    f.ObserveArrival(t);
+    t += kSecond;
+  }
+  for (int i = 0; i < 20; ++i) {
+    f.ObserveArrival(t);
+    t += 100 * kSecond;
+  }
+  EXPECT_EQ(f.sample_count(), 8);
+  EXPECT_EQ(f.ModalBucket(), InterArrivalForecaster::BucketOf(100 * kSecond));
+  EXPECT_DOUBLE_EQ(f.Confidence(), 1.0);
+  EXPECT_EQ(f.PredictedIat(), 100 * kSecond);
+}
+
+TEST(InterArrivalForecasterTest, DispersedIatsFailConfidenceGate) {
+  InterArrivalForecaster f;
+  // IATs spread across octaves at least three log2 buckets apart: no modal
+  // neighborhood can ever hold a majority, so the gate must stay closed.
+  const SimDuration iats[] = {kSecond,        8 * kSecond,     64 * kSecond,
+                              512 * kSecond,  4096 * kSecond,  32768 * kSecond};
+  SimTime t = 0;
+  f.ObserveArrival(t);
+  for (int round = 0; round < 2; ++round) {
+    for (const SimDuration iat : iats) {
+      t += iat;
+      f.ObserveArrival(t);
+    }
+  }
+  EXPECT_EQ(f.sample_count(), 12);
+  EXPECT_NEAR(f.Confidence(), 2.0 / 12.0, 1e-12);
+  EXPECT_FALSE(f.Confident());
+  EXPECT_EQ(f.PredictNextArrival(), -1);
+}
+
+TEST(InterArrivalForecasterTest, JitterTolerantPrediction) {
+  InterArrivalForecaster f;
+  // ~300 s period with +-10% deterministic jitter: every IAT lands in the
+  // same log2 bucket, so confidence is full and the trimmed mean is the
+  // exact integer mean of the jittered samples.
+  const SimDuration jitter[] = {0, 17 * kSecond, -23 * kSecond, 9 * kSecond,
+                                -12 * kSecond, 28 * kSecond, -5 * kSecond};
+  SimTime t = 0;
+  int64_t sum = 0;
+  int64_t count = 0;
+  f.ObserveArrival(t);
+  for (int i = 0; i < 21; ++i) {
+    const SimDuration iat = 300 * kSecond + jitter[i % 7];
+    t += iat;
+    f.ObserveArrival(t);
+    sum += iat;
+    ++count;
+  }
+  EXPECT_DOUBLE_EQ(f.Confidence(), 1.0);
+  EXPECT_EQ(f.PredictedIat(), sum / count);
+  EXPECT_NEAR(ToSeconds(f.PredictedIat()), 300.0, 30.0);
+}
+
+TEST(InterArrivalForecasterTest, DiurnalPredictsNextActiveHour) {
+  InterArrivalForecaster f;
+  // Four arrivals inside hour 9 of day 0, one stray at hour 13: hour 9 is the
+  // peak; hour 13's count is under half the peak and must be skipped.
+  for (int k = 0; k < 4; ++k) {
+    f.ObserveArrival(9 * kHour + k * 10 * kMinute);
+  }
+  f.ObserveArrival(13 * kHour);
+  // From 06:30 next day, the next active hour is 09:00 that day.
+  EXPECT_EQ(f.PredictDiurnalNext(kDay + 6 * kHour + 30 * kMinute),
+            kDay + 9 * kHour);
+  // From 12:30, hour 13 (count 1 < peak/2) is skipped: the answer wraps all
+  // the way to 09:00 the following day.
+  EXPECT_EQ(f.PredictDiurnalNext(kDay + 12 * kHour + 30 * kMinute),
+            2 * kDay + 9 * kHour);
+}
+
+TEST(InterArrivalForecasterTest, DiurnalRequiresMinPeakCount) {
+  InterArrivalForecaster f;
+  f.ObserveArrival(9 * kHour);
+  f.ObserveArrival(9 * kHour + 10 * kMinute);
+  // Peak hour holds two arrivals, below diurnal_min_count = 3: too thin.
+  EXPECT_EQ(f.PredictDiurnalNext(kDay), -1);
+}
+
+TEST(InterArrivalForecasterTest, SerdeRoundTripBitExact) {
+  InterArrivalForecaster::Options options;
+  options.window = 16;
+  InterArrivalForecaster f(options);
+  // Mixed stream that wraps the ring: serde must carry eviction state too.
+  SimTime t = 0;
+  for (int i = 0; i < 40; ++i) {
+    t += (i % 5 + 1) * kMinute + i * kSecond;
+    f.ObserveArrival(t);
+  }
+  ByteWriter w1;
+  f.SaveState(w1);
+
+  InterArrivalForecaster restored(options);
+  ByteReader r(w1.data());
+  restored.RestoreState(r);
+  EXPECT_TRUE(r.AtEnd());
+
+  // Bit-exact: the same bytes come back out, and the derived histogram
+  // answers agree exactly.
+  ByteWriter w2;
+  restored.SaveState(w2);
+  EXPECT_EQ(w1.data(), w2.data());
+  EXPECT_EQ(restored.sample_count(), f.sample_count());
+  EXPECT_EQ(restored.ModalBucket(), f.ModalBucket());
+  EXPECT_DOUBLE_EQ(restored.Confidence(), f.Confidence());
+  EXPECT_EQ(restored.PredictedIat(), f.PredictedIat());
+
+  // And the two instances evolve identically after the round trip.
+  for (int i = 0; i < 10; ++i) {
+    t += 3 * kMinute;
+    f.ObserveArrival(t);
+    restored.ObserveArrival(t);
+  }
+  ByteWriter w3, w4;
+  f.SaveState(w3);
+  restored.SaveState(w4);
+  EXPECT_EQ(w3.data(), w4.data());
+}
+
+}  // namespace
+}  // namespace coldstart::policy
